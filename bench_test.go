@@ -1,0 +1,569 @@
+package netkit
+
+// Benchmark suite: one Benchmark family per experiment in DESIGN.md §3.
+// Run with:  go test -bench=. -benchmem
+// cmd/nkbench prints the same series as formatted tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netkit/internal/appsvc"
+	"netkit/internal/baseline"
+	"netkit/internal/buffers"
+	"netkit/internal/coord"
+	"netkit/internal/core"
+	"netkit/internal/filter"
+	"netkit/internal/ipc"
+	"netkit/internal/ixp"
+	"netkit/internal/netsim"
+	"netkit/internal/resources"
+	"netkit/internal/router"
+	"netkit/internal/trace"
+)
+
+func benchPacketRaw(b *testing.B) []byte {
+	b.Helper()
+	gen, err := trace.NewGenerator(trace.Config{Seed: 7, Flows: 1, UDPShare: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := gen.NextFixed(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+// ---------------------------------------------------------------------------
+// E1 — call overhead: direct vs fused binding vs interception chains
+
+func BenchmarkE1_DirectCall(b *testing.B) {
+	sink := router.NewDropper()
+	p := router.NewPacket(benchPacketRaw(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sink.Push(p)
+	}
+}
+
+func BenchmarkE1_FusedBinding(b *testing.B) {
+	capsule := core.NewCapsule("e1")
+	cnt := router.NewCounter()
+	if err := capsule.Insert("cnt", cnt); err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, "cnt", "out", "drop"); err != nil {
+		b.Fatal(err)
+	}
+	p := router.NewPacket(benchPacketRaw(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cnt.Push(p)
+	}
+}
+
+func BenchmarkE1_Interceptors(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chain-%d", k), func(b *testing.B) {
+			capsule := core.NewCapsule("e1i")
+			cnt := router.NewCounter()
+			if err := capsule.Insert("cnt", cnt); err != nil {
+				b.Fatal(err)
+			}
+			if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+				b.Fatal(err)
+			}
+			bind, err := router.ConnectPush(capsule, "cnt", "out", "drop")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				if err := bind.AddInterceptor(core.Interceptor{
+					Name: fmt.Sprintf("i%d", i),
+					Wrap: core.PrePost(nil, nil),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := router.NewPacket(benchPacketRaw(b))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = cnt.Push(p)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — configuration footprint (allocation volume per build)
+
+func BenchmarkE2_FootprintMinimalForwarder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := core.NewCapsule("min")
+		_ = c.Insert("cnt", router.NewCounter())
+		_ = c.Insert("v4", router.NewIPv4Proc(false))
+		_ = c.Insert("drop", router.NewDropper())
+		_, _ = router.ConnectPush(c, "cnt", "out", "v4")
+		_, _ = router.ConnectPush(c, "v4", "out", "drop")
+	}
+}
+
+func BenchmarkE2_FootprintFigure3(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := core.NewCapsule("f3")
+		comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Insert("gw", comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — forwarding throughput vs chain length, three systems
+
+func e3Chain(b *testing.B, chainLen int) (router.IPacketPush, *core.Capsule) {
+	b.Helper()
+	capsule := core.NewCapsule("e3")
+	v4 := router.NewIPv4Proc(false)
+	if err := capsule.Insert("v4", v4); err != nil {
+		b.Fatal(err)
+	}
+	prev := "v4"
+	for i := 0; i < chainLen; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if err := capsule.Insert(name, router.NewCounter()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.ConnectPush(capsule, prev, "out", name); err != nil {
+			b.Fatal(err)
+		}
+		prev = name
+	}
+	if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, prev, "out", "drop"); err != nil {
+		b.Fatal(err)
+	}
+	return v4, capsule
+}
+
+func BenchmarkE3_NetkitChain(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("len-%d", k), func(b *testing.B) {
+			first, _ := e3Chain(b, k)
+			raw := benchPacketRaw(b)
+			p := router.NewPacket(raw)
+			ttl := raw[8]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				raw[8] = ttl // rearm TTL so the packet never expires
+				_ = first.Push(p)
+			}
+		})
+	}
+}
+
+func BenchmarkE3_ClickChain(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("len-%d", k), func(b *testing.B) {
+			click := baseline.NewClickRouter()
+			if err := click.Add(baseline.DecTTL()); err != nil {
+				b.Fatal(err)
+			}
+			counters := make([]uint64, k)
+			for i := 0; i < k; i++ {
+				if err := click.Add(baseline.CountPkts(&counters[i])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := click.Build(); err != nil {
+				b.Fatal(err)
+			}
+			raw := benchPacketRaw(b)
+			ttl := raw[8]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				raw[8] = ttl
+				_, _ = click.Run(raw)
+			}
+		})
+	}
+}
+
+func BenchmarkE3_Monolith(b *testing.B) {
+	mono := baseline.NewMonolith(false)
+	raw := benchPacketRaw(b)
+	ttl := raw[8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw[8] = ttl
+		_ = mono.Run(raw)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — reconfiguration latency
+
+func BenchmarkE4_HotSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		capsule := core.NewCapsule("e4")
+		head := router.NewCounter()
+		mid := router.NewCounter()
+		if err := capsule.Insert("head", head); err != nil {
+			b.Fatal(err)
+		}
+		if err := capsule.Insert("mid", mid); err != nil {
+			b.Fatal(err)
+		}
+		if err := capsule.Insert("tail", router.NewDropper()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.ConnectPush(capsule, "head", "out", "mid"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.ConnectPush(capsule, "mid", "out", "tail"); err != nil {
+			b.Fatal(err)
+		}
+		repl := router.NewCounter()
+		b.StartTimer()
+		if err := router.HotSwap(capsule, "mid", "mid2", repl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4_ClickRebuild(b *testing.B) {
+	var c1 uint64
+	click := baseline.NewClickRouter()
+	if err := click.Add(baseline.CountPkts(&c1)); err != nil {
+		b.Fatal(err)
+	}
+	if err := click.Add(baseline.DecTTL()); err != nil {
+		b.Fatal(err)
+	}
+	if err := click.Build(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c2 uint64
+		if _, err := click.Reconfigure(0, baseline.CountPkts(&c2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — classification cost vs rule count
+
+func BenchmarkE5_ClassifierLookup(b *testing.B) {
+	raw := benchPacketRaw(b)
+	view := filter.Extract(raw)
+	for _, n := range []int{1, 16, 256, 1024} {
+		b.Run(fmt.Sprintf("rules-%d", n), func(b *testing.B) {
+			tbl := filter.NewTable()
+			for i := 0; i < n; i++ {
+				spec := fmt.Sprintf("udp and dst port %d", 20000+i)
+				if _, err := tbl.Add(spec, i, "out"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = tbl.LookupView(&view)
+			}
+		})
+	}
+}
+
+func BenchmarkE5_VMvsClosure(b *testing.B) {
+	raw := benchPacketRaw(b)
+	view := filter.Extract(raw)
+	const spec = "ip and udp and (dst port 53 or dst port 5353) and ttl > 1"
+	prog, err := filter.CompileToProgram(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clo, err := filter.Compile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("vm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = prog.Match(&view)
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = clo.Match(&view)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E6 — in-proc vs out-of-proc binding
+
+func BenchmarkE6_InProcPush(b *testing.B) {
+	cnt := router.NewCounter()
+	p := router.NewPacket(benchPacketRaw(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cnt.Push(p)
+	}
+}
+
+func BenchmarkE6_OutOfProcPush(b *testing.B) {
+	reg := core.NewComponentRegistry()
+	reg.MustRegister(router.TypeCounter, func(map[string]string) (core.Component, error) {
+		return router.NewCounter(), nil
+	})
+	client, _, cleanup := ipc.HostPair(reg)
+	defer cleanup()
+	rc, err := client.Instantiate("cnt", router.TypeCounter, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := benchPacketRaw(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rc.Push(router.NewPacket(raw))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — placement evaluation and rebalancing
+
+func BenchmarkE7_EvaluatePlacement(b *testing.B) {
+	chip := ixp.DefaultIXP1200()
+	pipe := ixp.StandardPipeline()
+	asg := ixp.PlaceGreedy(chip, pipe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ixp.Evaluate(chip, pipe, asg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_Rebalance(b *testing.B) {
+	chip := ixp.DefaultIXP1200()
+	pipe := ixp.StandardPipeline()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bad := make(ixp.Assignment)
+		for _, s := range pipe {
+			bad[s.Name] = ixp.Target{Engine: 0}
+		}
+		mgr, err := ixp.NewManager(chip, pipe, bad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := mgr.Rebalance(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8 — reservation signalling vs hops
+
+func BenchmarkE8_Reserve(b *testing.B) {
+	for _, hops := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("hops-%d", hops), func(b *testing.B) {
+			w := netsim.NewNetwork()
+			defer w.Stop()
+			names, err := netsim.Line(w, "r", hops+1, netsim.LinkConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agents := make([]*coord.Agent, len(names))
+			for i, name := range names {
+				node, err := w.Node(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				caps := map[string]int64{}
+				for _, nb := range node.Neighbors() {
+					caps[nb] = 1 << 40
+				}
+				agents[i] = coord.NewAgent(node, coord.AgentConfig{Capacity: caps})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				session := fmt.Sprintf("s%d", i)
+				if err := agents[0].Reserve(session, names, 1, 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — spawning vs member count
+
+func BenchmarkE9_Spawn(b *testing.B) {
+	for _, members := range []int{3, 12, 24} {
+		b.Run(fmt.Sprintf("members-%d", members), func(b *testing.B) {
+			w := netsim.NewNetwork()
+			defer w.Stop()
+			names, err := netsim.Line(w, "p", members, netsim.LinkConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			spawners := make([]*coord.Spawner, members)
+			for i, name := range names {
+				node, err := w.Node(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spawners[i] = coord.NewSpawner(node)
+			}
+			adj := map[string][]string{}
+			for i := range names {
+				if i > 0 {
+					adj[names[i]] = append(adj[names[i]], names[i-1])
+				}
+				if i < len(names)-1 {
+					adj[names[i]] = append(adj[names[i]], names[i+1])
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("v%d", i)
+				if err := spawners[0].Spawn(w, coord.SpawnSpec{
+					Name: name, Members: names, Adj: adj, Timeout: 10 * time.Second,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10 — buffers and schedulers
+
+func BenchmarkE10_PooledBuffer(b *testing.B) {
+	pool := buffers.MustNewPool(buffers.DefaultClasses, 256, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := pool.Get(1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := buf.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchAllocSink []byte
+
+func BenchmarkE10_HeapAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchAllocSink = make([]byte, 1500)
+	}
+}
+
+func BenchmarkE10_Schedulers(b *testing.B) {
+	mgr := resources.NewManager()
+	tasks := make([]*resources.Task, 4)
+	for i := range tasks {
+		t, err := mgr.CreateTask(resources.TaskSpec{
+			Name: fmt.Sprintf("t%d", i), Weight: i + 1, Priority: i,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks[i] = t
+	}
+	scheds := map[string]func() resources.Scheduler{
+		"fifo":     func() resources.Scheduler { return resources.NewFIFOScheduler() },
+		"priority": func() resources.Scheduler { return resources.NewPriorityScheduler() },
+		"wfq":      func() resources.Scheduler { return resources.NewWFQScheduler() },
+	}
+	for name, mk := range scheds {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Push(&resources.WorkItem{Task: tasks[i%4], Run: func() {}})
+				if i%2 == 1 {
+					s.Pop()
+					s.Pop()
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// EE — stratum-3 program dispatch (ablation for E1/E5)
+
+func BenchmarkEE_NativeProgram(b *testing.B) {
+	capsule := core.NewCapsule("ee")
+	ee := appsvc.NewExecEnv()
+	if err := capsule.Insert("ee", ee); err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, "ee", "out", "drop"); err != nil {
+		b.Fatal(err)
+	}
+	if err := ee.Attach("udp", appsvc.TTLFloor{Min: 2}, appsvc.Sandbox{}); err != nil {
+		b.Fatal(err)
+	}
+	p := router.NewPacket(benchPacketRaw(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ee.Push(p)
+	}
+}
+
+func BenchmarkEE_VMProgram(b *testing.B) {
+	capsule := core.NewCapsule("eevm")
+	ee := appsvc.NewExecEnv()
+	if err := capsule.Insert("ee", ee); err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, "ee", "out", "drop"); err != nil {
+		b.Fatal(err)
+	}
+	code := appsvc.MustAssemble(`
+		loadf ttl
+		push 2
+		lt
+		jnz kill
+		forward
+		kill: drop
+	`)
+	if err := ee.AttachVM("guard", "udp", code, appsvc.Sandbox{}); err != nil {
+		b.Fatal(err)
+	}
+	p := router.NewPacket(benchPacketRaw(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ee.Push(p)
+	}
+}

@@ -1,0 +1,139 @@
+// Command netkitd is the NETKIT router daemon: it loads a .nk
+// configuration into a Router CF, starts the components, optionally drives
+// synthetic traffic into a named component, and serves the reflective
+// control protocol for nkctl.
+//
+// Usage:
+//
+//	netkitd -config router.nk -listen 127.0.0.1:7341 \
+//	        -traffic-into cnt -pps 1000 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"netkit/internal/control"
+	"netkit/internal/core"
+	"netkit/internal/nkconfig"
+	"netkit/internal/router"
+	"netkit/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netkitd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath  = flag.String("config", "", "path to .nk configuration (required)")
+		listen      = flag.String("listen", "127.0.0.1:7341", "control protocol address")
+		trafficInto = flag.String("traffic-into", "", "component to push synthetic traffic into")
+		pps         = flag.Int("pps", 1000, "synthetic traffic rate (packets/sec)")
+		flows       = flag.Int("flows", 64, "synthetic flow population")
+		seed        = flag.Uint64("seed", 1, "traffic generator seed")
+		duration    = flag.Duration("duration", 0, "run time (0 = until interrupted)")
+		strict      = flag.Bool("strict-trust", false, "enforce out-of-process isolation for untrusted components")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	src, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+
+	capsule := core.NewCapsule("netkitd")
+	fw, err := router.NewFramework(capsule, *strict)
+	if err != nil {
+		return err
+	}
+	if _, err := nkconfig.Load(string(src), fw); err != nil {
+		return err
+	}
+	if err := capsule.Snapshot().Validate(); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := capsule.StartAll(ctx); err != nil {
+		return err
+	}
+	defer func() { _ = capsule.StopAll(ctx) }()
+	fmt.Printf("netkitd: %d components started from %s\n",
+		len(capsule.ComponentNames()), *configPath)
+
+	// Control plane.
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := control.NewServer(fw)
+	go func() { _ = srv.Serve(l) }()
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("netkitd: control protocol on %s\n", l.Addr())
+
+	// Optional synthetic traffic pump.
+	stopTraffic := make(chan struct{})
+	trafficDone := make(chan struct{})
+	close(trafficDone)
+	if *trafficInto != "" {
+		comp, ok := capsule.Component(*trafficInto)
+		if !ok {
+			return fmt.Errorf("traffic target %q not found", *trafficInto)
+		}
+		impl, ok := comp.Provided(router.IPacketPushID)
+		if !ok {
+			return fmt.Errorf("traffic target %q does not provide IPacketPush", *trafficInto)
+		}
+		push := impl.(router.IPacketPush)
+		gen, err := trace.NewGenerator(trace.Config{Seed: *seed, Flows: *flows})
+		if err != nil {
+			return err
+		}
+		trafficDone = make(chan struct{})
+		go func() {
+			defer close(trafficDone)
+			interval := time.Second / time.Duration(*pps)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				case <-ticker.C:
+					raw, err := gen.Next()
+					if err != nil {
+						continue
+					}
+					_ = push.Push(router.NewPacket(raw))
+				}
+			}
+		}()
+		fmt.Printf("netkitd: driving %d pps into %q\n", *pps, *trafficInto)
+	}
+
+	// Wait for signal or duration.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	if *duration > 0 {
+		select {
+		case <-sig:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-sig
+	}
+	close(stopTraffic)
+	<-trafficDone
+	fmt.Println("netkitd: shutting down")
+	return nil
+}

@@ -1,0 +1,557 @@
+// Command nkbench runs the NETKIT experiment suite E1–E10 (see DESIGN.md
+// §3 for the claim-to-experiment mapping) and prints one table per
+// experiment. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	nkbench             # run everything
+//	nkbench -run E1,E4  # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"netkit/internal/appsvc"
+	"netkit/internal/baseline"
+	"netkit/internal/buffers"
+	"netkit/internal/coord"
+	"netkit/internal/core"
+	"netkit/internal/filter"
+	"netkit/internal/ipc"
+	"netkit/internal/ixp"
+	"netkit/internal/netsim"
+	"netkit/internal/resources"
+	"netkit/internal/router"
+	"netkit/internal/trace"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E10) or 'all'")
+	flag.Parse()
+	experiments := map[string]func(){
+		"E1": e1CallOverhead, "E2": e2Footprint, "E3": e3Forwarding,
+		"E4": e4Reconfigure, "E5": e5Classifier, "E6": e6OutOfProc,
+		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
+	}
+	var names []string
+	if *runList == "all" {
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	} else {
+		names = strings.Split(*runList, ",")
+	}
+	for _, n := range names {
+		n = strings.TrimSpace(strings.ToUpper(n))
+		fn, ok := experiments[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nkbench: unknown experiment %q\n", n)
+			os.Exit(1)
+		}
+		fn()
+		fmt.Println()
+	}
+}
+
+func header(id, claim string) {
+	fmt.Printf("=== %s — %s\n", id, claim)
+}
+
+// measure runs fn n times and returns ns/op.
+func measure(n int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func mustPacket(dstPort uint16) *router.Packet {
+	gen, err := trace.NewGenerator(trace.Config{Seed: 11, Flows: 1, UDPShare: 100})
+	if err != nil {
+		panic(err)
+	}
+	raw, err := gen.NextFixed(64)
+	if err != nil {
+		panic(err)
+	}
+	return router.NewPacket(raw)
+}
+
+// ---------------------------------------------------------------------------
+
+func e1CallOverhead() {
+	header("E1", "cross-component call overhead: fused bindings vs interception chains")
+	const iters = 2_000_000
+	sinkComp := router.NewDropper()
+	pkt := mustPacket(53)
+
+	// Direct function call baseline.
+	directNs := measure(iters, func() { _ = sinkComp.Push(pkt) })
+
+	// Receptacle-mediated (fused) call.
+	capsule := core.NewCapsule("e1")
+	cnt := router.NewCounter()
+	must(capsule.Insert("cnt", cnt))
+	must(capsule.Insert("drop", router.NewDropper()))
+	b, err := router.ConnectPush(capsule, "cnt", "out", "drop")
+	must(err)
+	fusedNs := measure(iters, func() { _ = cnt.Push(pkt) })
+
+	fmt.Printf("%-28s %10.1f ns/op  (x%.2f)\n", "direct method call", directNs, 1.0)
+	fmt.Printf("%-28s %10.1f ns/op  (x%.2f)\n", "fused binding (receptacle)", fusedNs, fusedNs/directNs)
+	for _, k := range []int{1, 2, 4, 8} {
+		for b.Interceptors() != nil && len(b.Interceptors()) > 0 {
+			must(b.RemoveInterceptor(b.Interceptors()[0]))
+		}
+		for i := 0; i < k; i++ {
+			must(b.AddInterceptor(core.Interceptor{
+				Name: fmt.Sprintf("noop%d", i),
+				Wrap: core.PrePost(nil, nil),
+			}))
+		}
+		ns := measure(iters/4, func() { _ = cnt.Push(pkt) })
+		fmt.Printf("binding + %d interceptor(s)   %10.1f ns/op  (x%.2f)\n", k, ns, ns/directNs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e2Footprint() {
+	header("E2", "bespoke configurations minimise memory footprint (cf. 18KB WinCE OpenCOM)")
+	configs := []struct {
+		name  string
+		build func() any
+	}{
+		{"empty capsule", func() any { return core.NewCapsule("empty") }},
+		{"minimal forwarder (3 comps)", func() any {
+			c := core.NewCapsule("min")
+			must(c.Insert("cnt", router.NewCounter()))
+			must(c.Insert("v4", router.NewIPv4Proc(false)))
+			must(c.Insert("drop", router.NewDropper()))
+			_, err := router.ConnectPush(c, "cnt", "out", "v4")
+			must(err)
+			_, err = router.ConnectPush(c, "v4", "out", "drop")
+			must(err)
+			return c
+		}},
+		{"figure-3 composite", func() any {
+			c := core.NewCapsule("f3")
+			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
+			must(err)
+			must(c.Insert("gw", comp))
+			return c
+		}},
+		{"figure-3 + classifier + EE", func() any {
+			c := core.NewCapsule("full")
+			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
+			must(err)
+			must(c.Insert("gw", comp))
+			cls, err := router.NewClassifier("fast", "default")
+			must(err)
+			must(c.Insert("cls", cls))
+			must(c.Insert("ee", appsvc.NewExecEnv()))
+			return c
+		}},
+	}
+	for _, cfg := range configs {
+		bytes := heapDelta(cfg.build)
+		fmt.Printf("%-32s %10.1f KiB\n", cfg.name, float64(bytes)/1024)
+	}
+}
+
+// heapDelta measures the live-heap growth caused by build (median of 5).
+func heapDelta(build func() any) uint64 {
+	samples := make([]uint64, 0, 5)
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		obj := build()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc > before.HeapAlloc {
+			samples = append(samples, after.HeapAlloc-before.HeapAlloc)
+		} else {
+			samples = append(samples, 0)
+		}
+		runtime.KeepAlive(obj)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
+}
+
+// ---------------------------------------------------------------------------
+
+func e3Forwarding() {
+	header("E3", "forwarding throughput: Router CF vs Click-like static vs monolith")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 3, Flows: 32, UDPShare: 100})
+	must(err)
+	const nPkts = 200_000
+	master := make([][]byte, nPkts)
+	for i := range master {
+		master[i], err = gen.NextFixed(64)
+		must(err)
+	}
+	// Fresh copies per system per run: every packet is processed exactly
+	// once from its pristine state, so TTL mutation cannot leak between
+	// runs.
+	freshRaw := func() [][]byte {
+		out := make([][]byte, len(master))
+		for i, p := range master {
+			out[i] = append([]byte(nil), p...)
+		}
+		return out
+	}
+	// Every system performs the same per-packet function: one IPv4 TTL
+	// decrement (with incremental checksum) plus k counting stages.
+	fmt.Printf("%-10s %14s %14s %14s\n", "chain", "netkit kpps", "click kpps", "monolith kpps")
+	for _, chainLen := range []int{1, 2, 4, 8} {
+		// NETKIT: IPv4Proc then a chain of counters ending in a dropper.
+		capsule := core.NewCapsule("e3")
+		v4 := router.NewIPv4Proc(false)
+		must(capsule.Insert("v4", v4))
+		first := router.IPacketPush(v4)
+		prev := "v4"
+		for i := 0; i < chainLen; i++ {
+			name := fmt.Sprintf("c%d", i)
+			cnt := router.NewCounter()
+			must(capsule.Insert(name, cnt))
+			_, err := router.ConnectPush(capsule, prev, "out", name)
+			must(err)
+			prev = name
+		}
+		must(capsule.Insert("drop", router.NewDropper()))
+		_, err := router.ConnectPush(capsule, prev, "out", "drop")
+		must(err)
+		// Packets are wrapped once at ingress (the NIC source's job), so
+		// wrapping happens outside the timed loop.
+		nkPkts := make([]*router.Packet, nPkts)
+		for i, raw := range freshRaw() {
+			nkPkts[i] = router.NewPacket(raw)
+		}
+		runtime.GC()
+		start := time.Now()
+		for _, p := range nkPkts {
+			_ = first.Push(p)
+		}
+		nkKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		// Click-like: same chain statically composed.
+		click := baseline.NewClickRouter()
+		must(click.Add(baseline.DecTTL()))
+		counters := make([]uint64, chainLen)
+		for i := 0; i < chainLen; i++ {
+			must(click.Add(baseline.CountPkts(&counters[i])))
+		}
+		must(click.Build())
+		clickPkts := freshRaw()
+		runtime.GC()
+		start = time.Now()
+		for _, raw := range clickPkts {
+			_, _ = click.Run(raw)
+		}
+		clickKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		// Monolith: hand-fused decrement+count, by construction flat in k.
+		mono := baseline.NewMonolith(false)
+		monoPkts := freshRaw()
+		runtime.GC()
+		start = time.Now()
+		for _, raw := range monoPkts {
+			_ = mono.Run(raw)
+		}
+		monoKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		fmt.Printf("%-10d %14.0f %14.0f %14.0f\n", chainLen, nkKpps, clickKpps, monoKpps)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e4Reconfigure() {
+	header("E4", "run-time reconfiguration: lossless hot-swap vs Click rebuild")
+	capsule := core.NewCapsule("e4")
+	head := router.NewCounter()
+	mid := router.NewCounter()
+	tail := router.NewCounter()
+	must(capsule.Insert("head", head))
+	must(capsule.Insert("mid", mid))
+	must(capsule.Insert("tail", tail))
+	_, err := router.ConnectPush(capsule, "head", "out", "mid")
+	must(err)
+	_, err = router.ConnectPush(capsule, "mid", "out", "tail")
+	must(err)
+
+	const total = 100_000
+	done := make(chan int)
+	go func() {
+		sent := 0
+		for i := 0; i < total; i++ {
+			if head.Push(mustPacket(1)) == nil {
+				sent++
+			}
+		}
+		done <- sent
+	}()
+	swapStart := time.Now()
+	must(router.HotSwap(capsule, "mid", "mid2", router.NewCounter()))
+	swapNs := time.Since(swapStart)
+	sent := <-done
+	received := tail.Stats().In
+	fmt.Printf("netkit hot-swap latency       %10v\n", swapNs)
+	fmt.Printf("packets sent during swap      %10d\n", sent)
+	fmt.Printf("packets received              %10d (lost %d)\n", received, uint64(sent)-received)
+
+	// Click: reconfiguration is a rebuild; anything queued is abandoned.
+	var c1, c2 uint64
+	click := baseline.NewClickRouter()
+	must(click.Add(baseline.CountPkts(&c1)))
+	must(click.Build())
+	rebuildStart := time.Now()
+	click2, err := click.Reconfigure(0, baseline.CountPkts(&c2))
+	must(err)
+	rebuildNs := time.Since(rebuildStart)
+	_ = click2
+	fmt.Printf("click rebuild latency         %10v (state lost by construction)\n", rebuildNs)
+}
+
+// ---------------------------------------------------------------------------
+
+func e5Classifier() {
+	header("E5", "register_filter classification cost vs table size (VM vs closure matcher)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 5, Flows: 256, UDPShare: 100})
+	must(err)
+	views := make([]filter.View, 4096)
+	for i := range views {
+		raw, err := gen.Next()
+		must(err)
+		views[i] = filter.Extract(raw)
+	}
+	fmt.Printf("%-8s %16s %16s\n", "rules", "vm ns/lookup", "closure ns/lookup")
+	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
+		specs := make([]string, n)
+		for i := range specs {
+			specs[i] = fmt.Sprintf("udp and dst port %d", 20000+i) // never match: worst case
+		}
+		progs := make([]*filter.Program, n)
+		closures := make([]filter.Matcher, n)
+		for i, s := range specs {
+			progs[i], err = filter.CompileToProgram(s)
+			must(err)
+			closures[i], err = filter.Compile(s)
+			must(err)
+		}
+		iters := 200_000 / n
+		if iters < 200 {
+			iters = 200
+		}
+		vmNs := measure(iters, func() {
+			v := &views[0]
+			for _, p := range progs {
+				if p.Match(v) {
+					break
+				}
+			}
+		})
+		clNs := measure(iters, func() {
+			v := &views[0]
+			for _, c := range closures {
+				if c.Match(v) {
+					break
+				}
+			}
+		})
+		fmt.Printf("%-8d %16.1f %16.1f\n", n, vmNs, clNs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e6OutOfProc() {
+	header("E6", "in-process vs out-of-process (isolated) bindings; crash containment")
+	reg := core.NewComponentRegistry()
+	reg.MustRegister(router.TypeCounter, func(map[string]string) (core.Component, error) {
+		return router.NewCounter(), nil
+	})
+
+	inProc := router.NewCounter()
+	pkt := mustPacket(1)
+	inNs := measure(1_000_000, func() { _ = inProc.Push(pkt) })
+
+	client, _, cleanup := ipc.HostPair(reg)
+	defer cleanup()
+	rc, err := client.Instantiate("cnt", router.TypeCounter, nil)
+	must(err)
+	raw := append([]byte(nil), pkt.Data...)
+	outNs := measure(5_000, func() { _ = rc.Push(router.NewPacket(raw)) })
+
+	fmt.Printf("in-process push               %10.1f ns/op\n", inNs)
+	fmt.Printf("out-of-process push           %10.1f ns/op  (x%.0f)\n", outNs, outNs/inNs)
+	fmt.Println("crash containment             verified by internal/ipc tests (panic -> error, host survives)")
+}
+
+// ---------------------------------------------------------------------------
+
+func e7Placement() {
+	header("E7", "IXP1200 placement meta-model: strategy and engine-count sweeps")
+	pipe := ixp.StandardPipeline()
+	chip := ixp.DefaultIXP1200()
+	strategies := []struct {
+		name string
+		mk   func() ixp.Assignment
+	}{
+		{"all-on-strongarm", func() ixp.Assignment { return ixp.PlaceAllControl(pipe) }},
+		{"round-robin", func() ixp.Assignment { return ixp.PlaceRoundRobin(chip, pipe) }},
+		{"greedy", func() ixp.Assignment { return ixp.PlaceGreedy(chip, pipe) }},
+	}
+	for _, s := range strategies {
+		rep, err := ixp.Evaluate(chip, pipe, s.mk())
+		must(err)
+		fmt.Printf("%-20s %12.0f kpps   bottleneck %s\n",
+			s.name, rep.ThroughputPPS/1e3, rep.Bottleneck)
+	}
+	// Rebalance from a bad start.
+	bad := make(ixp.Assignment)
+	for _, st := range pipe {
+		bad[st.Name] = ixp.Target{Engine: 0}
+	}
+	mgr, err := ixp.NewManager(chip, pipe, bad)
+	must(err)
+	before, err := mgr.Evaluate()
+	must(err)
+	moves, err := mgr.Rebalance(16)
+	must(err)
+	after, err := mgr.Evaluate()
+	must(err)
+	fmt.Printf("%-20s %12.0f -> %.0f kpps in %d migrations\n",
+		"manager rebalance", before.ThroughputPPS/1e3, after.ThroughputPPS/1e3, moves)
+
+	fmt.Printf("%-8s %14s\n", "engines", "greedy kpps")
+	for engines := 1; engines <= 6; engines++ {
+		c := chip
+		c.Engines = engines
+		rep, err := ixp.Evaluate(c, pipe, ixp.PlaceGreedy(c, pipe))
+		must(err)
+		fmt.Printf("%-8d %14.0f\n", engines, rep.ThroughputPPS/1e3)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e8Signaling() {
+	header("E8", "RSVP-like reservation setup latency vs path length")
+	fmt.Printf("%-8s %16s\n", "hops", "setup latency")
+	for _, hops := range []int{1, 2, 4, 8} {
+		w := netsim.NewNetwork()
+		names, err := netsim.Line(w, "r", hops+1, netsim.LinkConfig{})
+		must(err)
+		agents := make([]*coord.Agent, len(names))
+		for i, name := range names {
+			node, err := w.Node(name)
+			must(err)
+			caps := map[string]int64{}
+			for _, nb := range node.Neighbors() {
+				caps[nb] = 1 << 30
+			}
+			agents[i] = coord.NewAgent(node, coord.AgentConfig{Capacity: caps})
+		}
+		const rounds = 200
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			must(agents[0].Reserve(fmt.Sprintf("s%d", i), names, 100, 5*time.Second))
+		}
+		per := time.Since(start) / rounds
+		w.Stop()
+		fmt.Printf("%-8d %16v\n", hops, per)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e9Spawn() {
+	header("E9", "Genesis-like spawning: child virtual network instantiation time vs size")
+	fmt.Printf("%-8s %16s\n", "members", "spawn time")
+	for _, members := range []int{3, 6, 12, 24} {
+		w := netsim.NewNetwork()
+		names, err := netsim.Line(w, "p", members, netsim.LinkConfig{})
+		must(err)
+		spawners := make([]*coord.Spawner, members)
+		for i, name := range names {
+			node, err := w.Node(name)
+			must(err)
+			spawners[i] = coord.NewSpawner(node)
+		}
+		adj := map[string][]string{}
+		for i := range names {
+			if i > 0 {
+				adj[names[i]] = append(adj[names[i]], names[i-1])
+			}
+			if i < len(names)-1 {
+				adj[names[i]] = append(adj[names[i]], names[i+1])
+			}
+		}
+		const rounds = 50
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			name := fmt.Sprintf("vnet%d", i)
+			must(spawners[0].Spawn(w, coord.SpawnSpec{
+				Name: name, Members: names, Adj: adj, Timeout: 5 * time.Second,
+			}))
+		}
+		per := time.Since(start) / rounds
+		w.Stop()
+		fmt.Printf("%-8d %16v\n", members, per)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e10Resources() {
+	header("E10", "buffer-management CF and pluggable schedulers")
+	pool := buffers.MustNewPool(buffers.DefaultClasses, 256, 0)
+	pooledNs := measure(1_000_000, func() {
+		b, err := pool.Get(1500)
+		if err == nil {
+			_ = b.Release()
+		}
+	})
+	// The raw allocation must escape, as packet buffers do in practice.
+	rawNs := measure(1_000_000, func() {
+		allocSink = make([]byte, 1500)
+	})
+	fmt.Printf("pooled buffer get/release     %10.1f ns/op\n", pooledNs)
+	fmt.Printf("heap make([]byte, 1500)       %10.1f ns/op\n", rawNs)
+
+	// WFQ service proportions under 3:1 weights.
+	mgr := resources.NewManager()
+	heavy, err := mgr.CreateTask(resources.TaskSpec{Name: "heavy", Weight: 3})
+	must(err)
+	light, err := mgr.CreateTask(resources.TaskSpec{Name: "light", Weight: 1})
+	must(err)
+	sched := resources.NewWFQScheduler()
+	for i := 0; i < 4000; i++ {
+		sched.Push(&resources.WorkItem{Task: heavy, Run: func() {}})
+		sched.Push(&resources.WorkItem{Task: light, Run: func() {}})
+	}
+	served := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		it := sched.Pop()
+		served[it.Task.Name()]++
+	}
+	fmt.Printf("wfq service at weights 3:1    heavy=%d light=%d (ratio %.2f)\n",
+		served["heavy"], served["light"], float64(served["heavy"])/float64(served["light"]))
+}
+
+// allocSink defeats escape analysis in E10's raw-allocation baseline.
+var allocSink []byte
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Command nkctl is the operator CLI for a running netkitd: it exercises
+// the reflective control protocol — architecture inspection, per-component
+// stats, filter management, and live component hot-swap.
+//
+// Usage:
+//
+//	nkctl [-addr host:port] graph
+//	nkctl stats <component>
+//	nkctl members
+//	nkctl types
+//	nkctl filter <classifier> "<spec>" <output> [priority]
+//	nkctl unfilter <classifier> <filter-id>
+//	nkctl swap <old> <new> <type> [key=value ...]
+//	nkctl ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netkit/internal/control"
+	"netkit/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nkctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7341", "netkitd control address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("no command; see -h")
+	}
+	client, err := control.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	switch args[0] {
+	case "ping":
+		var pong string
+		if err := client.Do(&control.Request{Op: "ping"}, &pong); err != nil {
+			return err
+		}
+		fmt.Println(pong)
+		return nil
+	case "graph":
+		var g core.Graph
+		if err := client.Do(&control.Request{Op: "graph"}, &g); err != nil {
+			return err
+		}
+		printGraph(&g)
+		return nil
+	case "members", "types":
+		var list []string
+		if err := client.Do(&control.Request{Op: args[0]}, &list); err != nil {
+			return err
+		}
+		for _, m := range list {
+			fmt.Println(m)
+		}
+		return nil
+	case "stats":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: nkctl stats <component>")
+		}
+		var sd control.StatsData
+		if err := client.Do(&control.Request{Op: "stats", Name: args[1]}, &sd); err != nil {
+			return err
+		}
+		fmt.Printf("%s (%s): in=%d out=%d dropped=%d errors=%d\n",
+			sd.Name, sd.Type, sd.Stats.In, sd.Stats.Out, sd.Stats.Dropped, sd.Stats.Errors)
+		return nil
+	case "filter":
+		if len(args) < 4 || len(args) > 5 {
+			return fmt.Errorf("usage: nkctl filter <classifier> <spec> <output> [priority]")
+		}
+		req := &control.Request{
+			Op: "filter", Classifier: args[1], Spec: args[2], Output: args[3],
+		}
+		if len(args) == 5 {
+			p, err := strconv.Atoi(args[4])
+			if err != nil {
+				return fmt.Errorf("bad priority %q: %w", args[4], err)
+			}
+			req.Priority = p
+		}
+		var id uint64
+		if err := client.Do(req, &id); err != nil {
+			return err
+		}
+		fmt.Printf("filter %d installed\n", id)
+		return nil
+	case "unfilter":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: nkctl unfilter <classifier> <filter-id>")
+		}
+		id, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad filter id %q: %w", args[2], err)
+		}
+		return client.Do(&control.Request{Op: "unfilter", Classifier: args[1], FilterID: id}, nil)
+	case "swap":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: nkctl swap <old> <new> <type> [key=value ...]")
+		}
+		cfg := map[string]string{}
+		for _, kv := range args[4:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad config %q", kv)
+			}
+			cfg[parts[0]] = parts[1]
+		}
+		err := client.Do(&control.Request{
+			Op: "swap", Name: args[1], New: args[2], Type: args[3], Cfg: cfg,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("swapped %s -> %s (%s)\n", args[1], args[2], args[3])
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func printGraph(g *core.Graph) {
+	fmt.Printf("capsule %s: %d components, %d bindings\n", g.Capsule, len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		state := "stopped"
+		if n.Started {
+			state = "started"
+		}
+		fmt.Printf("  %-16s %-36s %s\n", n.Name, n.Type, state)
+		for _, r := range n.Receptacles {
+			bound := "unbound"
+			if r.Bound {
+				bound = "bound"
+			}
+			fmt.Printf("    .%-14s %-28s %s\n", r.Name, r.Iface, bound)
+		}
+	}
+	for _, e := range g.Edges {
+		ic := ""
+		if len(e.Interceptors) > 0 {
+			ic = fmt.Sprintf("  [interceptors: %s]", strings.Join(e.Interceptors, ","))
+		}
+		fmt.Printf("  #%d %s.%s -> %s (%s)%s\n", e.ID, e.From, e.Receptacle, e.To, e.Iface, ic)
+	}
+}

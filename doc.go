@@ -1,0 +1,13 @@
+// Package netkit is a Go reproduction of "Reflective Middleware-based
+// Programmable Networking" (Coulson et al., RM2003): an OpenCOM-style
+// reflective component runtime (internal/core), a component-framework kit
+// (internal/cf), and one component framework per stratum of the paper's
+// Figure 1 — hardware abstraction (internal/osabs), in-band functions
+// (internal/router), application services (internal/appsvc) and
+// coordination (internal/coord) — plus the substrates, baselines and
+// experiment harness described in DESIGN.md.
+//
+// The root package carries the repository-level benchmark suite
+// (bench_test.go, experiments E1–E10) and the cross-strata integration
+// tests; the library lives under internal/ and the executables under cmd/.
+package netkit

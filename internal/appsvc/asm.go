@@ -1,0 +1,181 @@
+package appsvc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler for the capsule VM: one instruction per line, ';' comments,
+// labels as "name:", label references as operands of jumps. Field operands
+// accept symbolic names (ttl, proto, ...).
+//
+//	; drop packets with ttl < 5
+//	loadf ttl
+//	push 5
+//	lt
+//	jnz kill
+//	forward
+//	kill: drop
+
+var opNames = map[string]Op{
+	"push": OpPush, "pop": OpPop, "dup": OpDup, "swap": OpSwap,
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "mod": OpMod,
+	"eq": OpEq, "lt": OpLt, "gt": OpGt, "not": OpNot,
+	"jmp": OpJmp, "jz": OpJz, "jnz": OpJnz,
+	"loadf": OpLoadF, "storef": OpStoreF,
+	"loadb": OpLoadB, "storeb": OpStoreB, "len": OpLen,
+	"forward": OpForward, "drop": OpDrop, "halt": OpHalt,
+}
+
+var nameOfOp = func() map[Op]string {
+	m := make(map[Op]string, len(opNames))
+	for n, o := range opNames {
+		m[o] = n
+	}
+	return m
+}()
+
+var fieldNames = map[string]Field{
+	"version": FieldVersion, "ttl": FieldTTL, "proto": FieldProto,
+	"srcport": FieldSrcPort, "dstport": FieldDstPort, "tos": FieldTOS,
+	"len": FieldLen,
+}
+
+var nameOfField = func() map[Field]string {
+	m := make(map[Field]string, len(fieldNames))
+	for n, f := range fieldNames {
+		m[f] = n
+	}
+	return m
+}()
+
+// Assemble compiles source text into a Program.
+func Assemble(src string) (Code, error) {
+	type pending struct {
+		pos   int // operand slot to patch
+		label string
+		line  int
+	}
+	var prog Code
+	labels := map[string]int64{}
+	var patches []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("appsvc: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("appsvc: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = int64(len(prog))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := opNames[strings.ToLower(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("appsvc: line %d: unknown op %q", lineNo+1, fields[0])
+		}
+		prog = append(prog, int64(op))
+		if hasOperand(op) {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("appsvc: line %d: %s needs one operand", lineNo+1, fields[0])
+			}
+			arg := fields[1]
+			switch op {
+			case OpLoadF, OpStoreF:
+				f, ok := fieldNames[strings.ToLower(arg)]
+				if !ok {
+					return nil, fmt.Errorf("appsvc: line %d: unknown field %q", lineNo+1, arg)
+				}
+				prog = append(prog, int64(f))
+			case OpJmp, OpJz, OpJnz:
+				if v, err := strconv.ParseInt(arg, 10, 64); err == nil {
+					prog = append(prog, v)
+				} else {
+					patches = append(patches, pending{pos: len(prog), label: arg, line: lineNo + 1})
+					prog = append(prog, 0)
+				}
+			default: // push
+				v, err := strconv.ParseInt(arg, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("appsvc: line %d: bad immediate %q", lineNo+1, arg)
+				}
+				prog = append(prog, v)
+			}
+		} else if len(fields) != 1 {
+			return nil, fmt.Errorf("appsvc: line %d: %s takes no operand", lineNo+1, fields[0])
+		}
+	}
+	for _, p := range patches {
+		target, ok := labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("appsvc: line %d: undefined label %q", p.line, p.label)
+		}
+		prog[p.pos] = target
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors; for package-level program
+// literals in examples and tests.
+func MustAssemble(src string) Code {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program back to assembly (without labels: jump
+// targets are absolute offsets).
+func Disassemble(p Code) (string, error) {
+	var b strings.Builder
+	pc := 0
+	for pc < len(p) {
+		op := Op(p[pc])
+		name, ok := nameOfOp[op]
+		if !ok {
+			return "", fmt.Errorf("appsvc: offset %d: %w", pc, ErrBadOpcode)
+		}
+		fmt.Fprintf(&b, "%d: %s", pc, name)
+		if hasOperand(op) {
+			if pc+1 >= len(p) {
+				return "", fmt.Errorf("appsvc: offset %d truncated: %w", pc, ErrBadOpcode)
+			}
+			switch op {
+			case OpLoadF, OpStoreF:
+				fn, ok := nameOfField[Field(p[pc+1])]
+				if !ok {
+					fn = strconv.FormatInt(p[pc+1], 10)
+				}
+				fmt.Fprintf(&b, " %s", fn)
+			default:
+				fmt.Fprintf(&b, " %d", p[pc+1])
+			}
+			pc += 2
+		} else {
+			pc++
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,322 @@
+// Package appsvc implements the stratum-3 application-services layer of
+// Figure 1: "coarser-grained 'programs' — in the active networking
+// execution-environment sense — that are less performance critical and act
+// on pre-selected packet flows in application-specific ways (e.g. per-flow
+// media filters). Here, security is typically more of a concern than raw
+// performance."
+//
+// Two mechanisms are provided. The ExecEnv is a Router-CF component that
+// attaches per-flow programs (native Go Program implementations) to
+// filter-selected flows under a resource sandbox. The capsule VM is an
+// ANTS-like mobile-code interpreter: a small gas-metered stack machine
+// whose bytecode travels in active packets, so untrusted code injected
+// into a node terminates deterministically and can only touch the packet
+// it rode in on.
+package appsvc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM errors.
+var (
+	// ErrOutOfGas indicates the program exceeded its instruction budget.
+	ErrOutOfGas = errors.New("appsvc: out of gas")
+	// ErrStack indicates stack underflow or overflow.
+	ErrStack = errors.New("appsvc: stack fault")
+	// ErrBadOpcode indicates an unknown instruction.
+	ErrBadOpcode = errors.New("appsvc: bad opcode")
+	// ErrBounds indicates an out-of-range payload or jump access.
+	ErrBounds = errors.New("appsvc: bounds fault")
+	// ErrDivZero indicates division by zero.
+	ErrDivZero = errors.New("appsvc: division by zero")
+	// ErrNoVerdict indicates the program halted without deciding.
+	ErrNoVerdict = errors.New("appsvc: no verdict")
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// Instruction set. Operand-carrying opcodes read the following word in
+// the code stream.
+const (
+	OpPush Op = iota + 1 // push immediate
+	OpPop
+	OpDup
+	OpSwap
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq     // push a==b
+	OpLt     // push a<b  (a pushed first)
+	OpGt     // push a>b
+	OpNot    // logical negation (0 -> 1, else 0)
+	OpJmp    // absolute jump to operand
+	OpJz     // pop; jump if zero
+	OpJnz    // pop; jump if non-zero
+	OpLoadF  // push packet field (operand = Field)
+	OpStoreF // pop; store into packet field (operand = Field)
+	OpLoadB  // pop index; push payload byte
+	OpStoreB // pop index, pop value; store payload byte
+	OpLen    // push payload length
+	OpForward
+	OpDrop
+	OpHalt
+)
+
+// Field identifies packet fields the VM can read/write.
+type Field int64
+
+// VM-visible packet fields.
+const (
+	FieldVersion Field = iota + 1
+	FieldTTL
+	FieldProto
+	FieldSrcPort
+	FieldDstPort
+	FieldTOS
+	FieldLen
+)
+
+// Verdict is a program's decision about its packet.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictForward Verdict = iota + 1
+	VerdictDrop
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// PacketEnv is the VM's view of the packet it runs against. Field access
+// goes through the env so the VM stays decoupled from wire formats.
+type PacketEnv interface {
+	LoadField(f Field) (int64, bool)
+	StoreField(f Field, v int64) bool
+	PayloadLen() int
+	LoadByte(i int) (byte, bool)
+	StoreByte(i int, b byte) bool
+}
+
+// Code is assembled VM bytecode: a flat []int64 of opcodes and operands.
+type Code []int64
+
+// hasOperand reports whether op consumes an operand word.
+func hasOperand(op Op) bool {
+	switch op {
+	case OpPush, OpJmp, OpJz, OpJnz, OpLoadF, OpStoreF:
+		return true
+	default:
+		return false
+	}
+}
+
+// maxStack is the VM stack depth.
+const maxStack = 64
+
+// Result captures one execution.
+type Result struct {
+	Verdict Verdict
+	GasUsed int
+}
+
+// Exec runs the program against env with the given gas budget. Every
+// instruction costs one gas. The program must end with Forward, Drop, or
+// fall off the end / Halt (which is ErrNoVerdict — the caller decides the
+// fail-safe, usually drop).
+func Exec(p Code, env PacketEnv, gas int) (Result, error) {
+	var stack [maxStack]int64
+	sp := 0 // next free slot
+	pc := 0
+	used := 0
+
+	pop := func() (int64, bool) {
+		if sp == 0 {
+			return 0, false
+		}
+		sp--
+		return stack[sp], true
+	}
+	push := func(v int64) bool {
+		if sp == maxStack {
+			return false
+		}
+		stack[sp] = v
+		sp++
+		return true
+	}
+
+	for pc < len(p) {
+		if used >= gas {
+			return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d: %w", pc, ErrOutOfGas)
+		}
+		used++
+		op := Op(p[pc])
+		var operand int64
+		width := 1
+		if hasOperand(op) {
+			if pc+1 >= len(p) {
+				return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d truncated operand: %w", pc, ErrBadOpcode)
+			}
+			operand = p[pc+1]
+			width = 2
+		}
+		next := pc + width
+
+		switch op {
+		case OpPush:
+			if !push(operand) {
+				return Result{GasUsed: used}, overflow(pc)
+			}
+		case OpPop:
+			if _, ok := pop(); !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+		case OpDup:
+			v, ok := pop()
+			if !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			if !push(v) || !push(v) {
+				return Result{GasUsed: used}, overflow(pc)
+			}
+		case OpSwap:
+			b, ok1 := pop()
+			a, ok2 := pop()
+			if !ok1 || !ok2 {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			push(b)
+			push(a)
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpLt, OpGt:
+			b, ok1 := pop()
+			a, ok2 := pop()
+			if !ok1 || !ok2 {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			var v int64
+			switch op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b == 0 {
+					return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d: %w", pc, ErrDivZero)
+				}
+				v = a / b
+			case OpMod:
+				if b == 0 {
+					return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d: %w", pc, ErrDivZero)
+				}
+				v = a % b
+			case OpEq:
+				v = b2i(a == b)
+			case OpLt:
+				v = b2i(a < b)
+			case OpGt:
+				v = b2i(a > b)
+			}
+			push(v)
+		case OpNot:
+			a, ok := pop()
+			if !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			push(b2i(a == 0))
+		case OpJmp:
+			next = int(operand)
+		case OpJz, OpJnz:
+			v, ok := pop()
+			if !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			if (op == OpJz && v == 0) || (op == OpJnz && v != 0) {
+				next = int(operand)
+			}
+		case OpLoadF:
+			v, ok := env.LoadField(Field(operand))
+			if !ok {
+				return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d field %d: %w", pc, operand, ErrBounds)
+			}
+			if !push(v) {
+				return Result{GasUsed: used}, overflow(pc)
+			}
+		case OpStoreF:
+			v, ok := pop()
+			if !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			if !env.StoreField(Field(operand), v) {
+				return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d field %d: %w", pc, operand, ErrBounds)
+			}
+		case OpLoadB:
+			i, ok := pop()
+			if !ok {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			b, ok := env.LoadByte(int(i))
+			if !ok {
+				return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d byte %d: %w", pc, i, ErrBounds)
+			}
+			push(int64(b))
+		case OpStoreB:
+			i, ok1 := pop()
+			v, ok2 := pop()
+			if !ok1 || !ok2 {
+				return Result{GasUsed: used}, underflow(pc)
+			}
+			if !env.StoreByte(int(i), byte(v)) {
+				return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d byte %d: %w", pc, i, ErrBounds)
+			}
+		case OpLen:
+			if !push(int64(env.PayloadLen())) {
+				return Result{GasUsed: used}, overflow(pc)
+			}
+		case OpForward:
+			return Result{Verdict: VerdictForward, GasUsed: used}, nil
+		case OpDrop:
+			return Result{Verdict: VerdictDrop, GasUsed: used}, nil
+		case OpHalt:
+			return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d: %w", pc, ErrNoVerdict)
+		default:
+			return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d op %d: %w", pc, p[pc], ErrBadOpcode)
+		}
+		if next < 0 || next > len(p) {
+			return Result{GasUsed: used}, fmt.Errorf("appsvc: pc=%d jump to %d: %w", pc, next, ErrBounds)
+		}
+		pc = next
+	}
+	return Result{GasUsed: used}, fmt.Errorf("appsvc: fell off end: %w", ErrNoVerdict)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func underflow(pc int) error {
+	return fmt.Errorf("appsvc: pc=%d stack underflow: %w", pc, ErrStack)
+}
+
+func overflow(pc int) error {
+	return fmt.Errorf("appsvc: pc=%d stack overflow: %w", pc, ErrStack)
+}

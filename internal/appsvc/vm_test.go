@@ -1,0 +1,365 @@
+package appsvc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// memEnv is a simple in-memory PacketEnv for VM unit tests.
+type memEnv struct {
+	fields  map[Field]int64
+	payload []byte
+	stores  int
+}
+
+func newMemEnv(payload []byte) *memEnv {
+	return &memEnv{
+		fields: map[Field]int64{
+			FieldVersion: 4, FieldTTL: 64, FieldProto: 17,
+			FieldSrcPort: 1000, FieldDstPort: 53, FieldTOS: 0,
+			FieldLen: int64(len(payload)) + 28,
+		},
+		payload: payload,
+	}
+}
+
+func (m *memEnv) LoadField(f Field) (int64, bool) {
+	v, ok := m.fields[f]
+	return v, ok
+}
+
+func (m *memEnv) StoreField(f Field, v int64) bool {
+	if f != FieldTTL && f != FieldTOS {
+		return false
+	}
+	m.fields[f] = v
+	m.stores++
+	return true
+}
+
+func (m *memEnv) PayloadLen() int { return len(m.payload) }
+
+func (m *memEnv) LoadByte(i int) (byte, bool) {
+	if i < 0 || i >= len(m.payload) {
+		return 0, false
+	}
+	return m.payload[i], true
+}
+
+func (m *memEnv) StoreByte(i int, b byte) bool {
+	if i < 0 || i >= len(m.payload) {
+		return false
+	}
+	m.payload[i] = b
+	return true
+}
+
+func run(t *testing.T, src string, env PacketEnv) (Result, error) {
+	t.Helper()
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Exec(code, env, 10000)
+}
+
+func TestVMForwardDrop(t *testing.T) {
+	r, err := run(t, "forward", newMemEnv(nil))
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("forward: %+v %v", r, err)
+	}
+	r, err = run(t, "drop", newMemEnv(nil))
+	if err != nil || r.Verdict != VerdictDrop {
+		t.Fatalf("drop: %+v %v", r, err)
+	}
+}
+
+func TestVMArithmetic(t *testing.T) {
+	// (3+4)*5-2 = 33; 33 % 10 = 3; 3/3 = 1 -> nonzero -> forward
+	src := `
+		push 3
+		push 4
+		add
+		push 5
+		mul
+		push 2
+		sub    ; 33
+		push 10
+		mod    ; 3
+		push 3
+		div    ; 1
+		jnz ok
+		drop
+		ok: forward
+	`
+	r, err := run(t, src, newMemEnv(nil))
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("%+v %v", r, err)
+	}
+}
+
+func TestVMComparisonsAndNot(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Verdict
+	}{
+		{"push 1\npush 2\nlt\njnz f\ndrop\nf: forward", VerdictForward},
+		{"push 2\npush 1\nlt\njnz f\ndrop\nf: forward", VerdictDrop},
+		{"push 2\npush 1\ngt\njnz f\ndrop\nf: forward", VerdictForward},
+		{"push 5\npush 5\neq\njnz f\ndrop\nf: forward", VerdictForward},
+		{"push 0\nnot\njnz f\ndrop\nf: forward", VerdictForward},
+		{"push 7\nnot\njnz f\ndrop\nf: forward", VerdictDrop},
+	}
+	for i, tc := range cases {
+		r, err := run(t, tc.src, newMemEnv(nil))
+		if err != nil || r.Verdict != tc.want {
+			t.Fatalf("case %d: %+v %v", i, r, err)
+		}
+	}
+}
+
+func TestVMTTLFilter(t *testing.T) {
+	src := `
+		loadf ttl
+		push 5
+		lt
+		jnz kill
+		forward
+		kill: drop
+	`
+	env := newMemEnv(nil)
+	r, err := run(t, src, env)
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("%+v %v", r, err)
+	}
+	env.fields[FieldTTL] = 3
+	r, err = run(t, src, env)
+	if err != nil || r.Verdict != VerdictDrop {
+		t.Fatalf("low ttl: %+v %v", r, err)
+	}
+}
+
+func TestVMFieldStore(t *testing.T) {
+	src := `
+		push 46
+		storef tos
+		forward
+	`
+	env := newMemEnv(nil)
+	if _, err := run(t, src, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.fields[FieldTOS] != 46 || env.stores != 1 {
+		t.Fatalf("tos = %d stores = %d", env.fields[FieldTOS], env.stores)
+	}
+	// Read-only fields refuse stores.
+	if _, err := run(t, "push 1\nstoref proto\nforward", env); !errors.Is(err, ErrBounds) {
+		t.Fatalf("want ErrBounds, got %v", err)
+	}
+}
+
+func TestVMPayloadAccess(t *testing.T) {
+	src := `
+		push 0
+		loadb      ; payload[0]
+		push 65
+		eq
+		jnz patch
+		drop
+		patch:
+		push 90    ; 'Z'
+		push 1
+		storeb     ; payload[1] = 'Z'
+		forward
+	`
+	env := newMemEnv([]byte("AB"))
+	r, err := run(t, src, env)
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("%+v %v", r, err)
+	}
+	if string(env.payload) != "AZ" {
+		t.Fatalf("payload = %q", env.payload)
+	}
+}
+
+func TestVMLenOpcode(t *testing.T) {
+	src := `
+		len
+		push 3
+		eq
+		jnz f
+		drop
+		f: forward
+	`
+	r, err := run(t, src, newMemEnv([]byte("abc")))
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("%+v %v", r, err)
+	}
+}
+
+func TestVMGasExhaustion(t *testing.T) {
+	code := MustAssemble("spin: jmp spin")
+	_, err := Exec(code, newMemEnv(nil), 100)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("want ErrOutOfGas, got %v", err)
+	}
+}
+
+func TestVMFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"underflow", "pop\nforward", ErrStack},
+		{"div zero", "push 1\npush 0\ndiv\nforward", ErrDivZero},
+		{"mod zero", "push 1\npush 0\nmod\nforward", ErrDivZero},
+		{"oob load", "push 99\nloadb\nforward", ErrBounds},
+		{"oob store", "push 1\npush 99\nstoreb\nforward", ErrBounds},
+		{"no verdict halt", "halt", ErrNoVerdict},
+		{"no verdict end", "push 1\npop", ErrNoVerdict},
+		{"bad jump", "jmp 99", ErrBounds},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := run(t, tc.src, newMemEnv([]byte("ab")))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVMStackOverflow(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < maxStack+1; i++ {
+		b.WriteString("push 1\n")
+	}
+	b.WriteString("forward")
+	_, err := run(t, b.String(), newMemEnv(nil))
+	if !errors.Is(err, ErrStack) {
+		t.Fatalf("want ErrStack, got %v", err)
+	}
+}
+
+func TestVMBadBytecode(t *testing.T) {
+	_, err := Exec(Code{999}, newMemEnv(nil), 10)
+	if !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want ErrBadOpcode, got %v", err)
+	}
+	_, err = Exec(Code{int64(OpPush)}, newMemEnv(nil), 10) // truncated operand
+	if !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want ErrBadOpcode for truncation, got %v", err)
+	}
+}
+
+func TestVMDupSwap(t *testing.T) {
+	src := `
+		push 1
+		push 2
+		swap    ; 2 1
+		sub     ; 2-1 = 1
+		dup
+		add     ; 2
+		push 2
+		eq
+		jnz f
+		drop
+		f: forward
+	`
+	r, err := run(t, src, newMemEnv(nil))
+	if err != nil || r.Verdict != VerdictForward {
+		t.Fatalf("%+v %v", r, err)
+	}
+}
+
+// ---- assembler --------------------------------------------------------------
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus",
+		"push",
+		"push x",
+		"forward 1",
+		"loadf nosuchfield",
+		"jmp nowhere",
+		"dup: dup\ndup: drop", // duplicate label
+		"a b: drop",           // label with space
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlank(t *testing.T) {
+	code, err := Assemble("; nothing\n\n  forward  ; done\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 1 || Op(code[0]) != OpForward {
+		t.Fatalf("code = %v", code)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		loadf ttl
+		push 5
+		lt
+		jnz 7
+		forward
+		drop
+	`
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "loadf ttl") || !strings.Contains(text, "jnz 7") {
+		t.Fatalf("disassembly:\n%s", text)
+	}
+	if _, err := Disassemble(Code{999}); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("want ErrBadOpcode, got %v", err)
+	}
+}
+
+// Property: execution is deterministic — same code, same env contents,
+// same result, and gas use is bounded by the budget.
+func TestQuickVMDeterministicAndGasBounded(t *testing.T) {
+	progs := []string{
+		"loadf ttl\npush 10\nlt\njnz k\nforward\nk: drop",
+		"len\njz e\npush 0\nloadb\npush 128\ngt\njnz k\ne: forward\nk: drop",
+		"loadf dstport\npush 53\neq\njnz k\nforward\nk: drop",
+	}
+	check := func(which uint8, ttl uint8, payload []byte) bool {
+		src := progs[int(which)%len(progs)]
+		code, err := Assemble(src)
+		if err != nil {
+			return false
+		}
+		mk := func() *memEnv {
+			env := newMemEnv(append([]byte(nil), payload...))
+			env.fields[FieldTTL] = int64(ttl)
+			return env
+		}
+		r1, err1 := Exec(code, mk(), 500)
+		r2, err2 := Exec(code, mk(), 500)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 == nil && (r1.Verdict != r2.Verdict || r1.GasUsed != r2.GasUsed) {
+			return false
+		}
+		return r1.GasUsed <= 500
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package baseline implements the related-work comparators the paper
+// positions itself against (§6): a Click-like statically-composed modular
+// router — "flexible support for the configuration (but not
+// reconfiguration)" — and a hand-fused monolithic forwarder representing
+// the zero-indirection upper bound. Experiment E3 runs the same workloads
+// through these and the NETKIT Router CF; experiment E4 demonstrates that
+// reconfiguring the Click-like router requires a full rebuild (packets in
+// flight are lost), unlike the CF's lossless hot-swap.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"netkit/internal/packet"
+)
+
+// Sentinel errors.
+var (
+	// ErrFrozen indicates mutation of an already-built Click graph.
+	ErrFrozen = errors.New("baseline: configuration is frozen")
+	// ErrNotBuilt indicates running an unbuilt graph.
+	ErrNotBuilt = errors.New("baseline: configuration not built")
+	// ErrUnknownElement indicates a bad element reference.
+	ErrUnknownElement = errors.New("baseline: unknown element")
+)
+
+// Element is a Click-style processing element: a pure function from packet
+// to verdict. Elements are composed at build time into a fixed chain of
+// direct calls — no receptacles, no interception, no reconfiguration.
+type Element interface {
+	// Name identifies the element in the configuration.
+	Name() string
+	// Process handles one packet; returning false drops it.
+	Process(pkt []byte) bool
+}
+
+// ElementFunc adapts a function to Element.
+type ElementFunc struct {
+	ID string
+	Fn func(pkt []byte) bool
+}
+
+// Name implements Element.
+func (e ElementFunc) Name() string { return e.ID }
+
+// Process implements Element.
+func (e ElementFunc) Process(pkt []byte) bool { return e.Fn(pkt) }
+
+// Standard Click-like elements mirroring the Router CF's components.
+
+// CheckIPHeader validates the IPv4 header checksum (drops invalid).
+func CheckIPHeader() Element {
+	return ElementFunc{ID: "CheckIPHeader", Fn: func(pkt []byte) bool {
+		if packet.Version(pkt) != 4 {
+			return true
+		}
+		return packet.ValidateIPv4Checksum(pkt) == nil
+	}}
+}
+
+// DecTTL decrements the TTL/hop limit (drops expired).
+func DecTTL() Element {
+	return ElementFunc{ID: "DecTTL", Fn: func(pkt []byte) bool {
+		switch packet.Version(pkt) {
+		case 4:
+			return packet.DecrementTTL(pkt) == nil
+		case 6:
+			return packet.DecrementHopLimit(pkt) == nil
+		default:
+			return false
+		}
+	}}
+}
+
+// CountPkts counts packets passing through.
+func CountPkts(counter *uint64) Element {
+	return ElementFunc{ID: "Counter", Fn: func(pkt []byte) bool {
+		*counter++
+		return true
+	}}
+}
+
+// ClassifyUDPPort drops packets that are not UDP to the given port —
+// standing in for a one-rule classifier on the static path.
+func ClassifyUDPPort(port uint16) Element {
+	return ElementFunc{ID: "Classifier", Fn: func(pkt []byte) bool {
+		k, err := packet.Flow(pkt)
+		if err != nil {
+			return false
+		}
+		return k.Proto == packet.ProtoUDP && k.DstPort == port
+	}}
+}
+
+// ClickRouter is the configure-once router: elements are added, the graph
+// is built (frozen into a direct-call chain), and thereafter only Run is
+// possible. Reconfiguration requires constructing a NEW router and
+// abandoning the old one, losing any in-flight state — exactly the
+// limitation §6 attributes to Click.
+type ClickRouter struct {
+	elems   []Element
+	built   bool
+	chain   []func([]byte) bool // flattened at build time
+	handled uint64
+	dropped uint64
+}
+
+// NewClickRouter returns an empty configuration.
+func NewClickRouter() *ClickRouter { return &ClickRouter{} }
+
+// Add appends an element to the chain; it fails after Build.
+func (c *ClickRouter) Add(e Element) error {
+	if c.built {
+		return ErrFrozen
+	}
+	if e == nil {
+		return fmt.Errorf("baseline: nil element")
+	}
+	c.elems = append(c.elems, e)
+	return nil
+}
+
+// Build freezes the configuration, flattening the chain.
+func (c *ClickRouter) Build() error {
+	if c.built {
+		return ErrFrozen
+	}
+	if len(c.elems) == 0 {
+		return fmt.Errorf("baseline: empty configuration")
+	}
+	c.chain = make([]func([]byte) bool, len(c.elems))
+	for i, e := range c.elems {
+		c.chain[i] = e.Process
+	}
+	c.built = true
+	return nil
+}
+
+// Built reports whether the graph is frozen.
+func (c *ClickRouter) Built() bool { return c.built }
+
+// Elements returns the element names in chain order.
+func (c *ClickRouter) Elements() []string {
+	out := make([]string, len(c.elems))
+	for i, e := range c.elems {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Run pushes one packet through the chain, reporting whether it survived.
+func (c *ClickRouter) Run(pkt []byte) (bool, error) {
+	if !c.built {
+		return false, ErrNotBuilt
+	}
+	for _, f := range c.chain {
+		if !f(pkt) {
+			c.dropped++
+			return false, nil
+		}
+	}
+	c.handled++
+	return true, nil
+}
+
+// Stats reports (forwarded, dropped).
+func (c *ClickRouter) Stats() (handled, dropped uint64) { return c.handled, c.dropped }
+
+// Reconfigure models Click's restart-to-reconfigure: it returns a NEW
+// router with the element at index replaced, leaving the old one frozen.
+// The caller must cut traffic over; anything queued in the old instance is
+// lost (E4 measures this gap against the CF's hot-swap).
+func (c *ClickRouter) Reconfigure(index int, replacement Element) (*ClickRouter, error) {
+	if index < 0 || index >= len(c.elems) {
+		return nil, fmt.Errorf("baseline: index %d of %d: %w", index, len(c.elems), ErrUnknownElement)
+	}
+	next := NewClickRouter()
+	for i, e := range c.elems {
+		el := e
+		if i == index {
+			el = replacement
+		}
+		if err := next.Add(el); err != nil {
+			return nil, err
+		}
+	}
+	if err := next.Build(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// ---------------------------------------------------------------------------
+// Monolithic forwarder
+
+// Monolith is the hand-fused fast path: checksum check, TTL decrement and
+// counting in one function, no indirection at all. It bounds from above
+// what any composition framework can achieve on this workload.
+type Monolith struct {
+	validate bool
+	handled  uint64
+	dropped  uint64
+}
+
+// NewMonolith returns a fused forwarder; validate enables IPv4 checksum
+// verification.
+func NewMonolith(validate bool) *Monolith { return &Monolith{validate: validate} }
+
+// Run processes one packet.
+func (m *Monolith) Run(pkt []byte) bool {
+	switch packet.Version(pkt) {
+	case 4:
+		if m.validate && packet.ValidateIPv4Checksum(pkt) != nil {
+			m.dropped++
+			return false
+		}
+		if packet.DecrementTTL(pkt) != nil {
+			m.dropped++
+			return false
+		}
+	case 6:
+		if packet.DecrementHopLimit(pkt) != nil {
+			m.dropped++
+			return false
+		}
+	default:
+		m.dropped++
+		return false
+	}
+	m.handled++
+	return true
+}
+
+// Stats reports (forwarded, dropped).
+func (m *Monolith) Stats() (handled, dropped uint64) { return m.handled, m.dropped }

@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"netkit/internal/packet"
+)
+
+var (
+	srcA = netip.MustParseAddr("10.0.0.1")
+	dstA = netip.MustParseAddr("192.168.1.1")
+)
+
+func udp(t *testing.T, port uint16, ttl uint8) []byte {
+	t.Helper()
+	b, err := packet.BuildUDP4(srcA, dstA, 999, port, ttl, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClickBuildAndRun(t *testing.T) {
+	var count uint64
+	c := NewClickRouter()
+	for _, e := range []Element{CheckIPHeader(), DecTTL(), CountPkts(&count)} {
+		if err := c.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Built() {
+		t.Fatal("built before Build")
+	}
+	if _, err := c.Run(udp(t, 1, 64)); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("want ErrNotBuilt, got %v", err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Run(udp(t, 1, 64))
+	if err != nil || !ok {
+		t.Fatalf("run = %v %v", ok, err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	if got := c.Elements(); len(got) != 3 || got[0] != "CheckIPHeader" {
+		t.Fatalf("elements = %v", got)
+	}
+}
+
+func TestClickFrozenAfterBuild(t *testing.T) {
+	c := NewClickRouter()
+	if err := c.Add(DecTTL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(DecTTL()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("want ErrFrozen, got %v", err)
+	}
+	if err := c.Build(); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("want ErrFrozen on rebuild, got %v", err)
+	}
+}
+
+func TestClickValidation(t *testing.T) {
+	c := NewClickRouter()
+	if err := c.Add(nil); err == nil {
+		t.Fatal("want error for nil element")
+	}
+	if err := c.Build(); err == nil {
+		t.Fatal("want error for empty config")
+	}
+}
+
+func TestClickDropsExpiredTTL(t *testing.T) {
+	c := NewClickRouter()
+	if err := c.Add(DecTTL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Run(udp(t, 1, 1))
+	if err != nil || ok {
+		t.Fatalf("expired packet survived: %v %v", ok, err)
+	}
+	handled, dropped := c.Stats()
+	if handled != 0 || dropped != 1 {
+		t.Fatalf("stats = %d/%d", handled, dropped)
+	}
+}
+
+func TestClickChecksumElement(t *testing.T) {
+	c := NewClickRouter()
+	if err := c.Add(CheckIPHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	bad := udp(t, 1, 64)
+	bad[14] ^= 0xaa
+	if ok, _ := c.Run(bad); ok {
+		t.Fatal("bad checksum survived")
+	}
+	if ok, _ := c.Run(udp(t, 1, 64)); !ok {
+		t.Fatal("good packet dropped")
+	}
+}
+
+func TestClickClassifier(t *testing.T) {
+	c := NewClickRouter()
+	if err := c.Add(ClassifyUDPPort(53)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Run(udp(t, 53, 64)); !ok {
+		t.Fatal("dns dropped")
+	}
+	if ok, _ := c.Run(udp(t, 80, 64)); ok {
+		t.Fatal("non-dns survived")
+	}
+	if ok, _ := c.Run([]byte{0xff}); ok {
+		t.Fatal("junk survived")
+	}
+}
+
+func TestClickReconfigureIsRebuild(t *testing.T) {
+	var c1Count, c2Count uint64
+	c := NewClickRouter()
+	if err := c.Add(CountPkts(&c1Count)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(DecTTL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(udp(t, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	next, err := c.Reconfigure(0, CountPkts(&c2Count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == c {
+		t.Fatal("reconfigure must produce a new instance")
+	}
+	if _, err := next.Run(udp(t, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if c1Count != 1 || c2Count != 1 {
+		t.Fatalf("counters = %d/%d", c1Count, c2Count)
+	}
+	// Old stats do not carry over: state was lost in the rebuild.
+	h1, _ := c.Stats()
+	h2, _ := next.Stats()
+	if h1 != 1 || h2 != 1 {
+		t.Fatalf("stats lost/shared incorrectly: %d %d", h1, h2)
+	}
+	if _, err := c.Reconfigure(9, DecTTL()); !errors.Is(err, ErrUnknownElement) {
+		t.Fatalf("want ErrUnknownElement, got %v", err)
+	}
+}
+
+func TestMonolith(t *testing.T) {
+	m := NewMonolith(true)
+	if !m.Run(udp(t, 1, 64)) {
+		t.Fatal("good packet dropped")
+	}
+	if m.Run(udp(t, 1, 1)) {
+		t.Fatal("expired survived")
+	}
+	bad := udp(t, 1, 64)
+	bad[13] ^= 0x01
+	if m.Run(bad) {
+		t.Fatal("bad checksum survived")
+	}
+	if m.Run([]byte{0x00}) {
+		t.Fatal("junk survived")
+	}
+	v6, err := packet.BuildUDP6(netip.MustParseAddr("2001:db8::1"),
+		netip.MustParseAddr("2001:db8::2"), 1, 2, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Run(v6) {
+		t.Fatal("v6 dropped")
+	}
+	handled, dropped := m.Stats()
+	if handled != 2 || dropped != 3 {
+		t.Fatalf("stats = %d/%d", handled, dropped)
+	}
+}
+
+// TestBehaviouralEquivalence: the Click chain, the monolith and (by
+// construction in the router package) the CF pipeline implement the same
+// forwarding semantics on the same inputs.
+func TestBehaviouralEquivalence(t *testing.T) {
+	click := NewClickRouter()
+	if err := click.Add(CheckIPHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := click.Add(DecTTL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := click.Build(); err != nil {
+		t.Fatal(err)
+	}
+	mono := NewMonolith(true)
+	inputs := [][]byte{
+		udp(t, 53, 64),
+		udp(t, 80, 1),
+		{0xde, 0xad},
+	}
+	bad := udp(t, 1, 64)
+	bad[12] ^= 0xff
+	inputs = append(inputs, bad)
+	for i, in := range inputs {
+		a := append([]byte(nil), in...)
+		b := append([]byte(nil), in...)
+		okClick, err := click.Run(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okMono := mono.Run(b)
+		if okClick != okMono {
+			t.Fatalf("input %d: click=%v mono=%v", i, okClick, okMono)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package cf is the component-framework kit: the machinery shared by every
+// NETKIT CF. Following Szyperski's definition quoted in §2 of the paper —
+// "collections of rules and interfaces that govern the interaction of a
+// set of components 'plugged into' them" — a Framework couples a capsule
+// scope with (a) admission rules checked when a component is plugged in
+// and re-checked after architectural mutations, (b) an ACL policing who
+// may add/remove dynamic constraints, and (c) support for composite
+// components managed by an internal controller (Figure 3).
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"netkit/internal/core"
+)
+
+// Sentinel errors.
+var (
+	// ErrRuleViolated indicates a component failed an admission rule.
+	ErrRuleViolated = errors.New("cf: rule violated")
+	// ErrDenied indicates an ACL refusal.
+	ErrDenied = errors.New("cf: permission denied")
+	// ErrNotMember indicates an operation on a non-member component.
+	ErrNotMember = errors.New("cf: not a member")
+)
+
+// Rule is one admission/compliance rule. Check inspects a candidate
+// component (and may inspect the whole framework) and returns nil when the
+// component conforms.
+type Rule struct {
+	Name  string
+	Check func(f *Framework, name string, comp core.Component) error
+}
+
+// ACL is a principal→operation permission table, the mechanism §5 names
+// for policing constraint addition/removal on composites.
+type ACL struct {
+	mu    sync.RWMutex
+	allow map[string]map[string]bool
+}
+
+// NewACL returns an empty table (deny-all).
+func NewACL() *ACL {
+	return &ACL{allow: make(map[string]map[string]bool)}
+}
+
+// Grant permits principal to perform op.
+func (a *ACL) Grant(principal, op string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := a.allow[principal]
+	if m == nil {
+		m = make(map[string]bool)
+		a.allow[principal] = m
+	}
+	m[op] = true
+}
+
+// Revoke removes a permission.
+func (a *ACL) Revoke(principal, op string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m := a.allow[principal]; m != nil {
+		delete(m, op)
+	}
+}
+
+// Check returns nil if principal may perform op.
+func (a *ACL) Check(principal, op string) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if m := a.allow[principal]; m != nil && m[op] {
+		return nil
+	}
+	return fmt.Errorf("cf: %q may not %q: %w", principal, op, ErrDenied)
+}
+
+// Operations policed by framework ACLs.
+const (
+	OpAddConstraint    = "constraint.add"
+	OpRemoveConstraint = "constraint.remove"
+	OpAdmit            = "member.admit"
+	OpExpel            = "member.expel"
+)
+
+// Framework scopes a set of member components inside a capsule and
+// enforces rules over them.
+type Framework struct {
+	name    string
+	capsule *core.Capsule
+	acl     *ACL
+
+	mu      sync.RWMutex
+	rules   []Rule
+	members map[string]bool
+}
+
+// New creates a framework over capsule with the given admission rules.
+func New(name string, capsule *core.Capsule, rules []Rule) (*Framework, error) {
+	if name == "" || capsule == nil {
+		return nil, fmt.Errorf("cf: empty name or nil capsule")
+	}
+	return &Framework{
+		name:    name,
+		capsule: capsule,
+		acl:     NewACL(),
+		rules:   append([]Rule(nil), rules...),
+		members: make(map[string]bool),
+	}, nil
+}
+
+// Name returns the framework name.
+func (f *Framework) Name() string { return f.name }
+
+// Capsule returns the capsule the framework manages.
+func (f *Framework) Capsule() *core.Capsule { return f.capsule }
+
+// ACL returns the framework's permission table.
+func (f *Framework) ACL() *ACL { return f.acl }
+
+// Admit checks comp against every rule and, on success, inserts it into
+// the capsule as a member. Rule failures wrap ErrRuleViolated.
+func (f *Framework) Admit(name string, comp core.Component) error {
+	if err := f.checkRules(name, comp); err != nil {
+		return err
+	}
+	if err := f.capsule.Insert(name, comp); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.members[name] = true
+	f.mu.Unlock()
+	return nil
+}
+
+// checkRules runs every rule against the candidate.
+func (f *Framework) checkRules(name string, comp core.Component) error {
+	f.mu.RLock()
+	rules := f.rules
+	f.mu.RUnlock()
+	for _, r := range rules {
+		if err := r.Check(f, name, comp); err != nil {
+			return fmt.Errorf("cf: %s: rule %q rejects %q: %v: %w",
+				f.name, r.Name, name, err, ErrRuleViolated)
+		}
+	}
+	return nil
+}
+
+// Expel removes a member from the framework and the capsule. The member
+// must be unbound and stopped (capsule rules apply).
+func (f *Framework) Expel(name string) error {
+	f.mu.Lock()
+	if !f.members[name] {
+		f.mu.Unlock()
+		return fmt.Errorf("cf: %s: %q: %w", f.name, name, ErrNotMember)
+	}
+	f.mu.Unlock()
+	if err := f.capsule.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.members, name)
+	f.mu.Unlock()
+	return nil
+}
+
+// Members returns the member names, sorted.
+func (f *Framework) Members() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.members))
+	for n := range f.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsMember reports membership.
+func (f *Framework) IsMember(name string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.members[name]
+}
+
+// RecheckAll re-runs every rule against every member: the run-time
+// compliance check the paper requires ("rules ... are checked by the CF at
+// run-time"). It returns the first violation found, or nil.
+func (f *Framework) RecheckAll() error {
+	f.mu.RLock()
+	names := make([]string, 0, len(f.members))
+	for n := range f.members {
+		names = append(names, n)
+	}
+	f.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		comp, ok := f.capsule.Component(n)
+		if !ok {
+			return fmt.Errorf("cf: %s: member %q vanished: %w", f.name, n, ErrRuleViolated)
+		}
+		if err := f.checkRules(n, comp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddConstraint installs a dynamic bind constraint on the capsule, policed
+// by the ACL (§5: "addition/removal of constraints is policed by an ACL
+// managed by the composite's controller").
+func (f *Framework) AddConstraint(principal string, bc core.BindConstraint) error {
+	if err := f.acl.Check(principal, OpAddConstraint); err != nil {
+		return err
+	}
+	return f.capsule.AddConstraint(bc)
+}
+
+// RemoveConstraint removes a dynamic bind constraint, policed by the ACL.
+func (f *Framework) RemoveConstraint(principal, name string) error {
+	if err := f.acl.Check(principal, OpRemoveConstraint); err != nil {
+		return err
+	}
+	return f.capsule.RemoveConstraint(name)
+}

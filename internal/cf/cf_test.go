@@ -1,0 +1,332 @@
+package cf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"netkit/internal/core"
+)
+
+// minimal test component
+type comp struct{ *core.Base }
+
+func newComp(typ string) *comp { return &comp{Base: core.NewBase(typ)} }
+
+func newCapsule() *core.Capsule {
+	return core.NewCapsule("t",
+		core.WithComponentRegistry(core.NewComponentRegistry()),
+		core.WithInterfaceRegistry(core.NewInterfaceRegistry()))
+}
+
+func typeRule(allowed string) Rule {
+	return Rule{
+		Name: "type-is-" + allowed,
+		Check: func(_ *Framework, name string, c core.Component) error {
+			if c.TypeName() != allowed {
+				return fmt.Errorf("type %q not allowed", c.TypeName())
+			}
+			return nil
+		},
+	}
+}
+
+func TestFrameworkAdmitAndRules(t *testing.T) {
+	cap := newCapsule()
+	f, err := New("router", cap, []Rule{typeRule("good")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "router" || f.Capsule() != cap {
+		t.Fatal("identity")
+	}
+	if err := f.Admit("a", newComp("good")); err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsMember("a") {
+		t.Fatal("membership")
+	}
+	if _, ok := cap.Component("a"); !ok {
+		t.Fatal("not inserted into capsule")
+	}
+	err = f.Admit("b", newComp("bad"))
+	if !errors.Is(err, ErrRuleViolated) {
+		t.Fatalf("want ErrRuleViolated, got %v", err)
+	}
+	if _, ok := cap.Component("b"); ok {
+		t.Fatal("rejected component inserted anyway")
+	}
+	if got := f.Members(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestFrameworkExpel(t *testing.T) {
+	cap := newCapsule()
+	f, err := New("fw", cap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Admit("a", newComp("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Expel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if f.IsMember("a") {
+		t.Fatal("still member")
+	}
+	if _, ok := cap.Component("a"); ok {
+		t.Fatal("still in capsule")
+	}
+	if err := f.Expel("a"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+}
+
+func TestRecheckAllDetectsDrift(t *testing.T) {
+	cap := newCapsule()
+	// Rule: members must carry annotation "ok".
+	rule := Rule{
+		Name: "annotated",
+		Check: func(_ *Framework, name string, c core.Component) error {
+			if v, _ := c.Annotations()["ok"], false; v != "yes" {
+				return fmt.Errorf("missing annotation")
+			}
+			return nil
+		},
+	}
+	f, err := New("fw", cap, []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newComp("x")
+	c.SetAnnotation("ok", "yes")
+	if err := f.Admit("a", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RecheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Drift: the component mutates out of compliance at run time.
+	c.SetAnnotation("ok", "no")
+	if err := f.RecheckAll(); !errors.Is(err, ErrRuleViolated) {
+		t.Fatalf("want ErrRuleViolated after drift, got %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", newCapsule(), nil); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := New("x", nil, nil); err == nil {
+		t.Fatal("want error for nil capsule")
+	}
+}
+
+func TestACL(t *testing.T) {
+	a := NewACL()
+	if err := a.Check("alice", OpAddConstraint); !errors.Is(err, ErrDenied) {
+		t.Fatalf("default should deny, got %v", err)
+	}
+	a.Grant("alice", OpAddConstraint)
+	if err := a.Check("alice", OpAddConstraint); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check("alice", OpRemoveConstraint); !errors.Is(err, ErrDenied) {
+		t.Fatal("op leak")
+	}
+	if err := a.Check("bob", OpAddConstraint); !errors.Is(err, ErrDenied) {
+		t.Fatal("principal leak")
+	}
+	a.Revoke("alice", OpAddConstraint)
+	if err := a.Check("alice", OpAddConstraint); !errors.Is(err, ErrDenied) {
+		t.Fatal("revoke ineffective")
+	}
+	a.Revoke("carol", "nothing") // revoking never-granted must not panic
+}
+
+func TestConstraintsPolicedByACL(t *testing.T) {
+	cap := newCapsule()
+	f, err := New("fw", cap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := core.BindConstraint{
+		Name:  "no-binds",
+		Check: func(*core.Capsule, core.BindRequest) error { return errors.New("no") },
+	}
+	if err := f.AddConstraint("mallory", bc); !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+	f.ACL().Grant("ctrl", OpAddConstraint)
+	if err := f.AddConstraint("ctrl", bc); err != nil {
+		t.Fatal(err)
+	}
+	if got := cap.Constraints(); len(got) != 1 || got[0] != "no-binds" {
+		t.Fatalf("constraints = %v", got)
+	}
+	if err := f.RemoveConstraint("mallory", "no-binds"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+	f.ACL().Grant("ctrl", OpRemoveConstraint)
+	if err := f.RemoveConstraint("ctrl", "no-binds"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- composite ----------------------------------------------------------------
+
+type testController struct {
+	principal string
+	configure func(inner *core.Capsule) error
+}
+
+func (c *testController) Principal() string { return c.principal }
+func (c *testController) Configure(inner *core.Capsule) error {
+	if c.configure != nil {
+		return c.configure(inner)
+	}
+	return nil
+}
+
+func TestCompositeConfigure(t *testing.T) {
+	outer := newCapsule()
+	ctrl := &testController{
+		principal: "ctrl",
+		configure: func(inner *core.Capsule) error {
+			return inner.Insert("member", newComp("inner.type"))
+		},
+	}
+	comp, err := NewComposite("router.Pipeline", outer, nil, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := comp.Inner().Component("member"); !ok {
+		t.Fatal("controller configuration not applied")
+	}
+	if comp.Controller() != Controller(ctrl) {
+		t.Fatal("controller identity")
+	}
+}
+
+func TestCompositeNeedsController(t *testing.T) {
+	if _, err := NewComposite("x", newCapsule(), nil, nil); err == nil {
+		t.Fatal("want error for nil controller")
+	}
+}
+
+func TestCompositeRecursiveRules(t *testing.T) {
+	outer := newCapsule()
+	rules := []Rule{typeRule("allowed")}
+	ctrl := &testController{principal: "ctrl"}
+	comp, err := NewComposite("composite", outer, rules, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner admission enforces the same rules recursively.
+	if err := comp.Framework().Admit("ok", newComp("allowed")); err != nil {
+		t.Fatal(err)
+	}
+	err = comp.Framework().Admit("bad", newComp("forbidden"))
+	if !errors.Is(err, ErrRuleViolated) {
+		t.Fatalf("want ErrRuleViolated, got %v", err)
+	}
+}
+
+func TestCompositeControllerACL(t *testing.T) {
+	outer := newCapsule()
+	ctrl := &testController{principal: "ctrl"}
+	comp, err := NewComposite("composite", outer, nil, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := core.BindConstraint{
+		Name:  "c",
+		Check: func(*core.Capsule, core.BindRequest) error { return nil },
+	}
+	// The controller principal was granted rights at construction.
+	if err := comp.Framework().AddConstraint("ctrl", bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Framework().RemoveConstraint("ctrl", "c"); err != nil {
+		t.Fatal(err)
+	}
+	// Others are denied.
+	if err := comp.Framework().AddConstraint("plugin", bc); !errors.Is(err, ErrDenied) {
+		t.Fatalf("want ErrDenied, got %v", err)
+	}
+}
+
+func TestCompositeExport(t *testing.T) {
+	reg := core.NewInterfaceRegistry()
+	const id = core.InterfaceID("test.IThing/1")
+	reg.MustRegister(&core.Descriptor{
+		ID:    id,
+		Check: func(v any) bool { _, ok := v.(int); return ok },
+	})
+	outer := core.NewCapsule("o",
+		core.WithComponentRegistry(core.NewComponentRegistry()),
+		core.WithInterfaceRegistry(reg))
+	ctrl := &testController{principal: "ctrl"}
+	comp, err := NewComposite("composite", outer, nil, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := newComp("member.type")
+	inner.Provide(id, 42)
+	if err := comp.Framework().Admit("m", inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Export(id, "m"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := comp.Provided(id)
+	if !ok || v.(int) != 42 {
+		t.Fatalf("exported = %v %v", v, ok)
+	}
+	if err := comp.Export(id, "ghost"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+	if err := comp.Export("test.Other/1", "m"); !errors.Is(err, ErrRuleViolated) {
+		t.Fatalf("want ErrRuleViolated, got %v", err)
+	}
+}
+
+func TestCompositeLifecyclePropagates(t *testing.T) {
+	outer := newCapsule()
+	ctrl := &testController{principal: "ctrl"}
+	comp, err := NewComposite("composite", outer, nil, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &lifecycleComp{Base: core.NewBase("lc")}
+	if err := comp.Framework().Admit("lc", lc); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := comp.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.started {
+		t.Fatal("inner not started")
+	}
+	if err := comp.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.stopped {
+		t.Fatal("inner not stopped")
+	}
+}
+
+type lifecycleComp struct {
+	*core.Base
+	started, stopped bool
+}
+
+func (l *lifecycleComp) Start(context.Context) error { l.started = true; return nil }
+func (l *lifecycleComp) Stop(context.Context) error  { l.stopped = true; return nil }

@@ -1,0 +1,109 @@
+package cf
+
+import (
+	"context"
+	"fmt"
+
+	"netkit/internal/core"
+)
+
+// Controller manages and configures the internal constituents of a
+// composite component (Figure 3's "controller" box). Configure wires the
+// inner capsule; Principal names the controller for ACL decisions.
+type Controller interface {
+	Principal() string
+	Configure(inner *core.Capsule) error
+}
+
+// Composite is a component whose implementation is itself a capsule of
+// components governed by a nested framework — the paper's recursive
+// composition rule ("compliant components may be composite, in which case
+// all their internal constituents must (recursively) conform to the CF's
+// rules; additionally, composite components should contain a so-called
+// controller component").
+type Composite struct {
+	*core.Base
+	inner      *core.Capsule
+	framework  *Framework
+	controller Controller
+}
+
+// NewComposite builds a composite of the given type name. The inner
+// capsule inherits the outer capsule's registries. rules are the nested
+// framework's admission rules (normally the same rules as the outer CF,
+// giving the recursive conformance the paper requires). The controller is
+// granted constraint add/remove rights on the inner framework.
+func NewComposite(typeName string, outer *core.Capsule, rules []Rule, ctrl Controller) (*Composite, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("cf: composite %q needs a controller", typeName)
+	}
+	inner := core.NewCapsule(typeName+".inner",
+		core.WithComponentRegistry(outer.ComponentRegistry()),
+		core.WithInterfaceRegistry(outer.InterfaceRegistry()))
+	fw, err := New(typeName+".cf", inner, rules)
+	if err != nil {
+		return nil, err
+	}
+	fw.ACL().Grant(ctrl.Principal(), OpAddConstraint)
+	fw.ACL().Grant(ctrl.Principal(), OpRemoveConstraint)
+	c := &Composite{
+		Base:       core.NewBase(typeName),
+		inner:      inner,
+		framework:  fw,
+		controller: ctrl,
+	}
+	return c, nil
+}
+
+// Inner returns the nested capsule.
+func (c *Composite) Inner() *core.Capsule { return c.inner }
+
+// Framework returns the nested framework.
+func (c *Composite) Framework() *Framework { return c.framework }
+
+// Controller returns the managing controller.
+func (c *Composite) Controller() Controller { return c.controller }
+
+// Configure runs the controller's configuration over the inner capsule and
+// then re-checks all nested rules.
+func (c *Composite) Configure() error {
+	if err := c.controller.Configure(c.inner); err != nil {
+		return fmt.Errorf("cf: composite %q configure: %w", c.TypeName(), err)
+	}
+	return c.framework.RecheckAll()
+}
+
+// Export re-exports an interface provided by an inner member on the
+// composite's own boundary, under the same interface ID: the mechanism by
+// which a composite presents an inner constituent's IClassifier (Figure 3
+// shows "Access to IClassifier interfaces" crossing the boundary).
+func (c *Composite) Export(id core.InterfaceID, memberName string) error {
+	member, ok := c.inner.Component(memberName)
+	if !ok {
+		return fmt.Errorf("cf: composite %q: export from %q: %w",
+			c.TypeName(), memberName, ErrNotMember)
+	}
+	impl, ok := member.Provided(id)
+	if !ok {
+		return fmt.Errorf("cf: composite %q: member %q does not provide %q: %w",
+			c.TypeName(), memberName, id, ErrRuleViolated)
+	}
+	c.Provide(id, impl)
+	return nil
+}
+
+// Start implements core.Starter by starting the inner capsule.
+func (c *Composite) Start(ctx context.Context) error {
+	return c.inner.StartAll(ctx)
+}
+
+// Stop implements core.Stopper by stopping the inner capsule.
+func (c *Composite) Stop(ctx context.Context) error {
+	return c.inner.StopAll(ctx)
+}
+
+var (
+	_ core.Component = (*Composite)(nil)
+	_ core.Starter   = (*Composite)(nil)
+	_ core.Stopper   = (*Composite)(nil)
+)

@@ -1,0 +1,264 @@
+// Package control is netkitd's management plane: a JSON-lines protocol
+// over TCP through which operators (and nkctl) exercise the reflective
+// capabilities remotely — inspect the architecture meta-model, read
+// component stats, install classifier filters, and hot-swap components.
+// It demonstrates the paper's claim that a causally-connected runtime
+// makes "deployment, inspection, (re)configuration, and evolution" uniform
+// management operations rather than restart procedures.
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"netkit/internal/cf"
+	"netkit/internal/core"
+	"netkit/internal/router"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadRequest indicates a malformed or unknown request.
+	ErrBadRequest = errors.New("control: bad request")
+	// ErrRemote wraps an error string reported by the server.
+	ErrRemote = errors.New("control: server error")
+)
+
+// Request is one management operation.
+type Request struct {
+	Op string `json:"op"`
+
+	Name       string            `json:"name,omitempty"`
+	New        string            `json:"new,omitempty"`
+	Type       string            `json:"type,omitempty"`
+	Cfg        map[string]string `json:"cfg,omitempty"`
+	Classifier string            `json:"classifier,omitempty"`
+	Spec       string            `json:"spec,omitempty"`
+	Output     string            `json:"output,omitempty"`
+	Priority   int               `json:"priority,omitempty"`
+	FilterID   uint64            `json:"filter_id,omitempty"`
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// StatsData is the payload of "stats".
+type StatsData struct {
+	Name  string              `json:"name"`
+	Type  string              `json:"type"`
+	Stats router.ElementStats `json:"stats"`
+}
+
+// Server exposes one framework over a listener.
+type Server struct {
+	fw *cf.Framework
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a framework.
+func NewServer(fw *cf.Framework) *Server {
+	return &Server{fw: fw}
+}
+
+// Serve accepts connections until the listener closes. Call Close to stop.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request.
+func (s *Server) handle(req *Request) *Response {
+	data, err := s.dispatch(req)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	return &Response{OK: true, Data: raw}
+}
+
+func (s *Server) dispatch(req *Request) (any, error) {
+	capsule := s.fw.Capsule()
+	switch req.Op {
+	case "ping":
+		return "pong", nil
+	case "graph":
+		return capsule.Snapshot(), nil
+	case "types":
+		return capsule.ComponentRegistry().Types(), nil
+	case "members":
+		return s.fw.Members(), nil
+	case "stats":
+		comp, ok := capsule.Component(req.Name)
+		if !ok {
+			return nil, fmt.Errorf("control: %q: %w", req.Name, core.ErrNotFound)
+		}
+		sd := StatsData{Name: req.Name, Type: comp.TypeName()}
+		if sr, ok := comp.(router.StatsReporter); ok {
+			sd.Stats = sr.Stats()
+		}
+		return sd, nil
+	case "swap":
+		if req.Name == "" || req.New == "" || req.Type == "" {
+			return nil, fmt.Errorf("control: swap needs name/new/type: %w", ErrBadRequest)
+		}
+		repl, err := capsule.ComponentRegistry().New(req.Type, req.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := router.HotSwap(capsule, req.Name, req.New, repl); err != nil {
+			return nil, err
+		}
+		return "swapped", nil
+	case "filter":
+		cls, err := s.classifier(req.Classifier)
+		if err != nil {
+			return nil, err
+		}
+		id, err := cls.RegisterFilter(req.Spec, req.Priority, req.Output)
+		if err != nil {
+			return nil, err
+		}
+		return id, nil
+	case "unfilter":
+		cls, err := s.classifier(req.Classifier)
+		if err != nil {
+			return nil, err
+		}
+		if err := cls.UnregisterFilter(req.FilterID); err != nil {
+			return nil, err
+		}
+		return "removed", nil
+	default:
+		return nil, fmt.Errorf("control: op %q: %w", req.Op, ErrBadRequest)
+	}
+}
+
+func (s *Server) classifier(name string) (router.IClassifier, error) {
+	comp, ok := s.fw.Capsule().Component(name)
+	if !ok {
+		return nil, fmt.Errorf("control: %q: %w", name, core.ErrNotFound)
+	}
+	impl, ok := comp.Provided(router.IClassifierID)
+	if !ok {
+		return nil, fmt.Errorf("control: %q is not a classifier: %w", name, ErrBadRequest)
+	}
+	cls, ok := impl.(router.IClassifier)
+	if !ok {
+		return nil, fmt.Errorf("control: %q: %w", name, core.ErrTypeMismatch)
+	}
+	return cls, nil
+}
+
+// Client is the nkctl side.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a control server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request, decoding the response payload into out (out may
+// be nil to discard).
+func (c *Client) Do(req *Request, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("control: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("control: recv: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("control: %s: %w", resp.Error, ErrRemote)
+	}
+	if out != nil && resp.Data != nil {
+		if err := json.Unmarshal(resp.Data, out); err != nil {
+			return fmt.Errorf("control: decode payload: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netkit/internal/netsim"
+)
+
+// lineFixture builds an n-node line with agents of the given per-link
+// capacity.
+func lineFixture(t *testing.T, n int, capacity int64) (*netsim.Network, []string, []*Agent) {
+	t.Helper()
+	w := netsim.NewNetwork()
+	names, err := netsim.Line(w, "r", n, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*Agent, n)
+	for i, name := range names {
+		node, err := w.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := map[string]int64{}
+		for _, nb := range node.Neighbors() {
+			caps[nb] = capacity
+		}
+		agents[i] = NewAgent(node, AgentConfig{Capacity: caps})
+	}
+	t.Cleanup(w.Stop)
+	return w, names, agents
+}
+
+func TestReserveEndToEnd(t *testing.T) {
+	_, names, agents := lineFixture(t, 4, 1000)
+	err := agents[0].Reserve("s1", names, 400, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every hop except the terminus reserved toward its downstream.
+	for i := 0; i < 3; i++ {
+		if got := agents[i].Reserved(names[i+1]); got != 400 {
+			t.Fatalf("hop %d reserved %d, want 400", i, got)
+		}
+	}
+	if got := agents[3].Sessions(); len(got) != 0 {
+		t.Fatalf("terminus holds reservations: %v", got)
+	}
+}
+
+func TestReserveAdmissionFailure(t *testing.T) {
+	_, names, agents := lineFixture(t, 4, 1000)
+	if err := agents[0].Reserve("s1", names, 800, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Second session exceeds remaining capacity at every hop.
+	err := agents[0].Reserve("s2", names, 500, time.Second)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission, got %v", err)
+	}
+	// Failed reservation left no residue anywhere.
+	for i := 0; i < 3; i++ {
+		if got := agents[i].Reserved(names[i+1]); got != 800 {
+			t.Fatalf("hop %d reserved %d after failed s2, want 800", i, got)
+		}
+	}
+	// A fitting reservation still succeeds.
+	if err := agents[0].Reserve("s3", names, 200, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveBadPath(t *testing.T) {
+	_, names, agents := lineFixture(t, 3, 1000)
+	if err := agents[0].Reserve("s", []string{names[0]}, 1, time.Second); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath, got %v", err)
+	}
+	if err := agents[0].Reserve("s", []string{names[1], names[2]}, 1, time.Second); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath for foreign origin, got %v", err)
+	}
+}
+
+func TestReserveTimeoutOnPartitionedPath(t *testing.T) {
+	w, names, agents := lineFixture(t, 3, 1000)
+	if err := w.SetLinkDown(names[1], names[2], true); err != nil {
+		t.Fatal(err)
+	}
+	err := agents[0].Reserve("s", names, 10, 100*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestTeardownReleasesEverywhere(t *testing.T) {
+	_, names, agents := lineFixture(t, 4, 1000)
+	if err := agents[0].Reserve("s1", names, 600, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := agents[0].Teardown("s1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(time.Second)
+	for {
+		clean := true
+		for i := 0; i < 3; i++ {
+			if agents[i].Reserved(names[i+1]) != 0 {
+				clean = false
+			}
+		}
+		if clean {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("teardown did not release all hops")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := agents[0].Teardown("s1"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("want ErrNoSession, got %v", err)
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	w := netsim.NewNetwork()
+	names, err := netsim.Line(w, "r", 3, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	agents := make([]*Agent, 3)
+	for i, name := range names {
+		node, err := w.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := map[string]int64{}
+		for _, nb := range node.Neighbors() {
+			caps[nb] = 1000
+		}
+		agents[i] = NewAgent(node, AgentConfig{Capacity: caps, TTL: 10 * time.Second, Clock: clock})
+	}
+	if err := agents[0].Reserve("s1", names, 100, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh keeps the middle hop alive past the original TTL.
+	now = now.Add(8 * time.Second)
+	if err := agents[1].Refresh("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := agents[1].SweepExpired(now.Add(5 * time.Second)); n != 0 {
+		t.Fatalf("refreshed state expired: %d", n)
+	}
+	// Without refresh, the state lapses and bandwidth is released.
+	if n := agents[1].SweepExpired(now.Add(20 * time.Second)); n == 0 {
+		t.Fatal("stale state survived sweep")
+	}
+	if got := agents[1].Reserved(names[2]); got != 0 {
+		t.Fatalf("expired reservation still holds %d", got)
+	}
+	if err := agents[1].Refresh("ghost"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("want ErrNoSession, got %v", err)
+	}
+}
+
+func TestConcurrentSessionsShareCapacity(t *testing.T) {
+	_, names, agents := lineFixture(t, 3, 1000)
+	for i := 0; i < 5; i++ {
+		s := string(rune('a' + i))
+		if err := agents[0].Reserve("s-"+s, names, 200, time.Second); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	if err := agents[0].Reserve("s-over", names, 1, time.Second); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("capacity exhausted but admission passed: %v", err)
+	}
+	if got := agents[0].Reserved(names[1]); got != 1000 {
+		t.Fatalf("reserved = %d", got)
+	}
+}
+
+// ---- spawning ------------------------------------------------------------------
+
+// spawnFixture: a 5-node line with spawners everywhere.
+func spawnFixture(t *testing.T, n int) (*netsim.Network, []string, []*Spawner) {
+	t.Helper()
+	w := netsim.NewNetwork()
+	names, err := netsim.Line(w, "p", n, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := make([]*Spawner, n)
+	for i, name := range names {
+		node, err := w.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp[i] = NewSpawner(node)
+	}
+	t.Cleanup(w.Stop)
+	return w, names, sp
+}
+
+func TestSpawnInstallsOnAllMembers(t *testing.T) {
+	w, names, sp := spawnFixture(t, 5)
+	spec := SpawnSpec{
+		Name:    "blue",
+		Members: []string{names[0], names[2], names[4]},
+		Adj: map[string][]string{
+			names[0]: {names[2]},
+			names[2]: {names[0], names[4]},
+			names[4]: {names[2]},
+		},
+	}
+	if err := sp[0].Spawn(w, spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4} {
+		inst, ok := sp[i].VNet("blue")
+		if !ok {
+			t.Fatalf("member %d missing instance", i)
+		}
+		if inst.Addr == 0 {
+			t.Fatalf("member %d unaddressed", i)
+		}
+	}
+	// Non-members have no instance.
+	for _, i := range []int{1, 3} {
+		if _, ok := sp[i].VNet("blue"); ok {
+			t.Fatalf("non-member %d has instance", i)
+		}
+	}
+}
+
+func TestSpawnedNetworkDataDelivery(t *testing.T) {
+	w, names, sp := spawnFixture(t, 5)
+	spec := SpawnSpec{
+		Name:    "blue",
+		Members: []string{names[0], names[2], names[4]},
+		Adj: map[string][]string{
+			names[0]: {names[2]},
+			names[2]: {names[0], names[4]},
+			names[4]: {names[2]},
+		},
+	}
+	if err := sp[0].Spawn(w, spec); err != nil {
+		t.Fatal(err)
+	}
+	inst0, _ := sp[0].VNet("blue")
+	dstAddr, ok := inst0.AddrOf(names[4])
+	if !ok {
+		t.Fatal("no address for far member")
+	}
+	if err := sp[0].SendTo("blue", dstAddr, []byte("via vnet")); err != nil {
+		t.Fatal(err)
+	}
+	inst4, _ := sp[4].VNet("blue")
+	deadline := time.After(2 * time.Second)
+	for len(inst4.Delivered()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("vnet data never arrived")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if string(inst4.Delivered()[0]) != "via vnet" {
+		t.Fatalf("payload = %q", inst4.Delivered()[0])
+	}
+	// Self-delivery short-circuits.
+	if err := sp[0].SendTo("blue", inst0.Addr, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst0.Delivered()) != 1 {
+		t.Fatal("self delivery failed")
+	}
+}
+
+func TestSpawnedNetworksIsolated(t *testing.T) {
+	w, names, sp := spawnFixture(t, 5)
+	blue := SpawnSpec{
+		Name:    "blue",
+		Members: []string{names[0], names[2]},
+		Adj:     map[string][]string{names[0]: {names[2]}, names[2]: {names[0]}},
+	}
+	red := SpawnSpec{
+		Name:    "red",
+		Members: []string{names[2], names[4]},
+		Adj:     map[string][]string{names[2]: {names[4]}, names[4]: {names[2]}},
+	}
+	if err := sp[0].Spawn(w, blue); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp[2].Spawn(w, red); err != nil {
+		t.Fatal(err)
+	}
+	// Blue cannot reach red's address space: blue has no route to addr of
+	// names[4] (not a blue member).
+	if err := sp[0].SendTo("blue", 99, nil); !errors.Is(err, netsim.ErrNoRoute) {
+		t.Fatalf("want ErrNoRoute, got %v", err)
+	}
+	// Sending on a vnet this node is not a member of fails.
+	if err := sp[0].SendTo("red", 1, nil); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("want ErrNoSession, got %v", err)
+	}
+	// Node 2 is in both: it can use either, independently.
+	blueInst, _ := sp[2].VNet("blue")
+	redInst, _ := sp[2].VNet("red")
+	if blueInst.Addr == 0 || redInst.Addr == 0 {
+		t.Fatal("dual membership broken")
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	w, names, sp := spawnFixture(t, 3)
+	// Wrong coordinator.
+	err := sp[0].Spawn(w, SpawnSpec{Name: "x", Members: []string{names[1]}})
+	if !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath, got %v", err)
+	}
+	// Disconnected child topology.
+	err = sp[0].Spawn(w, SpawnSpec{
+		Name:    "x",
+		Members: []string{names[0], names[2]},
+		Adj:     map[string][]string{},
+	})
+	if !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath for unreachable member, got %v", err)
+	}
+	// Adjacency referencing a non-member.
+	err = sp[0].Spawn(w, SpawnSpec{
+		Name:    "x",
+		Members: []string{names[0]},
+		Adj:     map[string][]string{names[0]: {"ghost"}},
+	})
+	if !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath for non-member adjacency, got %v", err)
+	}
+	// Empty spec.
+	if err := sp[0].Spawn(w, SpawnSpec{}); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("want ErrBadPath, got %v", err)
+	}
+}
+
+func TestSpawnTeardown(t *testing.T) {
+	w, names, sp := spawnFixture(t, 3)
+	spec := SpawnSpec{
+		Name:    "temp",
+		Members: []string{names[0], names[2]},
+		Adj:     map[string][]string{names[0]: {names[2]}, names[2]: {names[0]}},
+	}
+	if err := sp[0].Spawn(w, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp[0].Teardown(w, "temp", spec.Members, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := sp[i].VNet("temp"); ok {
+			t.Fatalf("member %d still has instance after teardown", i)
+		}
+	}
+	if got := sp[0].VNets(); len(got) != 0 {
+		t.Fatalf("vnets = %v", got)
+	}
+}
+
+func TestSpawnCapacitySlice(t *testing.T) {
+	w, names, sp := spawnFixture(t, 3)
+	spec := SpawnSpec{
+		Name:    "limited",
+		Members: []string{names[0], names[2]},
+		Adj:     map[string][]string{names[0]: {names[2]}, names[2]: {names[0]}},
+		RatePps: 5, // 5 packets/sec slice
+	}
+	if err := sp[0].Spawn(w, spec); err != nil {
+		t.Fatal(err)
+	}
+	inst0, _ := sp[0].VNet("limited")
+	dst, _ := inst0.AddrOf(names[2])
+	// Burst beyond the slice: extra packets are dropped by the bucket.
+	for i := 0; i < 50; i++ {
+		if err := sp[0].SendTo("limited", dst, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, dropped := inst0.Counters()
+	if dropped == 0 {
+		t.Fatal("capacity slice not enforced")
+	}
+}
+
+func TestVDataTTLExpires(t *testing.T) {
+	// Craft a two-member vnet and send a packet with a poisoned routing
+	// loop by making each side route through the other: TTL must kill it.
+	w, names, sp := spawnFixture(t, 2)
+	spec := SpawnSpec{
+		Name:    "loop",
+		Members: []string{names[0], names[1]},
+		Adj:     map[string][]string{names[0]: {names[1]}, names[1]: {names[0]}},
+	}
+	if err := sp[0].Spawn(w, spec); err != nil {
+		t.Fatal(err)
+	}
+	inst0, _ := sp[0].VNet("loop")
+	inst1, _ := sp[1].VNet("loop")
+	// Poison: node1 routes address 99 back to node0 and vice versa.
+	inst0.next[99] = names[1]
+	inst1.next[99] = names[0]
+	if err := sp[0].SendTo("loop", 99, []byte("spin")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the loop to burn out; forwarded counters stabilise.
+	time.Sleep(50 * time.Millisecond)
+	f0, _ := inst0.Counters()
+	f1, _ := inst1.Counters()
+	total := f0 + f1
+	if total == 0 || total > 40 {
+		t.Fatalf("loop forwarded %d frames, want bounded by TTL 32", total)
+	}
+}

@@ -1,0 +1,414 @@
+// Package coord implements the stratum-4 coordination layer of Figure 1:
+// "out-of-band signalling protocols that perform distributed coordination
+// and (re)configuration of the lower strata. Examples are RSVP, or
+// protocols that coordinate resource allocation on a set of routers
+// participating in a dynamic private virtual network, as employed by
+// systems like Genesis."
+//
+// Two subsystems are provided over internal/netsim: a soft-state
+// reservation protocol in the style of RSVP (PATH/RESV/TEAR with per-hop
+// admission control and timed state), and a Genesis-like spawning
+// framework that instantiates child virtual networks — each with its own
+// addressing, routing and capacity slices — on a subset of parent nodes.
+package coord
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netkit/internal/netsim"
+)
+
+// Protocol tags on the simulated wire.
+const (
+	// ProtoSignal carries reservation signalling.
+	ProtoSignal byte = 1
+	// ProtoSpawn carries spawning control.
+	ProtoSpawn byte = 2
+	// ProtoVData carries spawned-network data packets.
+	ProtoVData byte = 3
+)
+
+// Sentinel errors.
+var (
+	// ErrAdmission indicates insufficient capacity at some hop.
+	ErrAdmission = errors.New("coord: admission control rejected reservation")
+	// ErrTimeout indicates a signalling exchange that never completed.
+	ErrTimeout = errors.New("coord: signalling timeout")
+	// ErrNoSession indicates an unknown reservation session.
+	ErrNoSession = errors.New("coord: no such session")
+	// ErrBadPath indicates a malformed explicit path.
+	ErrBadPath = errors.New("coord: bad path")
+)
+
+// sigType enumerates signalling messages.
+type sigType uint8
+
+const (
+	msgPath sigType = iota + 1
+	msgResv
+	msgResvErr
+	msgTear
+	msgRelease
+)
+
+// sigMessage is the wire form of all reservation signalling.
+type sigMessage struct {
+	Type      sigType
+	Session   string
+	Path      []string // full explicit route, sender first
+	HopIndex  int      // receiver's position in Path
+	Bandwidth int64
+	Reason    string
+}
+
+func encodeSig(m *sigMessage) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("coord: encode: %v", err)) // static type; cannot fail
+	}
+	return buf.Bytes()
+}
+
+func decodeSig(b []byte) (*sigMessage, error) {
+	var m sigMessage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("coord: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// pathState is per-session soft state installed by PATH.
+type pathState struct {
+	path    []string
+	hopIdx  int
+	expires time.Time
+}
+
+// resvState is per-session reservation state installed by RESV.
+type resvState struct {
+	bandwidth int64
+	nextHop   string // downstream neighbour the bandwidth is reserved toward
+	expires   time.Time
+}
+
+// Agent is the per-node reservation signalling agent. Capacity is
+// administered per outgoing link (neighbour name → bytes/sec available to
+// reservations).
+type Agent struct {
+	node  *netsim.Node
+	clock func() time.Time
+	ttl   time.Duration
+
+	mu       sync.Mutex
+	capacity map[string]int64
+	reserved map[string]int64
+	paths    map[string]*pathState
+	resvs    map[string]*resvState
+	waiters  map[string]chan error
+}
+
+// AgentConfig parameterises an Agent.
+type AgentConfig struct {
+	// Capacity is per-neighbour reservable bandwidth (bytes/sec).
+	Capacity map[string]int64
+	// TTL is the soft-state lifetime (default 30s).
+	TTL time.Duration
+	// Clock is injectable time (default time.Now).
+	Clock func() time.Time
+}
+
+// NewAgent attaches a signalling agent to a node.
+func NewAgent(node *netsim.Node, cfg AgentConfig) *Agent {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	a := &Agent{
+		node:     node,
+		clock:    cfg.Clock,
+		ttl:      cfg.TTL,
+		capacity: make(map[string]int64, len(cfg.Capacity)),
+		reserved: make(map[string]int64),
+		paths:    make(map[string]*pathState),
+		resvs:    make(map[string]*resvState),
+		waiters:  make(map[string]chan error),
+	}
+	for k, v := range cfg.Capacity {
+		a.capacity[k] = v
+	}
+	node.Register(ProtoSignal, a.onFrame)
+	return a
+}
+
+// Reserve requests bandwidth along the explicit path (which must start at
+// this agent's node). It blocks until the reservation confirms, fails
+// admission, or times out.
+func (a *Agent) Reserve(session string, path []string, bandwidth int64, timeout time.Duration) error {
+	if len(path) < 2 || path[0] != a.node.Name() {
+		return fmt.Errorf("coord: path %v from %s: %w", path, a.node.Name(), ErrBadPath)
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	wait := make(chan error, 1)
+	a.mu.Lock()
+	if _, dup := a.waiters[session]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("coord: session %q already pending: %w", session, ErrBadPath)
+	}
+	a.waiters[session] = wait
+	a.paths[session] = &pathState{path: path, hopIdx: 0, expires: a.clock().Add(a.ttl)}
+	a.mu.Unlock()
+
+	m := &sigMessage{Type: msgPath, Session: session, Path: path, HopIndex: 1, Bandwidth: bandwidth}
+	if err := a.node.Send(path[1], ProtoSignal, encodeSig(m)); err != nil {
+		a.clearWaiter(session)
+		return err
+	}
+	select {
+	case err := <-wait:
+		return err
+	case <-time.After(timeout):
+		a.clearWaiter(session)
+		return fmt.Errorf("coord: session %q: %w", session, ErrTimeout)
+	}
+}
+
+func (a *Agent) clearWaiter(session string) {
+	a.mu.Lock()
+	delete(a.waiters, session)
+	a.mu.Unlock()
+}
+
+// Teardown releases a session end-to-end from the sender.
+func (a *Agent) Teardown(session string) error {
+	a.mu.Lock()
+	ps, ok := a.paths[session]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("coord: %q: %w", session, ErrNoSession)
+	}
+	a.releaseLocal(session)
+	if ps.hopIdx+1 < len(ps.path) {
+		m := &sigMessage{Type: msgTear, Session: session, Path: ps.path, HopIndex: ps.hopIdx + 1}
+		return a.node.Send(ps.path[ps.hopIdx+1], ProtoSignal, encodeSig(m))
+	}
+	return nil
+}
+
+// Refresh re-arms the soft state for a session this node knows about.
+func (a *Agent) Refresh(session string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	found := false
+	now := a.clock()
+	if ps, ok := a.paths[session]; ok {
+		ps.expires = now.Add(a.ttl)
+		found = true
+	}
+	if rs, ok := a.resvs[session]; ok {
+		rs.expires = now.Add(a.ttl)
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("coord: %q: %w", session, ErrNoSession)
+	}
+	return nil
+}
+
+// SweepExpired drops all soft state older than now, releasing bandwidth.
+// It returns the number of sessions expired.
+func (a *Agent) SweepExpired(now time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for s, ps := range a.paths {
+		if ps.expires.Before(now) {
+			delete(a.paths, s)
+			n++
+		}
+	}
+	for s, rs := range a.resvs {
+		if rs.expires.Before(now) {
+			a.reserved[rs.nextHop] -= rs.bandwidth
+			delete(a.resvs, s)
+			n++
+		}
+	}
+	return n
+}
+
+// Reserved reports bandwidth currently reserved toward a neighbour.
+func (a *Agent) Reserved(neighbor string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reserved[neighbor]
+}
+
+// Sessions returns sessions with live reservation state at this node.
+func (a *Agent) Sessions() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.resvs))
+	for s := range a.resvs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// onFrame handles signalling frames.
+func (a *Agent) onFrame(from string, payload []byte) {
+	m, err := decodeSig(payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case msgPath:
+		a.onPath(m)
+	case msgResv:
+		a.onResv(m)
+	case msgResvErr:
+		a.onResvErr(m)
+	case msgTear:
+		a.onTear(m)
+	case msgRelease:
+		a.onRelease(m)
+	}
+}
+
+// onPath installs path state and forwards; the terminus answers with RESV.
+func (a *Agent) onPath(m *sigMessage) {
+	if m.HopIndex < 0 || m.HopIndex >= len(m.Path) || m.Path[m.HopIndex] != a.node.Name() {
+		return
+	}
+	a.mu.Lock()
+	a.paths[m.Session] = &pathState{path: m.Path, hopIdx: m.HopIndex, expires: a.clock().Add(a.ttl)}
+	a.mu.Unlock()
+	if m.HopIndex == len(m.Path)-1 {
+		// Terminus: start RESV back toward the sender.
+		r := &sigMessage{Type: msgResv, Session: m.Session, Path: m.Path,
+			HopIndex: m.HopIndex - 1, Bandwidth: m.Bandwidth}
+		_ = a.node.Send(m.Path[m.HopIndex-1], ProtoSignal, encodeSig(r))
+		return
+	}
+	fwd := *m
+	fwd.HopIndex++
+	_ = a.node.Send(m.Path[fwd.HopIndex], ProtoSignal, encodeSig(&fwd))
+}
+
+// onResv performs admission control for the downstream link and continues
+// toward the sender; the sender's agent completes the waiting Reserve.
+func (a *Agent) onResv(m *sigMessage) {
+	if m.HopIndex < 0 || m.HopIndex >= len(m.Path) || m.Path[m.HopIndex] != a.node.Name() {
+		return
+	}
+	downstream := m.Path[m.HopIndex+1]
+	a.mu.Lock()
+	capTo, haveCap := a.capacity[downstream]
+	ok := haveCap && a.reserved[downstream]+m.Bandwidth <= capTo
+	if ok {
+		a.reserved[downstream] += m.Bandwidth
+		a.resvs[m.Session] = &resvState{
+			bandwidth: m.Bandwidth, nextHop: downstream, expires: a.clock().Add(a.ttl),
+		}
+	}
+	a.mu.Unlock()
+
+	if !ok {
+		// Admission failure: tell the sender (continue upstream as an error)
+		// and release everything already reserved downstream.
+		reason := fmt.Sprintf("no capacity at %s toward %s", a.node.Name(), downstream)
+		if m.HopIndex == 0 {
+			a.fail(m.Session, reason)
+		} else {
+			e := &sigMessage{Type: msgResvErr, Session: m.Session, Path: m.Path,
+				HopIndex: m.HopIndex - 1, Reason: reason}
+			_ = a.node.Send(m.Path[m.HopIndex-1], ProtoSignal, encodeSig(e))
+		}
+		rel := &sigMessage{Type: msgRelease, Session: m.Session, Path: m.Path, HopIndex: m.HopIndex + 1}
+		_ = a.node.Send(downstream, ProtoSignal, encodeSig(rel))
+		return
+	}
+	if m.HopIndex == 0 {
+		// Sender: the reservation is complete end-to-end.
+		a.complete(m.Session, nil)
+		return
+	}
+	up := *m
+	up.HopIndex--
+	_ = a.node.Send(m.Path[up.HopIndex], ProtoSignal, encodeSig(&up))
+}
+
+// onResvErr relays failure toward the sender.
+func (a *Agent) onResvErr(m *sigMessage) {
+	if m.Path[m.HopIndex] != a.node.Name() {
+		return
+	}
+	if m.HopIndex == 0 {
+		a.fail(m.Session, m.Reason)
+		return
+	}
+	up := *m
+	up.HopIndex--
+	_ = a.node.Send(m.Path[up.HopIndex], ProtoSignal, encodeSig(&up))
+}
+
+// onTear releases state and forwards toward the terminus.
+func (a *Agent) onTear(m *sigMessage) {
+	if m.HopIndex >= len(m.Path) || m.Path[m.HopIndex] != a.node.Name() {
+		return
+	}
+	a.releaseLocal(m.Session)
+	if m.HopIndex+1 < len(m.Path) {
+		fwd := *m
+		fwd.HopIndex++
+		_ = a.node.Send(m.Path[fwd.HopIndex], ProtoSignal, encodeSig(&fwd))
+	}
+}
+
+// onRelease undoes reservations downstream after an admission failure.
+func (a *Agent) onRelease(m *sigMessage) {
+	if m.HopIndex >= len(m.Path) || m.Path[m.HopIndex] != a.node.Name() {
+		return
+	}
+	a.releaseLocal(m.Session)
+	if m.HopIndex+1 < len(m.Path) {
+		fwd := *m
+		fwd.HopIndex++
+		_ = a.node.Send(m.Path[fwd.HopIndex], ProtoSignal, encodeSig(&fwd))
+	}
+}
+
+// releaseLocal frees session state at this node.
+func (a *Agent) releaseLocal(session string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rs, ok := a.resvs[session]; ok {
+		a.reserved[rs.nextHop] -= rs.bandwidth
+		delete(a.resvs, session)
+	}
+	delete(a.paths, session)
+}
+
+// complete fulfils a waiting Reserve.
+func (a *Agent) complete(session string, err error) {
+	a.mu.Lock()
+	ch := a.waiters[session]
+	delete(a.waiters, session)
+	a.mu.Unlock()
+	if ch != nil {
+		ch <- err
+	}
+}
+
+func (a *Agent) fail(session, reason string) {
+	a.releaseLocal(session)
+	a.complete(session, fmt.Errorf("coord: %s: %w", reason, ErrAdmission))
+}

@@ -1,0 +1,520 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netkit/internal/netsim"
+	"netkit/internal/resources"
+)
+
+// spawnType enumerates spawning-protocol messages.
+type spawnType uint8
+
+const (
+	spawnReq spawnType = iota + 1
+	spawnAck
+	spawnTear
+	spawnTearAck
+)
+
+// spawnMessage is the control-plane wire form. Control messages are
+// source-routed over the parent network (Route/RouteIdx), exercising
+// multi-hop coordination exactly as a Genesis-style "spawning network"
+// profile distribution would.
+type spawnMessage struct {
+	Type     spawnType
+	VNet     string
+	Route    []string
+	RouteIdx int
+
+	// spawnReq payload: the member's slice of the child network.
+	Addr    byte                // this member's child address
+	AddrOf  map[string]byte     // node name -> child address
+	NextHop map[byte]string     // child dest addr -> child next-hop MEMBER
+	Tunnels map[string][]string // child next-hop member -> parent path (tunnel)
+	RatePps int64               // per-member capacity slice, packets/sec (0 = unlimited)
+
+	Err string
+}
+
+// vdataMessage is a child-network data packet. Between child hops it is
+// tunnelled over a parent path (Route/RouteIdx): virtual links are parent
+// paths, exactly as Genesis realises spawned-network links on the
+// underlying substrate.
+type vdataMessage struct {
+	VNet     string
+	Src, Dst byte
+	TTL      uint8
+	Route    []string // parent tunnel for the current child hop
+	RouteIdx int
+	Payload  []byte
+}
+
+func encodeSpawn(m *spawnMessage) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("coord: encode spawn: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeSpawn(b []byte) (*spawnMessage, error) {
+	var m spawnMessage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("coord: decode spawn: %w", err)
+	}
+	return &m, nil
+}
+
+func encodeVData(m *vdataMessage) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(fmt.Sprintf("coord: encode vdata: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeVData(b []byte) (*vdataMessage, error) {
+	var m vdataMessage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("coord: decode vdata: %w", err)
+	}
+	return &m, nil
+}
+
+// VNetInstance is one node's slice of a spawned virtual network: its child
+// address, the child routing table, and its capacity slice.
+type VNetInstance struct {
+	Name    string
+	Addr    byte
+	addrOf  map[string]byte
+	next    map[byte]string
+	tunnels map[string][]string
+
+	bucket *resources.TokenBucket // nil = unlimited
+
+	mu        sync.Mutex
+	delivered [][]byte
+	forwarded uint64
+	dropped   uint64
+}
+
+// AddrOf returns the child address of a member node.
+func (v *VNetInstance) AddrOf(node string) (byte, bool) {
+	a, ok := v.addrOf[node]
+	return a, ok
+}
+
+// Delivered returns payloads addressed to this member, in arrival order.
+func (v *VNetInstance) Delivered() [][]byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([][]byte, len(v.delivered))
+	copy(out, v.delivered)
+	return out
+}
+
+// Counters reports (forwarded, dropped) at this member.
+func (v *VNetInstance) Counters() (forwarded, dropped uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.forwarded, v.dropped
+}
+
+// Spawner is the per-node Genesis-like agent: it installs, serves and
+// tears down virtual-network slices, and forwards child data packets.
+type Spawner struct {
+	node *netsim.Node
+
+	mu    sync.Mutex
+	vnets map[string]*VNetInstance
+	acks  map[string]chan *spawnMessage // coordinator side, keyed vnet+kind
+}
+
+// NewSpawner attaches a spawner to a node.
+func NewSpawner(node *netsim.Node) *Spawner {
+	s := &Spawner{
+		node:  node,
+		vnets: make(map[string]*VNetInstance),
+		acks:  make(map[string]chan *spawnMessage),
+	}
+	node.Register(ProtoSpawn, s.onSpawnFrame)
+	node.Register(ProtoVData, s.onVDataFrame)
+	return s
+}
+
+// VNet returns this node's instance of a spawned network.
+func (s *Spawner) VNet(name string) (*VNetInstance, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vnets[name]
+	return v, ok
+}
+
+// VNets lists installed vnet names, sorted.
+func (s *Spawner) VNets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.vnets))
+	for n := range s.vnets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SpawnSpec describes a child network to spawn.
+type SpawnSpec struct {
+	Name    string
+	Members []string            // parent node names; Members[0] hosts the coordinator
+	Adj     map[string][]string // child topology over member names
+	RatePps int64               // per-member capacity slice (packets/sec, 0 = unlimited)
+	Timeout time.Duration       // ack-collection timeout (default 2s)
+}
+
+// Spawn instantiates the child network described by spec. It must be
+// called on the Spawner of spec.Members[0] (the coordinator). The parent
+// network is consulted for control-plane routes; per-member routing tables
+// for the child topology are computed here (profiling), shipped in
+// spawnReq messages, and acknowledged by every member.
+func (s *Spawner) Spawn(parent *netsim.Network, spec SpawnSpec) error {
+	if spec.Name == "" || len(spec.Members) == 0 {
+		return fmt.Errorf("coord: spawn: empty spec: %w", ErrBadPath)
+	}
+	if spec.Members[0] != s.node.Name() {
+		return fmt.Errorf("coord: spawn must run on coordinator %q: %w",
+			spec.Members[0], ErrBadPath)
+	}
+	if spec.Timeout <= 0 {
+		spec.Timeout = 2 * time.Second
+	}
+	// Address assignment: 1..n in member order.
+	addrOf := make(map[string]byte, len(spec.Members))
+	for i, m := range spec.Members {
+		if i > 254 {
+			return fmt.Errorf("coord: spawn: too many members: %w", ErrBadPath)
+		}
+		addrOf[m] = byte(i + 1)
+	}
+	// Child routing tables: BFS per member over the child adjacency; plus
+	// parent tunnels realising each child-adjacent virtual link.
+	tables := make(map[string]map[byte]string, len(spec.Members))
+	tunnels := make(map[string]map[string][]string, len(spec.Members))
+	for _, m := range spec.Members {
+		nh, err := childRoutes(m, spec.Adj, addrOf)
+		if err != nil {
+			return err
+		}
+		tables[m] = nh
+		tunnels[m] = make(map[string][]string)
+		for _, nb := range spec.Adj[m] {
+			route, err := parent.ShortestPath(m, nb)
+			if err != nil {
+				return fmt.Errorf("coord: spawn: no parent path %s->%s: %w", m, nb, err)
+			}
+			tunnels[m][nb] = route
+		}
+	}
+
+	ackCh := make(chan *spawnMessage, len(spec.Members))
+	s.mu.Lock()
+	s.acks[spec.Name+"/spawn"] = ackCh
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.acks, spec.Name+"/spawn")
+		s.mu.Unlock()
+	}()
+
+	for _, m := range spec.Members {
+		req := &spawnMessage{
+			Type: spawnReq, VNet: spec.Name,
+			Addr: addrOf[m], AddrOf: addrOf, NextHop: tables[m],
+			Tunnels: tunnels[m], RatePps: spec.RatePps,
+		}
+		if m == s.node.Name() {
+			s.install(req)
+			ackCh <- &spawnMessage{Type: spawnAck, VNet: spec.Name}
+			continue
+		}
+		route, err := parent.ShortestPath(s.node.Name(), m)
+		if err != nil {
+			return fmt.Errorf("coord: spawn: no control route to %q: %w", m, err)
+		}
+		req.Route = route
+		req.RouteIdx = 1
+		if err := s.node.Send(route[1], ProtoSpawn, encodeSpawn(req)); err != nil {
+			return err
+		}
+	}
+	// Collect acknowledgements.
+	deadline := time.After(spec.Timeout)
+	for got := 0; got < len(spec.Members); got++ {
+		select {
+		case ack := <-ackCh:
+			if ack.Err != "" {
+				return fmt.Errorf("coord: spawn %q: member error: %s: %w",
+					spec.Name, ack.Err, ErrAdmission)
+			}
+		case <-deadline:
+			return fmt.Errorf("coord: spawn %q: %d/%d acks: %w",
+				spec.Name, got, len(spec.Members), ErrTimeout)
+		}
+	}
+	return nil
+}
+
+// Teardown removes the named vnet from all members (coordinator side).
+func (s *Spawner) Teardown(parent *netsim.Network, name string, members []string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ackCh := make(chan *spawnMessage, len(members))
+	s.mu.Lock()
+	s.acks[name+"/tear"] = ackCh
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.acks, name+"/tear")
+		s.mu.Unlock()
+	}()
+	for _, m := range members {
+		if m == s.node.Name() {
+			s.uninstall(name)
+			ackCh <- &spawnMessage{Type: spawnTearAck, VNet: name}
+			continue
+		}
+		route, err := parent.ShortestPath(s.node.Name(), m)
+		if err != nil {
+			return err
+		}
+		msg := &spawnMessage{Type: spawnTear, VNet: name, Route: route, RouteIdx: 1}
+		if err := s.node.Send(route[1], ProtoSpawn, encodeSpawn(msg)); err != nil {
+			return err
+		}
+	}
+	deadline := time.After(timeout)
+	for got := 0; got < len(members); got++ {
+		select {
+		case <-ackCh:
+		case <-deadline:
+			return fmt.Errorf("coord: teardown %q: %d/%d acks: %w", name, got, len(members), ErrTimeout)
+		}
+	}
+	return nil
+}
+
+// childRoutes computes the next-hop table for one member via BFS over the
+// child adjacency.
+func childRoutes(from string, adj map[string][]string, addrOf map[string]byte) (map[byte]string, error) {
+	next := make(map[byte]string)
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if _, ok := addrOf[nb]; !ok {
+				return nil, fmt.Errorf("coord: child adjacency references non-member %q: %w",
+					nb, ErrBadPath)
+			}
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	for member, addr := range addrOf {
+		if member == from {
+			continue
+		}
+		if _, reachable := prev[member]; !reachable {
+			return nil, fmt.Errorf("coord: member %q unreachable from %q in child topology: %w",
+				member, from, ErrBadPath)
+		}
+		// Walk back from member to from to find the first hop.
+		hop := member
+		for prev[hop] != from {
+			hop = prev[hop]
+		}
+		next[addr] = hop
+	}
+	return next, nil
+}
+
+// install creates the local VNetInstance.
+func (s *Spawner) install(req *spawnMessage) {
+	inst := &VNetInstance{
+		Name:    req.VNet,
+		Addr:    req.Addr,
+		addrOf:  req.AddrOf,
+		next:    req.NextHop,
+		tunnels: req.Tunnels,
+	}
+	if req.RatePps > 0 {
+		b, err := resources.NewTokenBucket(float64(req.RatePps), float64(req.RatePps), nil)
+		if err == nil {
+			inst.bucket = b
+		}
+	}
+	s.mu.Lock()
+	s.vnets[req.VNet] = inst
+	s.mu.Unlock()
+}
+
+func (s *Spawner) uninstall(name string) {
+	s.mu.Lock()
+	delete(s.vnets, name)
+	s.mu.Unlock()
+}
+
+// onSpawnFrame handles control messages, forwarding source-routed frames
+// not addressed to this node.
+func (s *Spawner) onSpawnFrame(from string, payload []byte) {
+	m, err := decodeSpawn(payload)
+	if err != nil {
+		return
+	}
+	// Relay if this node is a transit hop on the control route.
+	if len(m.Route) > 0 && m.RouteIdx < len(m.Route)-1 && m.Route[m.RouteIdx] == s.node.Name() {
+		fwd := *m
+		fwd.RouteIdx++
+		_ = s.node.Send(m.Route[fwd.RouteIdx], ProtoSpawn, encodeSpawn(&fwd))
+		return
+	}
+	switch m.Type {
+	case spawnReq:
+		s.install(m)
+		// Ack back along the reversed route.
+		ack := &spawnMessage{Type: spawnAck, VNet: m.VNet, Route: reverse(m.Route), RouteIdx: 1}
+		if len(ack.Route) > 1 {
+			_ = s.node.Send(ack.Route[1], ProtoSpawn, encodeSpawn(ack))
+		}
+	case spawnAck:
+		s.deliverAck(m.VNet+"/spawn", m)
+	case spawnTear:
+		s.uninstall(m.VNet)
+		ack := &spawnMessage{Type: spawnTearAck, VNet: m.VNet, Route: reverse(m.Route), RouteIdx: 1}
+		if len(ack.Route) > 1 {
+			_ = s.node.Send(ack.Route[1], ProtoSpawn, encodeSpawn(ack))
+		}
+	case spawnTearAck:
+		s.deliverAck(m.VNet+"/tear", m)
+	}
+}
+
+func (s *Spawner) deliverAck(key string, m *spawnMessage) {
+	s.mu.Lock()
+	ch := s.acks[key]
+	s.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+func reverse(in []string) []string {
+	out := make([]string, len(in))
+	for i, v := range in {
+		out[len(in)-1-i] = v
+	}
+	return out
+}
+
+// SendTo transmits payload to the member with child address dst through
+// the spawned network's own routing.
+func (s *Spawner) SendTo(vnet string, dst byte, payload []byte) error {
+	s.mu.Lock()
+	inst, ok := s.vnets[vnet]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("coord: vnet %q: %w", vnet, ErrNoSession)
+	}
+	if dst == inst.Addr {
+		inst.mu.Lock()
+		inst.delivered = append(inst.delivered, payload)
+		inst.mu.Unlock()
+		return nil
+	}
+	return s.forward(inst, &vdataMessage{
+		VNet: vnet, Src: inst.Addr, Dst: dst, TTL: 32, Payload: payload,
+	})
+}
+
+// forward sends a child packet one CHILD hop per the instance's routing
+// table, tunnelling it over the corresponding parent path, subject to the
+// member's capacity slice.
+func (s *Spawner) forward(inst *VNetInstance, m *vdataMessage) error {
+	if inst.bucket != nil && !inst.bucket.Allow(1) {
+		inst.mu.Lock()
+		inst.dropped++
+		inst.mu.Unlock()
+		return nil
+	}
+	hop, ok := inst.next[m.Dst]
+	if !ok {
+		inst.mu.Lock()
+		inst.dropped++
+		inst.mu.Unlock()
+		return fmt.Errorf("coord: vnet %q: no route to %d: %w", inst.Name, m.Dst, netsim.ErrNoRoute)
+	}
+	route, ok := inst.tunnels[hop]
+	if !ok || len(route) < 2 {
+		// Fall back to a direct parent link (child link == parent link).
+		route = []string{s.node.Name(), hop}
+	}
+	inst.mu.Lock()
+	inst.forwarded++
+	inst.mu.Unlock()
+	m.Route = route
+	m.RouteIdx = 1
+	return s.node.Send(route[1], ProtoVData, encodeVData(m))
+}
+
+// onVDataFrame relays tunnelled frames, and forwards or delivers child
+// packets at child hops. Transit nodes relay opaque tunnelled frames
+// without needing vnet membership; only child hops (members) interpret
+// them — non-member frames outside a valid tunnel are dropped: spawned
+// networks are isolated.
+func (s *Spawner) onVDataFrame(from string, payload []byte) {
+	m, err := decodeVData(payload)
+	if err != nil {
+		return
+	}
+	// Transit relay within a tunnel.
+	if m.RouteIdx < len(m.Route)-1 && m.Route[m.RouteIdx] == s.node.Name() {
+		fwd := *m
+		fwd.RouteIdx++
+		_ = s.node.Send(m.Route[fwd.RouteIdx], ProtoVData, encodeVData(&fwd))
+		return
+	}
+	// Tunnel endpoint: must be a member.
+	s.mu.Lock()
+	inst, ok := s.vnets[m.VNet]
+	s.mu.Unlock()
+	if !ok {
+		return // not a member: isolation drop
+	}
+	if m.Dst == inst.Addr {
+		inst.mu.Lock()
+		inst.delivered = append(inst.delivered, m.Payload)
+		inst.mu.Unlock()
+		return
+	}
+	if m.TTL == 0 {
+		inst.mu.Lock()
+		inst.dropped++
+		inst.mu.Unlock()
+		return
+	}
+	m.TTL--
+	_ = s.forward(inst, m)
+}

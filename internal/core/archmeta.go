@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// EventKind enumerates architecture meta-model mutation events.
+type EventKind int
+
+// Mutation event kinds.
+const (
+	EventInsert EventKind = iota + 1
+	EventRemove
+	EventBind
+	EventUnbind
+	EventRebind
+	EventStart
+	EventStop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventInsert:
+		return "insert"
+	case EventRemove:
+		return "remove"
+	case EventBind:
+		return "bind"
+	case EventUnbind:
+		return "unbind"
+	case EventRebind:
+		return "rebind"
+	case EventStart:
+		return "start"
+	case EventStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one architecture meta-model mutation notification. The
+// meta-model is causally connected: every capsule mutation emits exactly
+// one event after the mutation has been applied.
+type Event struct {
+	Kind       EventKind
+	Component  string
+	Peer       string // bind/unbind: the server component
+	Type       string // insert/remove: the component type name
+	Receptacle string
+	Iface      InterfaceID
+	Binding    BindingID
+}
+
+// eventHub fans events out to subscribers. Subscribers receive on buffered
+// channels; a subscriber that falls behind has events dropped (counted),
+// never blocking the architectural mutation path.
+type eventHub struct {
+	mu      sync.Mutex
+	nextID  int
+	subs    map[int]chan Event
+	dropped map[int]uint64
+	closed  bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[int]chan Event), dropped: make(map[int]uint64)}
+}
+
+func (h *eventHub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for id, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			h.dropped[id]++
+		}
+	}
+}
+
+func (h *eventHub) subscribe(buf int) (int, <-chan Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		ch := make(chan Event)
+		close(ch)
+		return -1, ch
+	}
+	h.nextID++
+	id := h.nextID
+	ch := make(chan Event, buf)
+	h.subs[id] = ch
+	return id, ch
+}
+
+func (h *eventHub) unsubscribe(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.subs[id]; ok {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+func (h *eventHub) droppedCount(id int) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped[id]
+}
+
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+// Subscribe registers an architecture meta-model event listener with the
+// given channel buffer. It returns the receive channel and a cancel
+// function. Events are dropped (not blocked on) if the subscriber lags.
+func (c *Capsule) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	id, ch := c.events.subscribe(buf)
+	return ch, func() { c.events.unsubscribe(id) }
+}
+
+// DroppedEvents reports how many events have been dropped for the
+// subscriber — useful in tests asserting no loss.
+func (c *Capsule) droppedEvents(id int) uint64 { return c.events.droppedCount(id) }
+
+// GraphNode is one component in an architecture snapshot.
+type GraphNode struct {
+	Name        string
+	Type        string
+	Started     bool
+	Provided    []InterfaceID
+	Receptacles []GraphReceptacle
+	Annotations map[string]string
+}
+
+// GraphReceptacle is one receptacle in an architecture snapshot.
+type GraphReceptacle struct {
+	Name  string
+	Iface InterfaceID
+	Bound bool
+}
+
+// GraphEdge is one binding in an architecture snapshot.
+type GraphEdge struct {
+	ID           BindingID
+	From         string
+	Receptacle   string
+	To           string
+	Iface        InterfaceID
+	Interceptors []string
+}
+
+// Graph is an immutable snapshot of a capsule's architecture: the product
+// of the architecture meta-model's introspection side.
+type Graph struct {
+	Capsule string
+	Nodes   []GraphNode
+	Edges   []GraphEdge
+}
+
+// Snapshot captures the current component/binding graph.
+func (c *Capsule) Snapshot() *Graph {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g := &Graph{Capsule: c.name}
+	names := make([]string, 0, len(c.comps))
+	for n := range c.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		comp := c.comps[n]
+		node := GraphNode{
+			Name:        n,
+			Type:        comp.TypeName(),
+			Started:     c.states[n] == stateStarted,
+			Provided:    comp.ProvidedIDs(),
+			Annotations: comp.Annotations(),
+		}
+		for _, rn := range comp.ReceptacleNames() {
+			r, _ := comp.Receptacle(rn)
+			node.Receptacles = append(node.Receptacles, GraphReceptacle{
+				Name: rn, Iface: r.Iface(), Bound: r.Bound(),
+			})
+		}
+		g.Nodes = append(g.Nodes, node)
+	}
+	ids := make([]BindingID, 0, len(c.bindings))
+	for id := range c.bindings {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := c.bindings[id]
+		g.Edges = append(g.Edges, GraphEdge{
+			ID: id, From: b.from, Receptacle: b.recpName,
+			To: b.to, Iface: b.iface, Interceptors: b.Interceptors(),
+		})
+	}
+	return g
+}
+
+// Node returns the snapshot node with the given name.
+func (g *Graph) Node(name string) (GraphNode, bool) {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return GraphNode{}, false
+}
+
+// OutEdges returns the edges whose client side is the named component.
+func (g *Graph) OutEdges(name string) []GraphEdge {
+	var out []GraphEdge
+	for _, e := range g.Edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges whose server side is the named component.
+func (g *Graph) InEdges(name string) []GraphEdge {
+	var out []GraphEdge
+	for _, e := range g.Edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks the snapshot's structural invariants: every edge endpoint
+// exists, every edge's receptacle exists on its client node with the edge's
+// interface, every bound receptacle has exactly one edge, and the server
+// node provides the edge's interface. This is the "analyse software on a
+// node as a single composite ... for consistency or integrity" capability
+// claimed in §4 of the paper.
+func (g *Graph) Validate() error {
+	nodes := make(map[string]GraphNode, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if _, dup := nodes[n.Name]; dup {
+			return fmt.Errorf("duplicate node %q: %w", n.Name, ErrInvariant)
+		}
+		nodes[n.Name] = n
+	}
+	edgesByRecp := make(map[string]int)
+	for _, e := range g.Edges {
+		from, ok := nodes[e.From]
+		if !ok {
+			return fmt.Errorf("edge #%d: client %q missing: %w", e.ID, e.From, ErrInvariant)
+		}
+		to, ok := nodes[e.To]
+		if !ok {
+			return fmt.Errorf("edge #%d: server %q missing: %w", e.ID, e.To, ErrInvariant)
+		}
+		var recp *GraphReceptacle
+		for i := range from.Receptacles {
+			if from.Receptacles[i].Name == e.Receptacle {
+				recp = &from.Receptacles[i]
+				break
+			}
+		}
+		if recp == nil {
+			return fmt.Errorf("edge #%d: receptacle %s.%q missing: %w",
+				e.ID, e.From, e.Receptacle, ErrInvariant)
+		}
+		if recp.Iface != e.Iface {
+			return fmt.Errorf("edge #%d: receptacle %s.%q requires %q but edge carries %q: %w",
+				e.ID, e.From, e.Receptacle, recp.Iface, e.Iface, ErrInvariant)
+		}
+		if !recp.Bound {
+			return fmt.Errorf("edge #%d: receptacle %s.%q not bound: %w",
+				e.ID, e.From, e.Receptacle, ErrInvariant)
+		}
+		provided := false
+		for _, id := range to.Provided {
+			if id == e.Iface {
+				provided = true
+				break
+			}
+		}
+		if !provided {
+			return fmt.Errorf("edge #%d: server %q does not provide %q: %w",
+				e.ID, e.To, e.Iface, ErrInvariant)
+		}
+		edgesByRecp[e.From+"\x00"+e.Receptacle]++
+	}
+	for key, n := range edgesByRecp {
+		if n > 1 {
+			return fmt.Errorf("receptacle %q has %d edges: %w", key, n, ErrInvariant)
+		}
+	}
+	return nil
+}

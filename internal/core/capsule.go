@@ -1,0 +1,484 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BindRequest describes a requested bind, passed to bind-time constraints.
+type BindRequest struct {
+	From       string // client component instance name
+	Receptacle string
+	To         string // server component instance name
+	Iface      InterfaceID
+}
+
+// BindConstraint is a named interceptor on the capsule's bind primitive.
+// The paper uses exactly this mechanism to implement dynamically
+// added/removed architectural constraints (policed, in the Router CF, by
+// the composite's controller ACL). Returning a non-nil error vetoes the
+// bind; the capsule wraps the error with ErrVetoed.
+type BindConstraint struct {
+	Name  string
+	Check func(cap *Capsule, req BindRequest) error
+}
+
+// compState tracks the lifecycle state of an instance.
+type compState int
+
+const (
+	stateCreated compState = iota + 1
+	stateStarted
+)
+
+// Capsule is the per-address-space component runtime: the paper's unit in
+// which components are instantiated and bound, and on which the
+// architecture meta-model is scoped. A process may host several capsules
+// (composite components instantiate nested capsules; the IPC layer hosts a
+// capsule per remote address space).
+type Capsule struct {
+	name     string
+	compReg  *ComponentRegistry
+	ifaceReg *InterfaceRegistry
+
+	mu          sync.RWMutex
+	closed      bool
+	comps       map[string]Component
+	states      map[string]compState
+	bindings    map[BindingID]*Binding
+	byComponent map[string]map[BindingID]*Binding // both endpoints
+	constraints []BindConstraint
+	nextBinding BindingID
+
+	events *eventHub
+}
+
+// CapsuleOption configures a capsule at construction.
+type CapsuleOption func(*Capsule)
+
+// WithComponentRegistry uses a private component registry instead of the
+// process-wide Components.
+func WithComponentRegistry(r *ComponentRegistry) CapsuleOption {
+	return func(c *Capsule) { c.compReg = r }
+}
+
+// WithInterfaceRegistry uses a private interface registry instead of the
+// process-wide Interfaces.
+func WithInterfaceRegistry(r *InterfaceRegistry) CapsuleOption {
+	return func(c *Capsule) { c.ifaceReg = r }
+}
+
+// NewCapsule returns an empty capsule.
+func NewCapsule(name string, opts ...CapsuleOption) *Capsule {
+	c := &Capsule{
+		name:        name,
+		compReg:     Components,
+		ifaceReg:    Interfaces,
+		comps:       make(map[string]Component),
+		states:      make(map[string]compState),
+		bindings:    make(map[BindingID]*Binding),
+		byComponent: make(map[string]map[BindingID]*Binding),
+		events:      newEventHub(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name returns the capsule's name.
+func (c *Capsule) Name() string { return c.name }
+
+// InterfaceRegistry returns the interface meta-model in force.
+func (c *Capsule) InterfaceRegistry() *InterfaceRegistry { return c.ifaceReg }
+
+// ComponentRegistry returns the loader registry in force.
+func (c *Capsule) ComponentRegistry() *ComponentRegistry { return c.compReg }
+
+// Instantiate constructs a component of typeName via the loader registry
+// and inserts it under the instance name.
+func (c *Capsule) Instantiate(name, typeName string, cfg map[string]string) (Component, error) {
+	comp, err := c.compReg.New(typeName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Insert(name, comp); err != nil {
+		return nil, err
+	}
+	return comp, nil
+}
+
+// Insert adds a pre-constructed component under the instance name.
+func (c *Capsule) Insert(name string, comp Component) error {
+	if name == "" || comp == nil {
+		return fmt.Errorf("core: insert: empty name or nil component")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCapsuleClosed
+	}
+	if _, ok := c.comps[name]; ok {
+		return fmt.Errorf("core: component %q: %w", name, ErrAlreadyExists)
+	}
+	c.comps[name] = comp
+	c.states[name] = stateCreated
+	c.byComponent[name] = make(map[BindingID]*Binding)
+	c.events.publish(Event{Kind: EventInsert, Component: name, Type: comp.TypeName()})
+	return nil
+}
+
+// Remove destroys a component instance. The instance must be stopped and
+// have no bindings at either endpoint.
+func (c *Capsule) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCapsuleClosed
+	}
+	comp, ok := c.comps[name]
+	if !ok {
+		return fmt.Errorf("core: component %q: %w", name, ErrNotFound)
+	}
+	if c.states[name] == stateStarted {
+		return fmt.Errorf("core: component %q still started: %w", name, ErrLifecycle)
+	}
+	if len(c.byComponent[name]) != 0 {
+		return fmt.Errorf("core: component %q has %d live bindings: %w",
+			name, len(c.byComponent[name]), ErrAlreadyBound)
+	}
+	delete(c.comps, name)
+	delete(c.states, name)
+	delete(c.byComponent, name)
+	c.events.publish(Event{Kind: EventRemove, Component: name, Type: comp.TypeName()})
+	return nil
+}
+
+// Component returns the named instance.
+func (c *Capsule) Component(name string) (Component, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	comp, ok := c.comps[name]
+	return comp, ok
+}
+
+// ComponentNames returns all instance names, sorted.
+func (c *Capsule) ComponentNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.comps))
+	for n := range c.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddConstraint installs a named interceptor on the bind primitive.
+func (c *Capsule) AddConstraint(bc BindConstraint) error {
+	if bc.Name == "" || bc.Check == nil {
+		return fmt.Errorf("core: add constraint: empty name or nil check")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.constraints {
+		if have.Name == bc.Name {
+			return fmt.Errorf("core: constraint %q: %w", bc.Name, ErrAlreadyExists)
+		}
+	}
+	c.constraints = append(c.constraints, bc)
+	return nil
+}
+
+// RemoveConstraint removes a named bind constraint.
+func (c *Capsule) RemoveConstraint(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, have := range c.constraints {
+		if have.Name == name {
+			c.constraints = append(c.constraints[:i], c.constraints[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: constraint %q: %w", name, ErrNotFound)
+}
+
+// Constraints returns the installed constraint names in evaluation order.
+func (c *Capsule) Constraints() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.constraints))
+	for i, bc := range c.constraints {
+		out[i] = bc.Name
+	}
+	return out
+}
+
+// Bind connects fromComp's named receptacle to toComp's provided interface
+// iface and returns the resulting first-class Binding. The bind runs all
+// installed constraints first; any veto aborts the bind with ErrVetoed in
+// the error chain.
+func (c *Capsule) Bind(fromComp, receptacle, toComp string, iface InterfaceID) (*Binding, error) {
+	req := BindRequest{From: fromComp, Receptacle: receptacle, To: toComp, Iface: iface}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrCapsuleClosed
+	}
+	from, ok := c.comps[fromComp]
+	if !ok {
+		return nil, fmt.Errorf("core: bind: client %q: %w", fromComp, ErrNotFound)
+	}
+	to, ok := c.comps[toComp]
+	if !ok {
+		return nil, fmt.Errorf("core: bind: server %q: %w", toComp, ErrNotFound)
+	}
+	recp, ok := from.Receptacle(receptacle)
+	if !ok {
+		return nil, fmt.Errorf("core: bind: receptacle %s.%q: %w", fromComp, receptacle, ErrNotFound)
+	}
+	if recp.Iface() != iface {
+		return nil, fmt.Errorf("core: bind: receptacle %s.%q requires %q, not %q: %w",
+			fromComp, receptacle, recp.Iface(), iface, ErrTypeMismatch)
+	}
+	target, ok := to.Provided(iface)
+	if !ok {
+		return nil, fmt.Errorf("core: bind: %q does not provide %q: %w", toComp, iface, ErrNotFound)
+	}
+	for _, bc := range c.constraints {
+		if err := bc.Check(c, req); err != nil {
+			return nil, fmt.Errorf("core: bind %s.%s -> %s: constraint %q: %v: %w",
+				fromComp, receptacle, toComp, bc.Name, err, ErrVetoed)
+		}
+	}
+	if err := recp.bindAny(target); err != nil {
+		return nil, err
+	}
+	c.nextBinding++
+	b := &Binding{
+		id:        c.nextBinding,
+		capsule:   c,
+		from:      fromComp,
+		recpName:  receptacle,
+		to:        toComp,
+		iface:     iface,
+		recp:      recp,
+		rawTarget: target,
+	}
+	c.bindings[b.id] = b
+	c.byComponent[fromComp][b.id] = b
+	c.byComponent[toComp][b.id] = b
+	c.events.publish(Event{Kind: EventBind, Component: fromComp, Peer: toComp,
+		Receptacle: receptacle, Iface: iface, Binding: b.id})
+	return b, nil
+}
+
+// Rebind atomically retargets an existing binding to a different server
+// component providing the same interface. The receptacle's reference is
+// swapped in one atomic store, so a concurrent data path sees either the
+// old or the new target and never an unbound receptacle — the primitive
+// that makes lossless hot-swap (experiment E4) possible. Constraints are
+// consulted as for Bind; the binding's interceptor chain is preserved.
+func (c *Capsule) Rebind(id BindingID, newTo string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCapsuleClosed
+	}
+	b, ok := c.bindings[id]
+	if !ok {
+		return fmt.Errorf("core: rebind #%d: %w", id, ErrNotFound)
+	}
+	to, ok := c.comps[newTo]
+	if !ok {
+		return fmt.Errorf("core: rebind #%d: server %q: %w", id, newTo, ErrNotFound)
+	}
+	target, ok := to.Provided(b.iface)
+	if !ok {
+		return fmt.Errorf("core: rebind #%d: %q does not provide %q: %w",
+			id, newTo, b.iface, ErrNotFound)
+	}
+	req := BindRequest{From: b.from, Receptacle: b.recpName, To: newTo, Iface: b.iface}
+	for _, bc := range c.constraints {
+		if err := bc.Check(c, req); err != nil {
+			return fmt.Errorf("core: rebind #%d to %s: constraint %q: %v: %w",
+				id, newTo, bc.Name, err, ErrVetoed)
+		}
+	}
+	b.mu.Lock()
+	oldTo := b.to
+	b.rawTarget = target
+	err := b.install(b.chain)
+	if err == nil {
+		b.to = newTo
+	}
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	delete(c.byComponent[oldTo], id)
+	c.byComponent[newTo][id] = b
+	c.events.publish(Event{Kind: EventRebind, Component: b.from, Peer: newTo,
+		Receptacle: b.recpName, Iface: b.iface, Binding: id})
+	return nil
+}
+
+// Unbind tears down a binding by ID, disconnecting the receptacle.
+func (c *Capsule) Unbind(id BindingID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrCapsuleClosed
+	}
+	b, ok := c.bindings[id]
+	if !ok {
+		return fmt.Errorf("core: binding #%d: %w", id, ErrNotFound)
+	}
+	b.recp.unbindAny()
+	delete(c.bindings, id)
+	delete(c.byComponent[b.from], id)
+	delete(c.byComponent[b.to], id)
+	c.events.publish(Event{Kind: EventUnbind, Component: b.from, Peer: b.to,
+		Receptacle: b.recpName, Iface: b.iface, Binding: id})
+	return nil
+}
+
+// Binding returns the binding with the given ID.
+func (c *Capsule) Binding(id BindingID) (*Binding, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.bindings[id]
+	return b, ok
+}
+
+// BindingsOf returns all bindings in which the named component participates
+// (as either endpoint), ordered by ID.
+func (c *Capsule) BindingsOf(name string) []*Binding {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.byComponent[name]
+	out := make([]*Binding, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Bindings returns all bindings ordered by ID.
+func (c *Capsule) Bindings() []*Binding {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Binding, 0, len(c.bindings))
+	for _, b := range c.bindings {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// StartComponent transitions the named instance to started, invoking its
+// Starter hook if present.
+func (c *Capsule) StartComponent(ctx context.Context, name string) error {
+	c.mu.Lock()
+	comp, ok := c.comps[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("core: start %q: %w", name, ErrNotFound)
+	}
+	if c.states[name] == stateStarted {
+		c.mu.Unlock()
+		return nil
+	}
+	c.states[name] = stateStarted
+	c.mu.Unlock()
+
+	if s, ok := comp.(Starter); ok {
+		if err := s.Start(ctx); err != nil {
+			c.mu.Lock()
+			c.states[name] = stateCreated
+			c.mu.Unlock()
+			return fmt.Errorf("core: start %q: %v: %w", name, err, ErrLifecycle)
+		}
+	}
+	c.events.publish(Event{Kind: EventStart, Component: name})
+	return nil
+}
+
+// StopComponent transitions the named instance to stopped, invoking its
+// Stopper hook if present.
+func (c *Capsule) StopComponent(ctx context.Context, name string) error {
+	c.mu.Lock()
+	comp, ok := c.comps[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("core: stop %q: %w", name, ErrNotFound)
+	}
+	if c.states[name] != stateStarted {
+		c.mu.Unlock()
+		return nil
+	}
+	c.states[name] = stateCreated
+	c.mu.Unlock()
+
+	if s, ok := comp.(Stopper); ok {
+		if err := s.Stop(ctx); err != nil {
+			return fmt.Errorf("core: stop %q: %v: %w", name, err, ErrLifecycle)
+		}
+	}
+	c.events.publish(Event{Kind: EventStop, Component: name})
+	return nil
+}
+
+// Started reports whether the named instance is in the started state.
+func (c *Capsule) Started(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.states[name] == stateStarted
+}
+
+// StartAll starts every component, in sorted name order for determinism.
+// On failure it stops the components it started and returns the error.
+func (c *Capsule) StartAll(ctx context.Context) error {
+	names := c.ComponentNames()
+	for i, n := range names {
+		if err := c.StartComponent(ctx, n); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = c.StopComponent(ctx, names[j])
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// StopAll stops every component in reverse sorted order, returning the
+// first error encountered but attempting every stop.
+func (c *Capsule) StopAll(ctx context.Context) error {
+	names := c.ComponentNames()
+	var firstErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		if err := c.StopComponent(ctx, names[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close stops all components, tears down all bindings and marks the capsule
+// unusable.
+func (c *Capsule) Close(ctx context.Context) error {
+	err := c.StopAll(ctx)
+	c.mu.Lock()
+	for id, b := range c.bindings {
+		b.recp.unbindAny()
+		delete(c.bindings, id)
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.events.close()
+	return err
+}

@@ -1,0 +1,38 @@
+// Package core implements the OpenCOM-style reflective component runtime
+// that underpins NETKIT (Coulson et al., "Reflective Middleware-based
+// Programmable Networking", RM2003).
+//
+// The runtime is organised around four ideas taken directly from the paper:
+//
+//   - Components are fine-grained units of deployment that provide named,
+//     versioned interfaces and declare their dependencies as explicit
+//     receptacles ("required" interfaces).
+//
+//   - Capsules are per-address-space containers in which components are
+//     instantiated, bound together, started, stopped, and destroyed. All
+//     mutation goes through the capsule so the runtime always has a
+//     causally-connected self-representation.
+//
+//   - Bindings are first-class: every receptacle→interface connection is a
+//     Binding object that can be inspected, intercepted and torn down at
+//     run time. When a binding carries no interceptors the receptacle holds
+//     a direct reference to the target interface (the Go analogue of the
+//     paper's "temporarily bypassing vtables" optimisation); installing an
+//     interceptor transparently re-routes the binding through a generated
+//     proxy.
+//
+//   - Three meta-models make the runtime reflective. The architecture
+//     meta-model exposes the component/binding graph of a capsule together
+//     with mutation events and invariant checks. The interface meta-model
+//     is a runtime catalogue of interface descriptors (the analogue of the
+//     paper's language-independent introspection built on type libraries);
+//     descriptors also supply proxy constructors used for interception and
+//     for remote (inter-address-space) bindings. The interception
+//     meta-model allows pre/post interceptors to be attached to any binding
+//     and to the capsule's bind primitive itself — the paper uses the
+//     latter to implement dynamically added architectural constraints.
+//
+// The resources meta-model described in the paper is provided by the
+// sibling package internal/resources and integrates through task
+// annotations on components.
+package core

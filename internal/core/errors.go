@@ -1,0 +1,45 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned by the component runtime. Callers should match
+// them with errors.Is; most runtime errors wrap one of these with
+// contextual detail.
+var (
+	// ErrNotFound indicates a component, receptacle, interface or binding
+	// that does not exist in the capsule addressed.
+	ErrNotFound = errors.New("core: not found")
+
+	// ErrAlreadyExists indicates a name collision when instantiating a
+	// component or registering a factory or interface descriptor.
+	ErrAlreadyExists = errors.New("core: already exists")
+
+	// ErrTypeMismatch indicates that a value offered to a receptacle or
+	// proxy does not implement the required interface.
+	ErrTypeMismatch = errors.New("core: interface type mismatch")
+
+	// ErrAlreadyBound indicates an attempt to bind a single-valued
+	// receptacle that is already connected.
+	ErrAlreadyBound = errors.New("core: receptacle already bound")
+
+	// ErrNotBound indicates an operation that requires a bound receptacle.
+	ErrNotBound = errors.New("core: receptacle not bound")
+
+	// ErrVetoed indicates that a bind-time constraint interceptor refused
+	// the requested architectural mutation.
+	ErrVetoed = errors.New("core: bind vetoed by constraint")
+
+	// ErrCapsuleClosed indicates use of a capsule after Close.
+	ErrCapsuleClosed = errors.New("core: capsule closed")
+
+	// ErrNoDescriptor indicates that an interface has no registered
+	// descriptor in the interface meta-model, so the requested reflective
+	// operation (interception proxying, remote stubs) is unavailable.
+	ErrNoDescriptor = errors.New("core: no interface descriptor registered")
+
+	// ErrLifecycle indicates a component start/stop failure.
+	ErrLifecycle = errors.New("core: lifecycle error")
+
+	// ErrInvariant indicates a violated architecture meta-model invariant.
+	ErrInvariant = errors.New("core: architecture invariant violated")
+)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickArchitectureInvariants drives a capsule through random
+// bind/unbind/insert/remove sequences and asserts that the architecture
+// meta-model snapshot always validates: the runtime's self-representation
+// can never become causally disconnected from the actual wiring.
+func TestQuickArchitectureInvariants(t *testing.T) {
+	check := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCapsule("quick", WithInterfaceRegistry(newTestRegistry(t)),
+			WithComponentRegistry(NewComponentRegistry()))
+		var bindings []BindingID
+		nSrc, nSnk := 0, 0
+		for i := 0; i < int(steps)%64+8; i++ {
+			switch rng.Intn(5) {
+			case 0: // insert a source
+				if err := c.Insert(fmt.Sprintf("src%d", nSrc), newSource()); err != nil {
+					return false
+				}
+				nSrc++
+			case 1: // insert a sink
+				if err := c.Insert(fmt.Sprintf("snk%d", nSnk), newSink()); err != nil {
+					return false
+				}
+				nSnk++
+			case 2: // bind a random src to a random snk (may legitimately fail)
+				if nSrc == 0 || nSnk == 0 {
+					continue
+				}
+				from := fmt.Sprintf("src%d", rng.Intn(nSrc))
+				to := fmt.Sprintf("snk%d", rng.Intn(nSnk))
+				if b, err := c.Bind(from, "out", to, ifSink); err == nil {
+					bindings = append(bindings, b.ID())
+				}
+			case 3: // unbind a random binding
+				if len(bindings) == 0 {
+					continue
+				}
+				i := rng.Intn(len(bindings))
+				if err := c.Unbind(bindings[i]); err != nil {
+					return false
+				}
+				bindings = append(bindings[:i], bindings[i+1:]...)
+			case 4: // intercept a random binding then remove the interceptor
+				if len(bindings) == 0 {
+					continue
+				}
+				b, ok := c.Binding(bindings[rng.Intn(len(bindings))])
+				if !ok {
+					return false
+				}
+				if err := b.AddInterceptor(Interceptor{Name: "q", Wrap: PrePost(nil, nil)}); err != nil {
+					return false
+				}
+				if err := b.RemoveInterceptor("q"); err != nil {
+					return false
+				}
+			}
+			if err := c.Snapshot().Validate(); err != nil {
+				t.Logf("invariant violated after step %d: %v", i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInterceptorChainEquivalence checks that for any chain of
+// argument-transforming interceptors, composing them through the binding
+// machinery computes the same function as composing them by hand.
+func TestQuickInterceptorChainEquivalence(t *testing.T) {
+	check := func(deltas []int8, input int16) bool {
+		if len(deltas) > 12 {
+			deltas = deltas[:12]
+		}
+		c := NewCapsule("quick2", WithInterfaceRegistry(newTestRegistry(t)),
+			WithComponentRegistry(NewComponentRegistry()))
+		src, snk := newSource(), newSink()
+		if err := c.Insert("src", src); err != nil {
+			return false
+		}
+		if err := c.Insert("snk", snk); err != nil {
+			return false
+		}
+		b, err := c.Bind("src", "out", "snk", ifSink)
+		if err != nil {
+			return false
+		}
+		for i, d := range deltas {
+			d := int(d)
+			if err := b.AddInterceptor(Interceptor{
+				Name: fmt.Sprintf("add%d", i),
+				Wrap: func(op string, args []any, invoke func([]any) []any) []any {
+					return invoke([]any{args[0].(int) + d})
+				},
+			}); err != nil {
+				return false
+			}
+		}
+		got := src.out.MustGet().Consume(int(input))
+		want := int(input)
+		for _, d := range deltas {
+			want += int(d)
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

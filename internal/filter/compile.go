@@ -1,0 +1,117 @@
+package filter
+
+import "fmt"
+
+// Matcher decides whether a packet (as a pre-extracted View) satisfies a
+// filter specification.
+type Matcher interface {
+	Match(v *View) bool
+}
+
+// MatcherFunc adapts a function to the Matcher interface.
+type MatcherFunc func(v *View) bool
+
+// Match implements Matcher.
+func (f MatcherFunc) Match(v *View) bool { return f(v) }
+
+// CompileClosure compiles the AST into a tree of Go closures: the reference
+// semantics. Each node becomes a function; evaluation short-circuits like
+// the source expression.
+func CompileClosure(n Node) (Matcher, error) {
+	f, err := closure(n)
+	if err != nil {
+		return nil, err
+	}
+	return MatcherFunc(f), nil
+}
+
+func closure(n Node) (func(*View) bool, error) {
+	switch t := n.(type) {
+	case *AndNode:
+		l, err := closure(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := closure(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(v *View) bool { return l(v) && r(v) }, nil
+	case *OrNode:
+		l, err := closure(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := closure(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(v *View) bool { return l(v) || r(v) }, nil
+	case *NotNode:
+		x, err := closure(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v *View) bool { return v.Version != 0 && !x(v) }, nil
+	case *VersionNode:
+		ver := t.V
+		return func(v *View) bool { return v.Version == ver }, nil
+	case *ProtoNode:
+		p := t.Proto
+		return func(v *View) bool { return v.Version != 0 && v.Proto == p }, nil
+	case *HostNode:
+		addr, dir := t.Addr, t.Dir
+		return func(v *View) bool {
+			if v.Version == 0 {
+				return false
+			}
+			if dir == DirSrc {
+				return v.Src == addr
+			}
+			return v.Dst == addr
+		}, nil
+	case *NetNode:
+		pfx, dir := t.Prefix, t.Dir
+		return func(v *View) bool {
+			if v.Version == 0 {
+				return false
+			}
+			if dir == DirSrc {
+				return pfx.Contains(v.Src)
+			}
+			return pfx.Contains(v.Dst)
+		}, nil
+	case *PortNode:
+		lo, hi, dir := t.Lo, t.Hi, t.Dir
+		return func(v *View) bool {
+			if !v.HasPorts {
+				return false
+			}
+			switch dir {
+			case DirSrc:
+				return v.SrcPort >= lo && v.SrcPort <= hi
+			case DirDst:
+				return v.DstPort >= lo && v.DstPort <= hi
+			default:
+				return (v.SrcPort >= lo && v.SrcPort <= hi) ||
+					(v.DstPort >= lo && v.DstPort <= hi)
+			}
+		}, nil
+	case *CmpNode:
+		f, op, val := t.Field, t.Op, t.Val
+		return func(v *View) bool {
+			return v.Version != 0 && op.eval(v.numField(f), val)
+		}, nil
+	default:
+		return nil, fmt.Errorf("filter: unknown node %T", n)
+	}
+}
+
+// Compile parses and closure-compiles a specification in one step.
+func Compile(spec string) (Matcher, error) {
+	n, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return CompileClosure(n)
+}

@@ -1,0 +1,269 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"netkit/internal/core"
+	"netkit/internal/router"
+)
+
+// Client is the parent-composite side of an isolation boundary: it
+// instantiates components in the remote host and manufactures local
+// stand-ins whose bindings transparently cross the wire.
+type Client struct {
+	w      *wire
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	pending map[uint64]chan *message
+	remotes map[string]*RemoteComponent
+	readErr error
+	done    chan struct{}
+}
+
+// Dial wraps an established connection (the host must be serving the other
+// end) and starts the demultiplexing reader.
+func Dial(conn net.Conn) *Client {
+	c := &Client{
+		w:       newWire(conn),
+		pending: make(map[uint64]chan *message),
+		remotes: make(map[string]*RemoteComponent),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err := c.w.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		m, err := c.w.recv()
+		if err != nil {
+			c.mu.Lock()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) ||
+				errors.Is(err, net.ErrClosed) || c.closed.Load() {
+				c.readErr = ErrClosed
+			} else {
+				c.readErr = err
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch m.Kind {
+		case "resp":
+			c.mu.Lock()
+			ch, ok := c.pending[m.ID]
+			if ok {
+				delete(c.pending, m.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case "emit":
+			c.mu.Lock()
+			rc := c.remotes[m.Name]
+			c.mu.Unlock()
+			if rc != nil {
+				rc.deliver(m.Port, m.Payload)
+			}
+		}
+	}
+}
+
+// call performs one synchronous request.
+func (c *Client) call(m *message) (*message, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	id := c.nextID.Add(1)
+	m.ID = id
+	m.Kind = "req"
+	ch := make(chan *message, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+	if err := c.w.send(m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ipc: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	if resp.Err != "" {
+		if resp.Contained {
+			return resp, fmt.Errorf("ipc: %s: %w", resp.Err, ErrContained)
+		}
+		return resp, fmt.Errorf("ipc: %s: %w", resp.Err, ErrRemote)
+	}
+	return resp, nil
+}
+
+// Instantiate creates a component of typeName in the remote host and
+// returns its local stand-in, carrying the netkit.remote annotation that
+// satisfies the Router CF's trust-isolation rule. Packet receptacles
+// reported by the remote side appear as local receptacles wired through
+// the connection.
+func (c *Client) Instantiate(name, typeName string, cfg map[string]string) (*RemoteComponent, error) {
+	resp, err := c.call(&message{Op: "instantiate", Name: name, Type: typeName, Cfg: cfg})
+	if err != nil {
+		return nil, err
+	}
+	rc := &RemoteComponent{
+		Base:   core.NewBase(typeName),
+		client: c,
+		remote: name,
+		outs:   make(map[string]*core.Receptacle[router.IPacketPush]),
+	}
+	rc.SetAnnotation("netkit.remote", "true")
+	provided := make(map[string]bool, len(resp.Provided))
+	for _, id := range resp.Provided {
+		provided[id] = true
+	}
+	if provided[string(router.IPacketPushID)] {
+		rc.Provide(router.IPacketPushID, rc)
+	}
+	if provided[string(router.IClassifierID)] {
+		rc.Provide(router.IClassifierID, rc)
+	}
+	for _, port := range resp.Receptacles {
+		r := core.NewReceptacle[router.IPacketPush](router.IPacketPushID)
+		rc.outs[port] = r
+		rc.AddReceptacle(port, r)
+		if _, err := c.call(&message{Op: "bindout", Name: name, Port: port}); err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	c.remotes[name] = rc
+	c.mu.Unlock()
+	return rc, nil
+}
+
+// RemoteComponent is the in-capsule stand-in for a component hosted in a
+// separate address space.
+type RemoteComponent struct {
+	*core.Base
+	client *Client
+	remote string
+
+	mu   sync.RWMutex
+	outs map[string]*core.Receptacle[router.IPacketPush]
+
+	emitted atomic.Uint64
+	lost    atomic.Uint64
+}
+
+var (
+	_ core.Component     = (*RemoteComponent)(nil)
+	_ router.IPacketPush = (*RemoteComponent)(nil)
+	_ router.IClassifier = (*RemoteComponent)(nil)
+)
+
+// Push implements IPacketPush by marshalling the packet across the wire.
+func (rc *RemoteComponent) Push(p *Packet) error {
+	data := p.Data
+	_, err := rc.client.call(&message{Op: "push", Name: rc.remote, Payload: data})
+	p.Release()
+	return err
+}
+
+// Packet aliases router.Packet for the exported Push signature.
+type Packet = router.Packet
+
+// RegisterFilter implements IClassifier remotely.
+func (rc *RemoteComponent) RegisterFilter(spec string, priority int, output string) (uint64, error) {
+	resp, err := rc.client.call(&message{
+		Op: "regfilter", Name: rc.remote, Spec: spec, Priority: priority, Output: output,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.FilterID, nil
+}
+
+// UnregisterFilter implements IClassifier remotely.
+func (rc *RemoteComponent) UnregisterFilter(id uint64) error {
+	_, err := rc.client.call(&message{Op: "unregfilter", Name: rc.remote, FilterID: id})
+	return err
+}
+
+// FilterOutputs implements IClassifier remotely.
+func (rc *RemoteComponent) FilterOutputs() []string {
+	resp, err := rc.client.call(&message{Op: "outputs", Name: rc.remote})
+	if err != nil {
+		return nil
+	}
+	return resp.Outputs
+}
+
+// deliver hands an emitted packet to the local continuation of the named
+// receptacle.
+func (rc *RemoteComponent) deliver(port string, payload []byte) {
+	rc.mu.RLock()
+	r := rc.outs[port]
+	rc.mu.RUnlock()
+	if r == nil {
+		rc.lost.Add(1)
+		return
+	}
+	next, ok := r.Get()
+	if !ok {
+		rc.lost.Add(1)
+		return
+	}
+	rc.emitted.Add(1)
+	_ = next.Push(router.NewPacket(payload))
+}
+
+// Emitted reports packets the remote side sent back through bound
+// receptacles; Lost reports emissions with no local binding.
+func (rc *RemoteComponent) Emitted() uint64 { return rc.emitted.Load() }
+
+// Lost reports emissions that arrived while the local receptacle was
+// unbound.
+func (rc *RemoteComponent) Lost() uint64 { return rc.lost.Load() }
+
+// HostPair wires a Host and Client over an in-memory pipe: the test and
+// benchmark configuration standing in for a real two-process deployment
+// (the protocol is identical over TCP).
+func HostPair(reg *core.ComponentRegistry) (*Client, *Host, func()) {
+	a, b := net.Pipe()
+	h := NewHost(b, reg)
+	go func() { _ = h.Serve() }()
+	c := Dial(a)
+	cleanup := func() {
+		_ = c.Close()
+		_ = h.Close()
+	}
+	return c, h, cleanup
+}

@@ -1,0 +1,263 @@
+// Package ipc realises §5's isolation mechanism: "untrusted constituents
+// can be instantiated, and remotely managed by the parent composite, in a
+// separate address-space from the parent ... inter-component bindings in
+// this case are transparently realised in terms of OS-level IPC mechanisms
+// rather than intra-address space vtables".
+//
+// A Host owns a private capsule in the isolated domain and serves a wire
+// protocol (gob over any net.Conn: net.Pipe in tests, TCP between real
+// processes). The parent side holds a RemoteComponent — an ordinary
+// core.Component stand-in whose IPacketPush/IClassifier calls marshal over
+// the wire, and whose receptacles deliver packets the remote side emits.
+// A panic inside a hosted component is contained by the host and surfaces
+// to the caller as an error (crash containment), which experiment E6
+// checks alongside the in-proc/out-of-proc cost gap.
+package ipc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"netkit/internal/core"
+	"netkit/internal/router"
+)
+
+// Sentinel errors.
+var (
+	// ErrRemote wraps an error reported by the remote host.
+	ErrRemote = errors.New("ipc: remote error")
+	// ErrClosed indicates use of a closed client or host.
+	ErrClosed = errors.New("ipc: connection closed")
+	// ErrContained indicates a panic inside a hosted component that the
+	// host absorbed.
+	ErrContained = errors.New("ipc: hosted component crashed (contained)")
+)
+
+// message is the single wire frame (requests, responses and emissions).
+type message struct {
+	ID   uint64 // correlation; 0 on emissions
+	Kind string // "req", "resp", "emit"
+	Op   string // req: instantiate|push|bindout|regfilter|unregfilter|outputs
+
+	Name    string // component instance name
+	Type    string
+	Cfg     map[string]string
+	Port    string // receptacle name (bindout, emit)
+	Payload []byte
+
+	Spec     string
+	Priority int
+	Output   string
+	FilterID uint64
+
+	Err         string
+	Contained   bool
+	Provided    []string
+	Receptacles []string
+	Outputs     []string
+}
+
+// wire wraps a conn with gob codecs and a write lock.
+type wire struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (w *wire) send(m *message) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.enc.Encode(m)
+}
+
+func (w *wire) recv() (*message, error) {
+	var m message
+	if err := w.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Host (isolated address space side)
+
+// reflector is the host-side terminus for a hosted component's output: it
+// emits packets back over the wire tagged with the source port.
+type reflector struct {
+	*core.Base
+	w    *wire
+	name string
+	port string
+}
+
+func (r *reflector) Push(p *router.Packet) error {
+	data := append([]byte(nil), p.Data...)
+	p.Release()
+	return r.w.send(&message{Kind: "emit", Name: r.name, Port: r.port, Payload: data})
+}
+
+// Host serves one isolated capsule over one connection.
+type Host struct {
+	capsule *core.Capsule
+	w       *wire
+	closed  atomic.Bool
+}
+
+// NewHost creates a host over conn, instantiating components via reg (nil
+// uses the process-wide registry).
+func NewHost(conn net.Conn, reg *core.ComponentRegistry) *Host {
+	opts := []core.CapsuleOption{}
+	if reg != nil {
+		opts = append(opts, core.WithComponentRegistry(reg))
+	}
+	return &Host{
+		capsule: core.NewCapsule("ipc-host", opts...),
+		w:       newWire(conn),
+	}
+}
+
+// Serve processes requests until the connection closes. It returns nil on
+// orderly shutdown (EOF / closed pipe).
+func (h *Host) Serve() error {
+	for {
+		m, err := h.w.recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || h.closed.Load() {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("ipc: host recv: %w", err)
+		}
+		resp := h.handle(m)
+		resp.ID = m.ID
+		resp.Kind = "resp"
+		if err := h.w.send(resp); err != nil {
+			return fmt.Errorf("ipc: host send: %w", err)
+		}
+	}
+}
+
+// Close shuts the host down.
+func (h *Host) Close() error {
+	h.closed.Store(true)
+	return h.w.conn.Close()
+}
+
+// handle dispatches one request, containing panics from hosted code.
+func (h *Host) handle(m *message) (resp *message) {
+	resp = &message{}
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Err = fmt.Sprintf("panic: %v", r)
+			resp.Contained = true
+		}
+	}()
+	switch m.Op {
+	case "instantiate":
+		comp, err := h.capsule.Instantiate(m.Name, m.Type, m.Cfg)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		for _, id := range comp.ProvidedIDs() {
+			resp.Provided = append(resp.Provided, string(id))
+		}
+		for _, rn := range comp.ReceptacleNames() {
+			r, _ := comp.Receptacle(rn)
+			if r.Iface() == router.IPacketPushID {
+				resp.Receptacles = append(resp.Receptacles, rn)
+			}
+		}
+		return resp
+	case "bindout":
+		// Bind the hosted component's named receptacle to a reflector.
+		refl := &reflector{
+			Base: core.NewBase("netkit.ipc.Reflector"),
+			w:    h.w, name: m.Name, port: m.Port,
+		}
+		refl.Provide(router.IPacketPushID, refl)
+		rname := "refl-" + m.Name + "-" + m.Port
+		if err := h.capsule.Insert(rname, refl); err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		if _, err := h.capsule.Bind(m.Name, m.Port, rname, router.IPacketPushID); err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		return resp
+	case "push":
+		comp, ok := h.capsule.Component(m.Name)
+		if !ok {
+			resp.Err = "no such component"
+			return resp
+		}
+		impl, ok := comp.Provided(router.IPacketPushID)
+		if !ok {
+			resp.Err = "component does not provide IPacketPush"
+			return resp
+		}
+		if err := impl.(router.IPacketPush).Push(router.NewPacket(m.Payload)); err != nil {
+			resp.Err = err.Error()
+		}
+		return resp
+	case "regfilter":
+		cls, err := h.classifier(m.Name)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		id, err := cls.RegisterFilter(m.Spec, m.Priority, m.Output)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.FilterID = id
+		return resp
+	case "unregfilter":
+		cls, err := h.classifier(m.Name)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		if err := cls.UnregisterFilter(m.FilterID); err != nil {
+			resp.Err = err.Error()
+		}
+		return resp
+	case "outputs":
+		cls, err := h.classifier(m.Name)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Outputs = cls.FilterOutputs()
+		return resp
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", m.Op)
+		return resp
+	}
+}
+
+func (h *Host) classifier(name string) (router.IClassifier, error) {
+	comp, ok := h.capsule.Component(name)
+	if !ok {
+		return nil, fmt.Errorf("no such component %q", name)
+	}
+	impl, ok := comp.Provided(router.IClassifierID)
+	if !ok {
+		return nil, fmt.Errorf("component %q does not provide IClassifier", name)
+	}
+	return impl.(router.IClassifier), nil
+}

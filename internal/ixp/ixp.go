@@ -1,0 +1,273 @@
+// Package ixp is a deterministic performance model of the Intel IXP1200
+// network processor the paper targets in §5: a StrongARM control processor
+// plus six 'micro-engine' packet processors, each with four hardware
+// thread contexts, over a hierarchical memory system (scratchpad, SRAM,
+// SDRAM). The paper leaves the IXP port as future work but sketches its
+// central problem — component placement: "we need to additionally place
+// components (whether on the control processor or a micro-engine)
+// according to performance and load-balancing considerations. We think
+// that the CF itself should contain the 'intelligence' to transparently
+// manage this placement, but with the possibility to control/override this
+// via a 'placement' meta-model." This package implements that placement
+// meta-model against the cycle model, and experiment E7 evaluates it.
+//
+// The model is analytic and fully deterministic: each pipeline stage has a
+// compute-cycle cost and per-memory-kind reference counts; hardware
+// threads overlap memory latency with other contexts' compute, so an
+// engine's effective per-packet cost is max(compute, memory/threads).
+// Pipeline throughput is bottlenecked by the busiest processor.
+package ixp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadChip indicates an invalid chip description.
+	ErrBadChip = errors.New("ixp: bad chip")
+	// ErrBadStage indicates an invalid pipeline stage.
+	ErrBadStage = errors.New("ixp: bad stage")
+	// ErrBadPlacement indicates an assignment referencing unknown stages
+	// or engines.
+	ErrBadPlacement = errors.New("ixp: bad placement")
+)
+
+// MemKind identifies a level of the IXP memory hierarchy.
+type MemKind int
+
+// Memory kinds.
+const (
+	MemScratch MemKind = iota + 1 // on-chip scratchpad
+	MemSRAM                       // external SRAM (tables, queues)
+	MemSDRAM                      // external SDRAM (packet bodies)
+)
+
+// String implements fmt.Stringer.
+func (k MemKind) String() string {
+	switch k {
+	case MemScratch:
+		return "scratch"
+	case MemSRAM:
+		return "sram"
+	case MemSDRAM:
+		return "sdram"
+	default:
+		return fmt.Sprintf("MemKind(%d)", int(k))
+	}
+}
+
+// Chip describes the processor complex.
+type Chip struct {
+	// EngineClockHz is the micro-engine clock.
+	EngineClockHz float64
+	// CtrlClockHz is the StrongARM clock.
+	CtrlClockHz float64
+	// Engines is the micro-engine count.
+	Engines int
+	// Threads is the hardware contexts per engine.
+	Threads int
+	// MemLatency is cycles per reference per kind.
+	MemLatency map[MemKind]int
+	// CtrlPenalty multiplies stage cost on the control processor (no
+	// packet-path hardware assists, cache effects): > 1.
+	CtrlPenalty float64
+}
+
+// DefaultIXP1200 returns the published IXP1200 configuration: 232 MHz
+// StrongARM + 6 micro-engines at 232 MHz with 4 contexts each; scratchpad
+// ~12 cycles, SRAM ~20, SDRAM ~40 per reference; control-path penalty 4x.
+func DefaultIXP1200() Chip {
+	return Chip{
+		EngineClockHz: 232e6,
+		CtrlClockHz:   232e6,
+		Engines:       6,
+		Threads:       4,
+		MemLatency: map[MemKind]int{
+			MemScratch: 12,
+			MemSRAM:    20,
+			MemSDRAM:   40,
+		},
+		CtrlPenalty: 4,
+	}
+}
+
+// validate checks chip sanity.
+func (c Chip) validate() error {
+	if c.EngineClockHz <= 0 || c.CtrlClockHz <= 0 || c.Engines < 1 ||
+		c.Threads < 1 || c.CtrlPenalty < 1 {
+		return fmt.Errorf("ixp: %+v: %w", c, ErrBadChip)
+	}
+	return nil
+}
+
+// Stage is one packet-processing component with its cost model.
+type Stage struct {
+	Name          string
+	ComputeCycles int
+	MemRefs       map[MemKind]int
+}
+
+// memCycles is the total memory latency per packet for this stage.
+func (s Stage) memCycles(chip Chip) int {
+	total := 0
+	for kind, n := range s.MemRefs {
+		total += n * chip.MemLatency[kind]
+	}
+	return total
+}
+
+// Pipeline is an ordered chain of stages every packet traverses.
+type Pipeline []Stage
+
+// validate checks stage sanity and name uniqueness.
+func (p Pipeline) validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("ixp: empty pipeline: %w", ErrBadStage)
+	}
+	seen := make(map[string]bool, len(p))
+	for _, s := range p {
+		if s.Name == "" || s.ComputeCycles < 0 {
+			return fmt.Errorf("ixp: stage %+v: %w", s, ErrBadStage)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("ixp: duplicate stage %q: %w", s.Name, ErrBadStage)
+		}
+		seen[s.Name] = true
+		for _, n := range s.MemRefs {
+			if n < 0 {
+				return fmt.Errorf("ixp: stage %q negative mem refs: %w", s.Name, ErrBadStage)
+			}
+		}
+	}
+	return nil
+}
+
+// Target is a placement destination.
+type Target struct {
+	// Control selects the StrongARM; otherwise Engine indexes a
+	// micro-engine.
+	Control bool
+	Engine  int
+}
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	if t.Control {
+		return "strongarm"
+	}
+	return fmt.Sprintf("ue%d", t.Engine)
+}
+
+// Assignment maps stage names to targets: the reflective state of the
+// placement meta-model.
+type Assignment map[string]Target
+
+// Report is the evaluation of one placement.
+type Report struct {
+	// CyclesPerPacket is each used target's effective per-packet cost.
+	CyclesPerPacket map[Target]float64
+	// Bottleneck is the slowest target.
+	Bottleneck Target
+	// ThroughputPPS is the pipeline's packets/sec.
+	ThroughputPPS float64
+	// Utilization is each used target's busy fraction at the bottleneck
+	// rate (the bottleneck runs at 1.0).
+	Utilization map[Target]float64
+}
+
+// Evaluate computes the steady-state throughput of the pipeline under the
+// given placement.
+func Evaluate(chip Chip, pipe Pipeline, asg Assignment) (*Report, error) {
+	if err := chip.validate(); err != nil {
+		return nil, err
+	}
+	if err := pipe.validate(); err != nil {
+		return nil, err
+	}
+	// Aggregate compute and memory cycles per target.
+	type load struct{ compute, mem float64 }
+	loads := make(map[Target]*load)
+	for _, s := range pipe {
+		t, ok := asg[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("ixp: stage %q unplaced: %w", s.Name, ErrBadPlacement)
+		}
+		if !t.Control && (t.Engine < 0 || t.Engine >= chip.Engines) {
+			return nil, fmt.Errorf("ixp: stage %q on engine %d of %d: %w",
+				s.Name, t.Engine, chip.Engines, ErrBadPlacement)
+		}
+		l := loads[t]
+		if l == nil {
+			l = &load{}
+			loads[t] = l
+		}
+		c := float64(s.ComputeCycles)
+		m := float64(s.memCycles(chip))
+		if t.Control {
+			// The control processor has one context and pays the penalty;
+			// memory cannot be overlapped.
+			l.compute += (c + m) * chip.CtrlPenalty
+		} else {
+			l.compute += c
+			l.mem += m
+		}
+	}
+	r := &Report{
+		CyclesPerPacket: make(map[Target]float64, len(loads)),
+		Utilization:     make(map[Target]float64, len(loads)),
+	}
+	worstTime := 0.0
+	for t, l := range loads {
+		var cycles, clock float64
+		if t.Control {
+			cycles = l.compute
+			clock = chip.CtrlClockHz
+		} else {
+			// Hardware threads overlap memory stalls with compute from
+			// other contexts.
+			overlapped := l.mem / float64(chip.Threads)
+			cycles = l.compute
+			if overlapped > cycles {
+				cycles = overlapped
+			}
+			// A context switch per stage visit is unavoidable.
+			cycles += 2
+			clock = chip.EngineClockHz
+		}
+		r.CyclesPerPacket[t] = cycles
+		secPerPkt := cycles / clock
+		if secPerPkt > worstTime {
+			worstTime = secPerPkt
+			r.Bottleneck = t
+		}
+	}
+	if worstTime <= 0 {
+		return nil, fmt.Errorf("ixp: degenerate pipeline: %w", ErrBadStage)
+	}
+	r.ThroughputPPS = 1 / worstTime
+	for t, cycles := range r.CyclesPerPacket {
+		clock := chip.EngineClockHz
+		if t.Control {
+			clock = chip.CtrlClockHz
+		}
+		r.Utilization[t] = (cycles / clock) / worstTime
+	}
+	return r, nil
+}
+
+// StandardPipeline returns the Figure-3 pipeline's cost model: the stages
+// of the paper's composite with costs in the ballpark of published IXP1200
+// measurements (header processing tens of cycles of compute, table lookups
+// in SRAM, packet-body touches in SDRAM).
+func StandardPipeline() Pipeline {
+	return Pipeline{
+		{Name: "rx", ComputeCycles: 30, MemRefs: map[MemKind]int{MemSDRAM: 2, MemScratch: 1}},
+		{Name: "classify", ComputeCycles: 60, MemRefs: map[MemKind]int{MemSRAM: 3}},
+		{Name: "iphdr", ComputeCycles: 45, MemRefs: map[MemKind]int{MemSRAM: 1, MemSDRAM: 1}},
+		{Name: "queue", ComputeCycles: 25, MemRefs: map[MemKind]int{MemSRAM: 2, MemScratch: 2}},
+		{Name: "sched", ComputeCycles: 40, MemRefs: map[MemKind]int{MemScratch: 3}},
+		{Name: "tx", ComputeCycles: 30, MemRefs: map[MemKind]int{MemSDRAM: 2}},
+	}
+}

@@ -1,0 +1,293 @@
+package ixp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func chip(t *testing.T) Chip {
+	t.Helper()
+	return DefaultIXP1200()
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	if _, err := Evaluate(Chip{}, pipe, PlaceAllControl(pipe)); !errors.Is(err, ErrBadChip) {
+		t.Fatalf("want ErrBadChip, got %v", err)
+	}
+	if _, err := Evaluate(c, Pipeline{}, Assignment{}); !errors.Is(err, ErrBadStage) {
+		t.Fatalf("want ErrBadStage, got %v", err)
+	}
+	if _, err := Evaluate(c, pipe, Assignment{}); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("want ErrBadPlacement for unplaced, got %v", err)
+	}
+	bad := PlaceRoundRobin(c, pipe)
+	bad[pipe[0].Name] = Target{Engine: 99}
+	if _, err := Evaluate(c, pipe, bad); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("want ErrBadPlacement for engine 99, got %v", err)
+	}
+	dup := Pipeline{{Name: "a", ComputeCycles: 1}, {Name: "a", ComputeCycles: 1}}
+	if _, err := Evaluate(c, dup, Assignment{"a": {}}); !errors.Is(err, ErrBadStage) {
+		t.Fatalf("want ErrBadStage for duplicate, got %v", err)
+	}
+}
+
+func TestAllControlSlowerThanEngines(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	ctrl, err := Evaluate(c, pipe, PlaceAllControl(pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Evaluate(c, pipe, PlaceRoundRobin(c, pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.ThroughputPPS >= rr.ThroughputPPS {
+		t.Fatalf("control-only %.0f pps >= spread %.0f pps", ctrl.ThroughputPPS, rr.ThroughputPPS)
+	}
+	if !ctrl.Bottleneck.Control {
+		t.Fatal("control-only bottleneck should be the StrongARM")
+	}
+}
+
+func TestGreedyBeatsOrMatchesRoundRobin(t *testing.T) {
+	c := chip(t)
+	// A deliberately skewed pipeline: round-robin colocates heavy stages.
+	pipe := Pipeline{
+		{Name: "a", ComputeCycles: 500},
+		{Name: "b", ComputeCycles: 10},
+		{Name: "c", ComputeCycles: 10},
+		{Name: "d", ComputeCycles: 480},
+		{Name: "e", ComputeCycles: 10},
+		{Name: "f", ComputeCycles: 10},
+		{Name: "g", ComputeCycles: 490},
+	}
+	small := c
+	small.Engines = 3
+	rr, err := Evaluate(small, pipe, PlaceRoundRobin(small, pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Evaluate(small, pipe, PlaceGreedy(small, pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.ThroughputPPS < rr.ThroughputPPS {
+		t.Fatalf("greedy %.0f < round-robin %.0f", gr.ThroughputPPS, rr.ThroughputPPS)
+	}
+}
+
+func TestMoreEnginesNeverHurt(t *testing.T) {
+	pipe := StandardPipeline()
+	prev := 0.0
+	for engines := 1; engines <= 6; engines++ {
+		c := chip(t)
+		c.Engines = engines
+		rep, err := Evaluate(c, pipe, PlaceGreedy(c, pipe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ThroughputPPS+1e-9 < prev {
+			t.Fatalf("throughput fell from %.0f to %.0f at %d engines",
+				prev, rep.ThroughputPPS, engines)
+		}
+		prev = rep.ThroughputPPS
+	}
+}
+
+func TestThreadsHideMemoryLatency(t *testing.T) {
+	// A memory-bound stage: more hardware contexts must increase
+	// throughput.
+	pipe := Pipeline{
+		{Name: "memhog", ComputeCycles: 10, MemRefs: map[MemKind]int{MemSDRAM: 10}},
+	}
+	asg := Assignment{"memhog": {Engine: 0}}
+	c1 := chip(t)
+	c1.Threads = 1
+	c4 := chip(t)
+	c4.Threads = 4
+	r1, err := Evaluate(c1, pipe, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Evaluate(c4, pipe, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.ThroughputPPS <= r1.ThroughputPPS {
+		t.Fatalf("4 threads %.0f <= 1 thread %.0f", r4.ThroughputPPS, r1.ThroughputPPS)
+	}
+	// A compute-bound stage gains nothing from threading.
+	pipe2 := Pipeline{{Name: "cpu", ComputeCycles: 400}}
+	asg2 := Assignment{"cpu": {Engine: 0}}
+	r1c, err := Evaluate(c1, pipe2, asg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4c, err := Evaluate(c4, pipe2, asg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1c.ThroughputPPS != r4c.ThroughputPPS {
+		t.Fatalf("compute-bound gained from threads: %.0f vs %.0f",
+			r1c.ThroughputPPS, r4c.ThroughputPPS)
+	}
+}
+
+func TestUtilizationBottleneckIsOne(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	rep, err := Evaluate(c, pipe, PlaceGreedy(c, pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := rep.Utilization[rep.Bottleneck]; u < 0.999 || u > 1.001 {
+		t.Fatalf("bottleneck utilization = %f", u)
+	}
+	for tgt, u := range rep.Utilization {
+		if u > 1.001 {
+			t.Fatalf("target %s over-utilised: %f", tgt, u)
+		}
+	}
+}
+
+func TestManagerRebalanceImproves(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	// Start from the worst placement: everything on engine 0.
+	bad := make(Assignment, len(pipe))
+	for _, s := range pipe {
+		bad[s.Name] = Target{Engine: 0}
+	}
+	m, err := NewManager(c, pipe, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Rebalance(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("no migrations from the all-on-one placement")
+	}
+	after, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ThroughputPPS <= before.ThroughputPPS {
+		t.Fatalf("rebalance did not improve: %.0f -> %.0f",
+			before.ThroughputPPS, after.ThroughputPPS)
+	}
+	// Rebalance converges: a second call makes no moves.
+	again, err := m.Rebalance(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("rebalance not converged: %d more moves", again)
+	}
+}
+
+func TestManagerPinOverridesRebalance(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	bad := make(Assignment, len(pipe))
+	for _, s := range pipe {
+		bad[s.Name] = Target{Engine: 0}
+	}
+	m, err := NewManager(c, pipe, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the classify stage to engine 0 and rebalance: it must not move.
+	if err := m.Pin("classify", Target{Engine: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Rebalance(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Assignment()["classify"]; got != (Target{Engine: 0}) {
+		t.Fatalf("pinned stage moved to %s", got)
+	}
+	// Unpinned, the next rebalance may move it.
+	m.Unpin("classify")
+	if _, err := m.Rebalance(20); err != nil {
+		t.Fatal(err)
+	}
+	// Pin validation.
+	if err := m.Pin("ghost", Target{}); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("want ErrBadPlacement, got %v", err)
+	}
+	if err := m.Pin("rx", Target{Engine: 99}); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("want ErrBadPlacement, got %v", err)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	c := chip(t)
+	pipe := StandardPipeline()
+	if _, err := NewManager(c, pipe, Assignment{}); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("want ErrBadPlacement, got %v", err)
+	}
+	if _, err := NewManager(Chip{}, pipe, PlaceAllControl(pipe)); !errors.Is(err, ErrBadChip) {
+		t.Fatalf("want ErrBadChip, got %v", err)
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if (Target{Control: true}).String() != "strongarm" {
+		t.Fatal("control string")
+	}
+	if (Target{Engine: 3}).String() != "ue3" {
+		t.Fatal("engine string")
+	}
+	if MemScratch.String() != "scratch" || MemSRAM.String() != "sram" || MemSDRAM.String() != "sdram" {
+		t.Fatal("memkind strings")
+	}
+}
+
+// Property: greedy placement's throughput is never below the single-engine
+// placement (consolidating everything on engine 0), for arbitrary
+// pipelines.
+func TestQuickGreedyNotWorseThanSingleEngine(t *testing.T) {
+	c := chip(t)
+	check := func(costs []uint16) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		if len(costs) > 12 {
+			costs = costs[:12]
+		}
+		pipe := make(Pipeline, len(costs))
+		for i, cost := range costs {
+			pipe[i] = Stage{
+				Name:          string(rune('a' + i)),
+				ComputeCycles: int(cost%2000) + 1,
+				MemRefs:       map[MemKind]int{MemSRAM: int(cost % 7)},
+			}
+		}
+		single := make(Assignment, len(pipe))
+		for _, s := range pipe {
+			single[s.Name] = Target{Engine: 0}
+		}
+		rs, err := Evaluate(c, pipe, single)
+		if err != nil {
+			return false
+		}
+		rg, err := Evaluate(c, pipe, PlaceGreedy(c, pipe))
+		if err != nil {
+			return false
+		}
+		return rg.ThroughputPPS+1e-9 >= rs.ThroughputPPS
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

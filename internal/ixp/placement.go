@@ -1,0 +1,183 @@
+package ixp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The placement meta-model: strategies produce Assignments; the Manager
+// reflects on an evaluated placement and migrates stages, honouring
+// manual overrides ("the possibility to control/override this via a
+// 'placement' meta-model", §5).
+
+// PlaceAllControl puts every stage on the StrongARM — the degenerate
+// deployment a port without a placement meta-model would start from.
+func PlaceAllControl(pipe Pipeline) Assignment {
+	asg := make(Assignment, len(pipe))
+	for _, s := range pipe {
+		asg[s.Name] = Target{Control: true}
+	}
+	return asg
+}
+
+// PlaceRoundRobin spreads stages across engines in pipeline order,
+// ignoring cost.
+func PlaceRoundRobin(chip Chip, pipe Pipeline) Assignment {
+	asg := make(Assignment, len(pipe))
+	for i, s := range pipe {
+		asg[s.Name] = Target{Engine: i % chip.Engines}
+	}
+	return asg
+}
+
+// PlaceGreedy performs longest-processing-time-first bin packing: stages
+// sorted by effective cost, each assigned to the least-loaded engine. This
+// is the CF's automatic placement intelligence.
+func PlaceGreedy(chip Chip, pipe Pipeline) Assignment {
+	type stageCost struct {
+		name string
+		cost float64
+	}
+	costs := make([]stageCost, len(pipe))
+	for i, s := range pipe {
+		eff := float64(s.ComputeCycles)
+		if m := float64(s.memCycles(chip)) / float64(chip.Threads); m > eff {
+			eff = m
+		}
+		costs[i] = stageCost{name: s.Name, cost: eff}
+	}
+	sort.SliceStable(costs, func(i, j int) bool { return costs[i].cost > costs[j].cost })
+	engineLoad := make([]float64, chip.Engines)
+	asg := make(Assignment, len(pipe))
+	for _, sc := range costs {
+		best := 0
+		for e := 1; e < chip.Engines; e++ {
+			if engineLoad[e] < engineLoad[best] {
+				best = e
+			}
+		}
+		asg[sc.name] = Target{Engine: best}
+		engineLoad[best] += sc.cost
+	}
+	return asg
+}
+
+// Manager is the runtime half of the placement meta-model: it owns the
+// current assignment, accepts manual pins, and iteratively migrates the
+// hottest unpinned stage off the bottleneck.
+type Manager struct {
+	chip Chip
+	pipe Pipeline
+	asg  Assignment
+	pins map[string]Target
+}
+
+// NewManager starts from an initial assignment (copied).
+func NewManager(chip Chip, pipe Pipeline, initial Assignment) (*Manager, error) {
+	if err := chip.validate(); err != nil {
+		return nil, err
+	}
+	if err := pipe.validate(); err != nil {
+		return nil, err
+	}
+	asg := make(Assignment, len(initial))
+	for k, v := range initial {
+		asg[k] = v
+	}
+	if _, err := Evaluate(chip, pipe, asg); err != nil {
+		return nil, err
+	}
+	return &Manager{chip: chip, pipe: pipe, asg: asg, pins: make(map[string]Target)}, nil
+}
+
+// Assignment returns a copy of the current placement.
+func (m *Manager) Assignment() Assignment {
+	out := make(Assignment, len(m.asg))
+	for k, v := range m.asg {
+		out[k] = v
+	}
+	return out
+}
+
+// Pin overrides the automatic placement for one stage (the manual
+// control/override path). The stage moves immediately.
+func (m *Manager) Pin(stage string, t Target) error {
+	if _, ok := m.asg[stage]; !ok {
+		return fmt.Errorf("ixp: pin %q: %w", stage, ErrBadPlacement)
+	}
+	if !t.Control && (t.Engine < 0 || t.Engine >= m.chip.Engines) {
+		return fmt.Errorf("ixp: pin %q to %s: %w", stage, t, ErrBadPlacement)
+	}
+	m.pins[stage] = t
+	m.asg[stage] = t
+	return nil
+}
+
+// Unpin releases a manual override (the stage stays put until the next
+// Rebalance moves it).
+func (m *Manager) Unpin(stage string) {
+	delete(m.pins, stage)
+}
+
+// Evaluate reports on the current placement.
+func (m *Manager) Evaluate() (*Report, error) {
+	return Evaluate(m.chip, m.pipe, m.asg)
+}
+
+// Rebalance performs up to maxMoves greedy migrations: each move takes the
+// costliest unpinned stage on the bottleneck target and moves it to the
+// target that minimises the new bottleneck. It stops early when no move
+// improves throughput. Returns the number of moves made.
+func (m *Manager) Rebalance(maxMoves int) (int, error) {
+	moves := 0
+	for moves < maxMoves {
+		rep, err := Evaluate(m.chip, m.pipe, m.asg)
+		if err != nil {
+			return moves, err
+		}
+		stage, ok := m.hottestUnpinnedOn(rep.Bottleneck)
+		if !ok {
+			return moves, nil
+		}
+		bestTarget, bestTput := m.asg[stage], rep.ThroughputPPS
+		for e := 0; e < m.chip.Engines; e++ {
+			cand := Target{Engine: e}
+			if cand == m.asg[stage] {
+				continue
+			}
+			m.asg[stage] = cand
+			r2, err := Evaluate(m.chip, m.pipe, m.asg)
+			if err == nil && r2.ThroughputPPS > bestTput {
+				bestTput, bestTarget = r2.ThroughputPPS, cand
+			}
+		}
+		m.asg[stage] = bestTarget
+		if bestTput <= rep.ThroughputPPS {
+			return moves, nil // converged
+		}
+		moves++
+	}
+	return moves, nil
+}
+
+// hottestUnpinnedOn finds the costliest migratable stage on a target.
+func (m *Manager) hottestUnpinnedOn(t Target) (string, bool) {
+	bestCost := -1.0
+	bestName := ""
+	for _, s := range m.pipe {
+		if m.asg[s.Name] != t {
+			continue
+		}
+		if _, pinned := m.pins[s.Name]; pinned {
+			continue
+		}
+		eff := float64(s.ComputeCycles)
+		if mm := float64(s.memCycles(m.chip)) / float64(m.chip.Threads); mm > eff {
+			eff = mm
+		}
+		if eff > bestCost {
+			bestCost, bestName = eff, s.Name
+		}
+	}
+	return bestName, bestName != ""
+}

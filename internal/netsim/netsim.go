@@ -1,0 +1,370 @@
+// Package netsim is the multi-node network substrate used by the stratum-3
+// and stratum-4 experiments: named nodes joined by duplex links with
+// configurable latency, loss and queueing. It replaces the paper's
+// physical testbed (see DESIGN.md): the code above it — signalling agents,
+// spawning coordinators, active-packet EEs — is the code under test and is
+// identical to what would run over real sockets.
+//
+// Frames carry a one-byte protocol tag so several subsystems (signalling,
+// spawnet data, active packets) can share a node.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	// ErrNodeExists indicates a duplicate node name.
+	ErrNodeExists = errors.New("netsim: node exists")
+	// ErrNoNode indicates an unknown node.
+	ErrNoNode = errors.New("netsim: no such node")
+	// ErrNoLink indicates a missing adjacency.
+	ErrNoLink = errors.New("netsim: no such link")
+	// ErrLinkDown indicates a send over an administratively-down link.
+	ErrLinkDown = errors.New("netsim: link down")
+	// ErrStopped indicates use of a stopped network.
+	ErrStopped = errors.New("netsim: network stopped")
+	// ErrNoRoute indicates path computation failed.
+	ErrNoRoute = errors.New("netsim: no route")
+)
+
+// Handler consumes frames delivered to a node for one protocol tag.
+type Handler func(from string, payload []byte)
+
+// LinkConfig parameterises one duplex link.
+type LinkConfig struct {
+	Latency time.Duration // one-way delivery delay
+	LossPct float64       // 0..100 percentage of frames dropped
+	Queue   int           // per-direction in-flight queue (default 256)
+	Seed    uint64        // loss PRNG seed (deterministic)
+}
+
+// direction is one half of a duplex link.
+type direction struct {
+	cfg   LinkConfig
+	to    *Node
+	ch    chan frame
+	down  atomic.Bool
+	drops atomic.Uint64
+	sent  atomic.Uint64
+	rng   uint64
+	rngMu sync.Mutex
+}
+
+type frame struct {
+	from    string
+	proto   byte
+	payload []byte
+}
+
+// next returns a deterministic uniform [0,100) from the direction's PRNG.
+func (d *direction) next() float64 {
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
+	d.rng ^= d.rng << 13
+	d.rng ^= d.rng >> 7
+	d.rng ^= d.rng << 17
+	return float64(d.rng%10000) / 100
+}
+
+// Node is one simulated network element.
+type Node struct {
+	name string
+	net  *Network
+
+	mu       sync.RWMutex
+	peers    map[string]*direction // outgoing, keyed by neighbour
+	handlers map[byte]Handler
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Register installs the handler for a protocol tag (replacing any
+// previous one).
+func (n *Node) Register(proto byte, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[proto] = h
+}
+
+// Neighbors returns adjacent node names, sorted.
+func (n *Node) Neighbors() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.peers))
+	for p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send transmits a frame to a directly connected neighbour.
+func (n *Node) Send(neighbor string, proto byte, payload []byte) error {
+	if n.net.stopped.Load() {
+		return ErrStopped
+	}
+	n.mu.RLock()
+	d, ok := n.peers[neighbor]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("netsim: %s->%s: %w", n.name, neighbor, ErrNoLink)
+	}
+	if d.down.Load() {
+		return fmt.Errorf("netsim: %s->%s: %w", n.name, neighbor, ErrLinkDown)
+	}
+	if d.cfg.LossPct > 0 && d.next() < d.cfg.LossPct {
+		d.drops.Add(1)
+		return nil // silently lost, like the real thing
+	}
+	f := frame{from: n.name, proto: proto, payload: payload}
+	select {
+	case d.ch <- f:
+		d.sent.Add(1)
+		return nil
+	default:
+		d.drops.Add(1)
+		return nil // queue overflow: dropped
+	}
+}
+
+// deliver invokes the destination handler.
+func (n *Node) deliver(f frame) {
+	n.mu.RLock()
+	h := n.handlers[f.proto]
+	n.mu.RUnlock()
+	if h != nil {
+		h(f.from, f.payload)
+	}
+}
+
+// Network is a collection of nodes and links with running delivery pumps.
+type Network struct {
+	mu      sync.RWMutex
+	nodes   map[string]*Node
+	dirs    []*direction
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{nodes: make(map[string]*Node)}
+}
+
+// AddNode creates a node.
+func (w *Network) AddNode(name string) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("netsim: empty node name")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.nodes[name]; ok {
+		return nil, fmt.Errorf("netsim: %q: %w", name, ErrNodeExists)
+	}
+	n := &Node{
+		name:     name,
+		net:      w,
+		peers:    make(map[string]*direction),
+		handlers: make(map[byte]Handler),
+	}
+	w.nodes[name] = n
+	return n, nil
+}
+
+// Node returns a node by name.
+func (w *Network) Node(name string) (*Node, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	n, ok := w.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("netsim: %q: %w", name, ErrNoNode)
+	}
+	return n, nil
+}
+
+// Nodes returns all node names, sorted.
+func (w *Network) Nodes() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]string, 0, len(w.nodes))
+	for n := range w.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connect joins two nodes with a duplex link and starts its pumps.
+func (w *Network) Connect(a, b string, cfg LinkConfig) error {
+	if w.stopped.Load() {
+		return ErrStopped
+	}
+	na, err := w.Node(a)
+	if err != nil {
+		return err
+	}
+	nb, err := w.Node(b)
+	if err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("netsim: self-link on %q", a)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9e3779b97f4a7c15
+	}
+	mk := func(to *Node, seed uint64) *direction {
+		return &direction{cfg: cfg, to: to, ch: make(chan frame, cfg.Queue), rng: seed}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := na.peers[b]; dup {
+		return fmt.Errorf("netsim: link %s-%s: %w", a, b, ErrNodeExists)
+	}
+	dab := mk(nb, cfg.Seed)
+	dba := mk(na, cfg.Seed^0xabcdef)
+	na.mu.Lock()
+	na.peers[b] = dab
+	na.mu.Unlock()
+	nb.mu.Lock()
+	nb.peers[a] = dba
+	nb.mu.Unlock()
+	w.dirs = append(w.dirs, dab, dba)
+	for _, d := range []*direction{dab, dba} {
+		w.wg.Add(1)
+		go w.pump(d)
+	}
+	return nil
+}
+
+// pump delivers frames for one direction until the network stops.
+func (w *Network) pump(d *direction) {
+	defer w.wg.Done()
+	for f := range d.ch {
+		if d.cfg.Latency > 0 {
+			time.Sleep(d.cfg.Latency)
+		}
+		d.to.deliver(f)
+	}
+}
+
+// SetLinkDown marks both directions of a link up or down.
+func (w *Network) SetLinkDown(a, b string, down bool) error {
+	na, err := w.Node(a)
+	if err != nil {
+		return err
+	}
+	nb, err := w.Node(b)
+	if err != nil {
+		return err
+	}
+	na.mu.RLock()
+	dab, ok1 := na.peers[b]
+	na.mu.RUnlock()
+	nb.mu.RLock()
+	dba, ok2 := nb.peers[a]
+	nb.mu.RUnlock()
+	if !ok1 || !ok2 {
+		return fmt.Errorf("netsim: link %s-%s: %w", a, b, ErrNoLink)
+	}
+	dab.down.Store(down)
+	dba.down.Store(down)
+	return nil
+}
+
+// LinkStats reports (sent, dropped) for the a→b direction.
+func (w *Network) LinkStats(a, b string) (sent, dropped uint64, err error) {
+	na, err := w.Node(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	na.mu.RLock()
+	d, ok := na.peers[b]
+	na.mu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: link %s-%s: %w", a, b, ErrNoLink)
+	}
+	return d.sent.Load(), d.drops.Load(), nil
+}
+
+// Stop closes all pumps and waits for them. The network is unusable
+// afterwards.
+func (w *Network) Stop() {
+	if w.stopped.Swap(true) {
+		return
+	}
+	w.mu.Lock()
+	for _, d := range w.dirs {
+		close(d.ch)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+// ShortestPath computes a minimum-hop path between two nodes (BFS),
+// including both endpoints.
+func (w *Network) ShortestPath(from, to string) ([]string, error) {
+	if _, err := w.Node(from); err != nil {
+		return nil, err
+	}
+	if _, err := w.Node(to); err != nil {
+		return nil, err
+	}
+	if from == to {
+		return []string{from}, nil
+	}
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n, _ := w.Node(cur)
+		for _, nb := range n.Neighbors() {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == to {
+				var path []string
+				for at := to; at != ""; at = prev[at] {
+					path = append([]string{at}, path...)
+				}
+				return path, nil
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, fmt.Errorf("netsim: %s->%s: %w", from, to, ErrNoRoute)
+}
+
+// Line builds a linear topology n0-n1-...-n{k-1} and returns the node
+// names; a convenience for tests and benchmarks.
+func Line(w *Network, prefix string, k int, cfg LinkConfig) ([]string, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("netsim: line of %d", k)
+	}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+		if _, err := w.AddNode(names[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < k; i++ {
+		if err := w.Connect(names[i-1], names[i], cfg); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,315 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkNet(t *testing.T, names ...string) *Network {
+	t.Helper()
+	w := NewNetwork()
+	for _, n := range names {
+		if _, err := w.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// collector gathers delivered frames.
+type collector struct {
+	mu     sync.Mutex
+	frames []string
+	ch     chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan struct{}, 1024)}
+}
+
+func (c *collector) handler(from string, payload []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, from+":"+string(payload))
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-deadline:
+			c.mu.Lock()
+			got := len(c.frames)
+			c.mu.Unlock()
+			t.Fatalf("delivered %d of %d", got, n)
+		}
+	}
+}
+
+func TestAddNodeAndLookup(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if _, err := w.AddNode("a"); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("want ErrNodeExists, got %v", err)
+	}
+	if _, err := w.AddNode(""); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := w.Node("ghost"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+	if nodes := w.Nodes(); len(nodes) != 2 || nodes[0] != "a" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestConnectAndSend(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	col := newCollector()
+	nb, _ := w.Node("b")
+	nb.Register(1, col.handler)
+	na, _ := w.Node("a")
+	if err := na.Send("b", 1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	if col.frames[0] != "a:hello" {
+		t.Fatalf("frame = %q", col.frames[0])
+	}
+	sent, drops, err := w.LinkStats("a", "b")
+	if err != nil || sent != 1 || drops != 0 {
+		t.Fatalf("stats = %d/%d %v", sent, drops, err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "a", LinkConfig{}); err == nil {
+		t.Fatal("want error for self link")
+	}
+	if err := w.Connect("a", "ghost", LinkConfig{}); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Connect("a", "b", LinkConfig{}); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("want duplicate link error, got %v", err)
+	}
+}
+
+func TestSendNoLink(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	na, _ := w.Node("a")
+	if err := na.Send("b", 1, nil); !errors.Is(err, ErrNoLink) {
+		t.Fatalf("want ErrNoLink, got %v", err)
+	}
+}
+
+func TestProtocolDemux(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := newCollector(), newCollector()
+	nb, _ := w.Node("b")
+	nb.Register(1, c1.handler)
+	nb.Register(2, c2.handler)
+	na, _ := w.Node("a")
+	if err := na.Send("b", 1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.Send("b", 2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	c1.wait(t, 1)
+	c2.wait(t, 1)
+	if c1.frames[0] != "a:one" || c2.frames[0] != "a:two" {
+		t.Fatalf("demux broken: %v %v", c1.frames, c2.frames)
+	}
+}
+
+func TestUnregisteredProtocolIgnored(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	if err := na.Send("b", 42, []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to assert beyond "no panic/deadlock".
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestLinkDown(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetLinkDown("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	if err := na.Send("b", 1, nil); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("want ErrLinkDown, got %v", err)
+	}
+	if err := w.SetLinkDown("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.Send("b", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetLinkDown("a", "ghost", true); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+}
+
+func TestDeterministicLoss(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{LossPct: 50, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	col := newCollector()
+	nb, _ := w.Node("b")
+	nb.Register(1, col.handler)
+	na, _ := w.Node("a")
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := na.Send("b", 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, drops, err := w.LinkStats("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent+drops != n {
+		t.Fatalf("accounting: %d+%d != %d", sent, drops, n)
+	}
+	if drops < n/4 || drops > 3*n/4 {
+		t.Fatalf("loss = %d of %d, want near half", drops, n)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	const lat = 30 * time.Millisecond
+	if err := w.Connect("a", "b", LinkConfig{Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	col := newCollector()
+	nb, _ := w.Node("b")
+	nb.Register(1, col.handler)
+	na, _ := w.Node("a")
+	start := time.Now()
+	if err := na.Send("b", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("delivered in %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestStopIdempotentAndRefusesSend(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+	w.Stop()
+	na, _ := w.Node("a")
+	if err := na.Send("b", 1, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if err := w.Connect("a", "b", LinkConfig{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	w := NewNetwork()
+	defer w.Stop()
+	names, err := Line(w, "n", 5, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.ShortestPath("n0", "n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 || path[0] != "n0" || path[4] != "n4" {
+		t.Fatalf("path = %v", path)
+	}
+	_ = names
+	// Add a shortcut and verify BFS takes it.
+	if err := w.Connect("n0", "n4", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	path, err = w.ShortestPath("n0", "n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("shortcut ignored: %v", path)
+	}
+	if p, err := w.ShortestPath("n0", "n0"); err != nil || len(p) != 1 {
+		t.Fatalf("self path = %v %v", p, err)
+	}
+	if _, err := w.AddNode("island"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ShortestPath("n0", "island"); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("want ErrNoRoute, got %v", err)
+	}
+	if _, err := w.ShortestPath("ghost", "n0"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	// Long latency + tiny queue: floods overflow.
+	if err := w.Connect("a", "b", LinkConfig{Latency: 50 * time.Millisecond, Queue: 2}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	for i := 0; i < 20; i++ {
+		if err := na.Send("b", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, drops, err := w.LinkStats("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drops == 0 {
+		t.Fatal("no overflow drops")
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	w := NewNetwork()
+	defer w.Stop()
+	if _, err := Line(w, "x", 0, LinkConfig{}); err == nil {
+		t.Fatal("want error")
+	}
+}

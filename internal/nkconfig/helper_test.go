@@ -1,0 +1,21 @@
+package nkconfig
+
+import (
+	"net/netip"
+	"testing"
+
+	"netkit/internal/packet"
+	"netkit/internal/router"
+)
+
+func testPacket(t *testing.T, dstPort uint16) *router.Packet {
+	t.Helper()
+	b, err := packet.BuildUDP4(
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("192.168.1.1"),
+		4000, dstPort, 64, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router.NewPacket(b)
+}

@@ -1,0 +1,335 @@
+// Package nkconfig implements NETKIT's textual configuration language, the
+// front-end netkitd loads router configurations from. The syntax is
+// Click-inspired (§6 discusses Click's configuration language) but drives
+// the Router CF, so everything it builds remains introspectable and
+// reconfigurable at run time:
+//
+//	// declarations
+//	src  :: netkit.router.NICSource(device=eth0);
+//	cls  :: netkit.router.Classifier(outputs=1);
+//	q    :: netkit.router.FIFOQueue(capacity=256);
+//	sink :: netkit.router.NICSink(device=eth1);
+//
+//	// push bindings ("out" is the default port)
+//	src -> cls;
+//	cls.out0 -> q;
+//
+//	// pull bindings
+//	sched.in0 ~> q;
+//
+//	// classifier filters
+//	filter cls "udp and dst port 53" -> out0 priority 10;
+package nkconfig
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"netkit/internal/cf"
+	"netkit/internal/core"
+	"netkit/internal/router"
+)
+
+// Sentinel errors.
+var (
+	// ErrSyntax indicates a malformed configuration.
+	ErrSyntax = errors.New("nkconfig: syntax error")
+	// ErrDuplicate indicates a redeclared instance name.
+	ErrDuplicate = errors.New("nkconfig: duplicate declaration")
+	// ErrUnknownName indicates a binding or filter referencing an
+	// undeclared instance.
+	ErrUnknownName = errors.New("nkconfig: unknown instance")
+)
+
+// Decl is one instance declaration.
+type Decl struct {
+	Name string
+	Type string
+	Args map[string]string
+	Line int
+}
+
+// Bind is one binding statement.
+type Bind struct {
+	From string
+	Port string
+	To   string
+	Pull bool
+	Line int
+}
+
+// FilterStmt is one filter installation.
+type FilterStmt struct {
+	Classifier string
+	Spec       string
+	Output     string
+	Priority   int
+	Line       int
+}
+
+// Config is a parsed configuration.
+type Config struct {
+	Decls   []Decl
+	Binds   []Bind
+	Filters []FilterStmt
+}
+
+// Parse reads a configuration text.
+func Parse(src string) (*Config, error) {
+	cfg := &Config{}
+	names := map[string]bool{}
+	for _, stmt := range splitStatements(src) {
+		line, text := stmt.line, strings.TrimSpace(stmt.text)
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(text, "::"):
+			d, err := parseDecl(text, line)
+			if err != nil {
+				return nil, err
+			}
+			if names[d.Name] {
+				return nil, fmt.Errorf("nkconfig: line %d: %q: %w", line, d.Name, ErrDuplicate)
+			}
+			names[d.Name] = true
+			cfg.Decls = append(cfg.Decls, d)
+		case strings.HasPrefix(text, "filter "):
+			f, err := parseFilter(text, line)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Filters = append(cfg.Filters, f)
+		case strings.Contains(text, "->") || strings.Contains(text, "~>"):
+			b, err := parseBind(text, line)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Binds = append(cfg.Binds, b)
+		default:
+			return nil, fmt.Errorf("nkconfig: line %d: unrecognised statement %q: %w",
+				line, text, ErrSyntax)
+		}
+	}
+	// Reference checking.
+	for _, b := range cfg.Binds {
+		if !names[b.From] {
+			return nil, fmt.Errorf("nkconfig: line %d: %q: %w", b.Line, b.From, ErrUnknownName)
+		}
+		if !names[b.To] {
+			return nil, fmt.Errorf("nkconfig: line %d: %q: %w", b.Line, b.To, ErrUnknownName)
+		}
+	}
+	for _, f := range cfg.Filters {
+		if !names[f.Classifier] {
+			return nil, fmt.Errorf("nkconfig: line %d: %q: %w", f.Line, f.Classifier, ErrUnknownName)
+		}
+	}
+	return cfg, nil
+}
+
+type rawStmt struct {
+	text string
+	line int
+}
+
+// splitStatements strips comments and splits on ';', tracking line
+// numbers. Semicolons inside double-quoted strings are preserved.
+func splitStatements(src string) []rawStmt {
+	var out []rawStmt
+	var cur strings.Builder
+	line := 1
+	startLine := 1
+	inStr := false
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			cur.WriteByte(' ')
+			i++
+		case !inStr && c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			inStr = !inStr
+			cur.WriteByte(c)
+			i++
+		case !inStr && c == ';':
+			out = append(out, rawStmt{text: cur.String(), line: startLine})
+			cur.Reset()
+			i++
+			startLine = line
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, rawStmt{text: cur.String(), line: startLine})
+	}
+	return out
+}
+
+func parseDecl(text string, line int) (Decl, error) {
+	parts := strings.SplitN(text, "::", 2)
+	name := strings.TrimSpace(parts[0])
+	rest := strings.TrimSpace(parts[1])
+	if name == "" || strings.ContainsAny(name, " \t.") {
+		return Decl{}, fmt.Errorf("nkconfig: line %d: bad instance name %q: %w", line, name, ErrSyntax)
+	}
+	d := Decl{Name: name, Args: map[string]string{}, Line: line}
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return Decl{}, fmt.Errorf("nkconfig: line %d: unterminated args: %w", line, ErrSyntax)
+		}
+		d.Type = strings.TrimSpace(rest[:i])
+		args := rest[i+1 : len(rest)-1]
+		if strings.TrimSpace(args) != "" {
+			for _, kv := range strings.Split(args, ",") {
+				eq := strings.SplitN(kv, "=", 2)
+				if len(eq) != 2 {
+					return Decl{}, fmt.Errorf("nkconfig: line %d: bad arg %q: %w", line, kv, ErrSyntax)
+				}
+				k := strings.TrimSpace(eq[0])
+				v := strings.Trim(strings.TrimSpace(eq[1]), `"`)
+				if k == "" {
+					return Decl{}, fmt.Errorf("nkconfig: line %d: empty arg key: %w", line, ErrSyntax)
+				}
+				d.Args[k] = v
+			}
+		}
+	} else {
+		d.Type = rest
+	}
+	if d.Type == "" {
+		return Decl{}, fmt.Errorf("nkconfig: line %d: missing type: %w", line, ErrSyntax)
+	}
+	return d, nil
+}
+
+func parseBind(text string, line int) (Bind, error) {
+	pull := strings.Contains(text, "~>")
+	sep := "->"
+	if pull {
+		sep = "~>"
+	}
+	parts := strings.SplitN(text, sep, 2)
+	lhs := strings.TrimSpace(parts[0])
+	rhs := strings.TrimSpace(parts[1])
+	if lhs == "" || rhs == "" || strings.ContainsAny(rhs, " \t.") {
+		return Bind{}, fmt.Errorf("nkconfig: line %d: bad binding %q: %w", line, text, ErrSyntax)
+	}
+	b := Bind{To: rhs, Pull: pull, Port: "out", Line: line}
+	if i := strings.IndexByte(lhs, '.'); i >= 0 {
+		b.From = strings.TrimSpace(lhs[:i])
+		b.Port = strings.TrimSpace(lhs[i+1:])
+	} else {
+		b.From = lhs
+	}
+	if b.From == "" || b.Port == "" {
+		return Bind{}, fmt.Errorf("nkconfig: line %d: bad binding %q: %w", line, text, ErrSyntax)
+	}
+	return b, nil
+}
+
+func parseFilter(text string, line int) (FilterStmt, error) {
+	// filter <cls> "<spec>" -> <output> [priority N]
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "filter"))
+	i := strings.IndexByte(rest, '"')
+	j := strings.LastIndexByte(rest, '"')
+	if i < 0 || j <= i {
+		return FilterStmt{}, fmt.Errorf("nkconfig: line %d: filter needs a quoted spec: %w", line, ErrSyntax)
+	}
+	cls := strings.TrimSpace(rest[:i])
+	spec := rest[i+1 : j]
+	tail := strings.TrimSpace(rest[j+1:])
+	if cls == "" || spec == "" {
+		return FilterStmt{}, fmt.Errorf("nkconfig: line %d: bad filter statement: %w", line, ErrSyntax)
+	}
+	if !strings.HasPrefix(tail, "->") {
+		return FilterStmt{}, fmt.Errorf("nkconfig: line %d: filter needs '-> output': %w", line, ErrSyntax)
+	}
+	tail = strings.TrimSpace(strings.TrimPrefix(tail, "->"))
+	fields := strings.Fields(tail)
+	f := FilterStmt{Classifier: cls, Spec: spec, Line: line}
+	switch len(fields) {
+	case 1:
+		f.Output = fields[0]
+	case 3:
+		if fields[1] != "priority" {
+			return FilterStmt{}, fmt.Errorf("nkconfig: line %d: expected 'priority': %w", line, ErrSyntax)
+		}
+		f.Output = fields[0]
+		p, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return FilterStmt{}, fmt.Errorf("nkconfig: line %d: bad priority %q: %w", line, fields[2], ErrSyntax)
+		}
+		f.Priority = p
+	default:
+		return FilterStmt{}, fmt.Errorf("nkconfig: line %d: bad filter tail %q: %w", line, tail, ErrSyntax)
+	}
+	return f, nil
+}
+
+// Apply instantiates the configuration into the framework: every declared
+// component is constructed through the capsule's loader registry and
+// admitted through the CF (so admission rules run), then bindings and
+// filters are installed. It returns the first error encountered.
+func Apply(cfg *Config, fw *cf.Framework) error {
+	capsule := fw.Capsule()
+	for _, d := range cfg.Decls {
+		comp, err := capsule.ComponentRegistry().New(d.Type, d.Args)
+		if err != nil {
+			return fmt.Errorf("nkconfig: line %d: %w", d.Line, err)
+		}
+		if err := fw.Admit(d.Name, comp); err != nil {
+			return fmt.Errorf("nkconfig: line %d: %w", d.Line, err)
+		}
+	}
+	for _, b := range cfg.Binds {
+		iface := router.IPacketPushID
+		if b.Pull {
+			iface = router.IPacketPullID
+		}
+		if _, err := capsule.Bind(b.From, b.Port, b.To, iface); err != nil {
+			return fmt.Errorf("nkconfig: line %d: %w", b.Line, err)
+		}
+	}
+	for _, f := range cfg.Filters {
+		comp, ok := capsule.Component(f.Classifier)
+		if !ok {
+			return fmt.Errorf("nkconfig: line %d: %q: %w", f.Line, f.Classifier, ErrUnknownName)
+		}
+		impl, ok := comp.Provided(router.IClassifierID)
+		if !ok {
+			return fmt.Errorf("nkconfig: line %d: %q is not a classifier: %w",
+				f.Line, f.Classifier, ErrUnknownName)
+		}
+		cls, ok := impl.(router.IClassifier)
+		if !ok {
+			return fmt.Errorf("nkconfig: line %d: %q: non-conforming classifier: %w",
+				f.Line, f.Classifier, core.ErrTypeMismatch)
+		}
+		if _, err := cls.RegisterFilter(f.Spec, f.Priority, f.Output); err != nil {
+			return fmt.Errorf("nkconfig: line %d: %w", f.Line, err)
+		}
+	}
+	return nil
+}
+
+// Load parses and applies in one step.
+func Load(src string, fw *cf.Framework) (*Config, error) {
+	cfg, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Apply(cfg, fw); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

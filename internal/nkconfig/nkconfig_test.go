@@ -1,0 +1,188 @@
+package nkconfig
+
+import (
+	"errors"
+	"testing"
+
+	"netkit/internal/core"
+	"netkit/internal/router"
+)
+
+const sample = `
+// a tiny forwarding configuration
+cnt  :: netkit.router.Counter;
+cls  :: netkit.router.Classifier(outputs=1);
+q    :: netkit.router.FIFOQueue(capacity=8);
+sched :: netkit.router.LinkScheduler(policy=drr, inputs=1);
+drop :: netkit.router.Dropper;
+
+cnt -> cls;
+cls.out0 -> q;
+cls.default -> drop;
+sched.in0 ~> q;
+sched -> drop;
+
+filter cls "udp and dst port 53" -> out0 priority 10;
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 5 {
+		t.Fatalf("decls = %d", len(cfg.Decls))
+	}
+	if len(cfg.Binds) != 5 {
+		t.Fatalf("binds = %d", len(cfg.Binds))
+	}
+	if len(cfg.Filters) != 1 {
+		t.Fatalf("filters = %d", len(cfg.Filters))
+	}
+	if cfg.Decls[1].Args["outputs"] != "1" {
+		t.Fatalf("args = %v", cfg.Decls[1].Args)
+	}
+	if cfg.Binds[0].Port != "out" || cfg.Binds[1].Port != "out0" {
+		t.Fatalf("ports = %+v", cfg.Binds[:2])
+	}
+	pull := cfg.Binds[3]
+	if !pull.Pull || pull.From != "sched" || pull.Port != "in0" || pull.To != "q" {
+		t.Fatalf("pull bind = %+v", pull)
+	}
+	f := cfg.Filters[0]
+	if f.Classifier != "cls" || f.Spec != "udp and dst port 53" ||
+		f.Output != "out0" || f.Priority != 10 {
+		t.Fatalf("filter = %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		src  string
+		want error
+	}{
+		{"x ::;", ErrSyntax},
+		{"x y :: t;", ErrSyntax},
+		{"x :: t(;", ErrSyntax},
+		{"x :: t(a);", ErrSyntax},
+		{"x :: t(=v);", ErrSyntax},
+		{"x :: t; x :: t;", ErrDuplicate},
+		{"x :: t; -> x;", ErrSyntax},
+		{"x :: t; x -> ;", ErrSyntax},
+		{"x :: t; x -> y;", ErrUnknownName},
+		{"x :: t; y -> x;", ErrUnknownName},
+		{"x :: t; filter x udp -> a;", ErrSyntax},
+		{"x :: t; filter x \"udp\" a;", ErrSyntax},
+		{"x :: t; filter x \"udp\" -> a priority b;", ErrSyntax},
+		{"x :: t; filter x \"udp\" -> a b c;", ErrSyntax},
+		{"x :: t; filter y \"udp\" -> a;", ErrUnknownName},
+		{"garbage here;", ErrSyntax},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(tc.src); !errors.Is(err, tc.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestCommentsAndQuotedSemicolons(t *testing.T) {
+	cfg, err := Parse(`
+		a :: t1; // trailing comment
+		// whole-line comment with ; semicolon
+		b :: t2;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 2 {
+		t.Fatalf("decls = %+v", cfg.Decls)
+	}
+}
+
+func TestApplyBuildsWorkingRouter(t *testing.T) {
+	capsule := core.NewCapsule("nk-test")
+	fw, err := router.NewFramework(capsule, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(sample, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+	// The graph validates and the CF admitted every declaration.
+	if err := capsule.Snapshot().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Members()) != 5 {
+		t.Fatalf("members = %v", fw.Members())
+	}
+	// Push a DNS packet through: counter -> classifier -> queue.
+	cnt, _ := capsule.Component("cnt")
+	push := mustPush(t, cnt)
+	pkt := dnsPacket(t)
+	if err := push.Push(pkt); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := capsule.Component("q")
+	if got := q.(*router.FIFOQueue).Len(); got != 1 {
+		t.Fatalf("queue len = %d", got)
+	}
+	// The scheduler drains it.
+	sched, _ := capsule.Component("sched")
+	if served := sched.(*router.LinkScheduler).RunOnce(10); served != 1 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestApplyRespectsCFRules(t *testing.T) {
+	capsule := core.NewCapsule("nk-rules")
+	fw, err := router.NewFramework(capsule, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// resources task manager is not a packet component: Apply must refuse
+	// it through the CF rules. Use a registered non-packet type: none
+	// exists, so simulate via an unknown type and a bad-wiring case.
+	if _, err := Load("x :: no.such.Type;", fw); err == nil {
+		t.Fatal("want error for unknown type")
+	}
+	// Binding a non-existent receptacle fails at bind time.
+	_, err = Load(`
+		a :: netkit.router.Counter;
+		b :: netkit.router.Counter;
+		a.nothere -> b;
+	`, fw)
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestApplyFilterToNonClassifier(t *testing.T) {
+	capsule := core.NewCapsule("nk-filter")
+	fw, err := router.NewFramework(capsule, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(`
+		a :: netkit.router.Counter;
+		filter a "udp" -> out;
+	`, fw)
+	if !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("want ErrUnknownName, got %v", err)
+	}
+}
+
+func mustPush(t *testing.T, comp core.Component) router.IPacketPush {
+	t.Helper()
+	impl, ok := comp.Provided(router.IPacketPushID)
+	if !ok {
+		t.Fatal("component does not provide IPacketPush")
+	}
+	return impl.(router.IPacketPush)
+}
+
+func dnsPacket(t *testing.T) *router.Packet {
+	t.Helper()
+	return testPacket(t, 53)
+}

@@ -1,0 +1,233 @@
+// Package osabs is the stratum-1 hardware abstraction of Figure 1: the
+// minimal OS-like services a participating node must offer — access to
+// network hardware (simulated NICs), efficient kernel/user-space packet
+// channels, and a clock. The paper notes that the nature of these services
+// largely determines the QoS capabilities of the strata above; the
+// simulated devices therefore expose explicit capacity limits and drop
+// counters so the higher strata see realistic back-pressure.
+package osabs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed indicates use of a closed device or channel.
+	ErrClosed = errors.New("osabs: closed")
+	// ErrEmpty indicates a non-blocking receive found nothing.
+	ErrEmpty = errors.New("osabs: empty")
+	// ErrOverflow indicates a full ring; the frame was dropped.
+	ErrOverflow = errors.New("osabs: ring overflow")
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// NIC is a simulated network interface: an RX ring frames arrive on and a
+// TX ring the router drains to "the wire". Injection (the traffic source)
+// and transmission observe ring capacities, so overload manifests as drops
+// exactly where a real device would drop.
+type NIC struct {
+	name string
+	rx   chan []byte
+	tx   chan []byte
+
+	closed atomic.Bool
+
+	rxFrames atomic.Uint64
+	txFrames atomic.Uint64
+	rxDrops  atomic.Uint64
+	txDrops  atomic.Uint64
+	rxBytes  atomic.Uint64
+	txBytes  atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// NewNIC creates a device with the given ring depths.
+func NewNIC(name string, rxDepth, txDepth int) (*NIC, error) {
+	if name == "" {
+		return nil, fmt.Errorf("osabs: empty NIC name")
+	}
+	if rxDepth <= 0 || txDepth <= 0 {
+		return nil, fmt.Errorf("osabs: NIC %q ring depths %d/%d", name, rxDepth, txDepth)
+	}
+	return &NIC{
+		name: name,
+		rx:   make(chan []byte, rxDepth),
+		tx:   make(chan []byte, txDepth),
+	}, nil
+}
+
+// Name returns the device name.
+func (n *NIC) Name() string { return n.name }
+
+// Inject delivers a frame to the RX ring (the simulated wire side). A full
+// ring drops the frame and returns ErrOverflow.
+func (n *NIC) Inject(frame []byte) error {
+	if n.closed.Load() {
+		return fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+	}
+	select {
+	case n.rx <- frame:
+		n.rxFrames.Add(1)
+		n.rxBytes.Add(uint64(len(frame)))
+		return nil
+	default:
+		n.rxDrops.Add(1)
+		return fmt.Errorf("osabs: nic %q rx: %w", n.name, ErrOverflow)
+	}
+}
+
+// Recv takes the next received frame without blocking; ErrEmpty when idle.
+func (n *NIC) Recv() ([]byte, error) {
+	select {
+	case f := <-n.rx:
+		return f, nil
+	default:
+		if n.closed.Load() {
+			return nil, fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+		}
+		return nil, ErrEmpty
+	}
+}
+
+// RecvBlock blocks for the next frame or channel close.
+func (n *NIC) RecvBlock() ([]byte, error) {
+	f, ok := <-n.rx
+	if !ok {
+		return nil, fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+	}
+	return f, nil
+}
+
+// RecvChan exposes the RX ring for select-based pumps (closed when the NIC
+// closes). Consumers must treat it as receive-only.
+func (n *NIC) RecvChan() <-chan []byte { return n.rx }
+
+// Send queues a frame for transmission; a full TX ring drops it.
+func (n *NIC) Send(frame []byte) error {
+	if n.closed.Load() {
+		return fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+	}
+	select {
+	case n.tx <- frame:
+		n.txFrames.Add(1)
+		n.txBytes.Add(uint64(len(frame)))
+		return nil
+	default:
+		n.txDrops.Add(1)
+		return fmt.Errorf("osabs: nic %q tx: %w", n.name, ErrOverflow)
+	}
+}
+
+// DrainTx removes one transmitted frame (the simulated wire side);
+// ErrEmpty when none.
+func (n *NIC) DrainTx() ([]byte, error) {
+	select {
+	case f := <-n.tx:
+		return f, nil
+	default:
+		return nil, ErrEmpty
+	}
+}
+
+// Close shuts the device; pending RX frames are discarded.
+func (n *NIC) Close() {
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		close(n.rx)
+	})
+}
+
+// NICStats is a counter snapshot.
+type NICStats struct {
+	RxFrames, TxFrames uint64
+	RxDrops, TxDrops   uint64
+	RxBytes, TxBytes   uint64
+}
+
+// Stats returns the device counters.
+func (n *NIC) Stats() NICStats {
+	return NICStats{
+		RxFrames: n.rxFrames.Load(), TxFrames: n.txFrames.Load(),
+		RxDrops: n.rxDrops.Load(), TxDrops: n.txDrops.Load(),
+		RxBytes: n.rxBytes.Load(), TxBytes: n.txBytes.Load(),
+	}
+}
+
+// KernelChannel models the "efficient kernel-user space communication
+// mechanisms" the Router CF's standard components wrap (§5): a bounded
+// SPSC-style frame queue with batch dequeue to amortise crossing costs.
+type KernelChannel struct {
+	q      chan []byte
+	closed atomic.Bool
+	once   sync.Once
+	drops  atomic.Uint64
+	passed atomic.Uint64
+}
+
+// NewKernelChannel creates a channel with the given depth.
+func NewKernelChannel(depth int) (*KernelChannel, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("osabs: kernel channel depth %d", depth)
+	}
+	return &KernelChannel{q: make(chan []byte, depth)}, nil
+}
+
+// Put enqueues a frame; a full queue drops it (counted) — the kernel never
+// blocks on user space.
+func (k *KernelChannel) Put(frame []byte) error {
+	if k.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case k.q <- frame:
+		k.passed.Add(1)
+		return nil
+	default:
+		k.drops.Add(1)
+		return ErrOverflow
+	}
+}
+
+// GetBatch dequeues up to max frames without blocking.
+func (k *KernelChannel) GetBatch(max int) [][]byte {
+	if max <= 0 {
+		return nil
+	}
+	var out [][]byte
+	for len(out) < max {
+		select {
+		case f, ok := <-k.q:
+			if !ok {
+				return out
+			}
+			out = append(out, f)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Close shuts the channel.
+func (k *KernelChannel) Close() {
+	k.once.Do(func() {
+		k.closed.Store(true)
+		close(k.q)
+	})
+}
+
+// Stats reports (passed, dropped) frames.
+func (k *KernelChannel) Stats() (passed, dropped uint64) {
+	return k.passed.Load(), k.drops.Load()
+}
+
+// Len reports queued frames.
+func (k *KernelChannel) Len() int { return len(k.q) }

@@ -1,0 +1,173 @@
+package osabs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNICValidation(t *testing.T) {
+	if _, err := NewNIC("", 1, 1); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := NewNIC("eth0", 0, 1); err == nil {
+		t.Fatal("want error for zero rx depth")
+	}
+	if _, err := NewNIC("eth0", 1, 0); err == nil {
+		t.Fatal("want error for zero tx depth")
+	}
+}
+
+func TestNICInjectRecv(t *testing.T) {
+	n, err := NewNIC("eth0", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "eth0" {
+		t.Fatal("name")
+	}
+	if err := n.Inject([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.Recv()
+	if err != nil || len(f) != 3 {
+		t.Fatalf("recv = %v %v", f, err)
+	}
+	if _, err := n.Recv(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	s := n.Stats()
+	if s.RxFrames != 1 || s.RxBytes != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNICRxOverflowDrops(t *testing.T) {
+	n, err := NewNIC("eth0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := n.Inject([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Inject([]byte{9}); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	if n.Stats().RxDrops != 1 {
+		t.Fatalf("drops = %d", n.Stats().RxDrops)
+	}
+}
+
+func TestNICSendDrain(t *testing.T) {
+	n, err := NewNIC("eth0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send([]byte{3}); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	f, err := n.DrainTx()
+	if err != nil || f[0] != 1 {
+		t.Fatalf("drain = %v %v", f, err)
+	}
+	if _, err := n.DrainTx(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.DrainTx(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if n.Stats().TxDrops != 1 || n.Stats().TxFrames != 2 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+}
+
+func TestNICClose(t *testing.T) {
+	n, err := NewNIC("eth0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close() // idempotent
+	if err := n.Inject([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := n.Send([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := n.RecvBlock(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestNICRecvBlock(t *testing.T) {
+	n, err := NewNIC("eth0", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		f, err := n.RecvBlock()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- f
+	}()
+	if err := n.Inject([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if f := <-done; f == nil || f[0] != 7 {
+		t.Fatalf("blocked recv = %v", f)
+	}
+}
+
+func TestKernelChannel(t *testing.T) {
+	if _, err := NewKernelChannel(0); err == nil {
+		t.Fatal("want error for zero depth")
+	}
+	k, err := NewKernelChannel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.Put([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Put([]byte{9}); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	if k.Len() != 3 {
+		t.Fatalf("len = %d", k.Len())
+	}
+	batch := k.GetBatch(2)
+	if len(batch) != 2 || batch[0][0] != 0 || batch[1][0] != 1 {
+		t.Fatalf("batch = %v", batch)
+	}
+	batch = k.GetBatch(10)
+	if len(batch) != 1 {
+		t.Fatalf("second batch = %v", batch)
+	}
+	if got := k.GetBatch(10); len(got) != 0 {
+		t.Fatalf("empty batch = %v", got)
+	}
+	if got := k.GetBatch(0); got != nil {
+		t.Fatalf("zero batch = %v", got)
+	}
+	passed, dropped := k.Stats()
+	if passed != 3 || dropped != 1 {
+		t.Fatalf("stats = %d/%d", passed, dropped)
+	}
+	k.Close()
+	k.Close() // idempotent
+	if err := k.Put([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

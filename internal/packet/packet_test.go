@@ -1,0 +1,378 @@
+package packet
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcA = netip.MustParseAddr("10.0.0.1")
+	dstA = netip.MustParseAddr("192.168.1.9")
+	src6 = netip.MustParseAddr("2001:db8::1")
+	dst6 = netip.MustParseAddr("2001:db8::9")
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := IPv4{
+		IHL: 20, TOS: 0x2e, TotalLen: 60, ID: 0xbeef, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: ProtoUDP, Src: srcA, Dst: dstA,
+	}
+	b := make([]byte, 60)
+	if err := in.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateIPv4Checksum(b); err != nil {
+		t.Fatalf("checksum after marshal: %v", err)
+	}
+	out, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TOS != in.TOS || out.TotalLen != in.TotalLen || out.ID != in.ID ||
+		out.Flags != in.Flags || out.TTL != in.TTL || out.Protocol != in.Protocol ||
+		out.Src != in.Src || out.Dst != in.Dst {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestIPv4ParseErrors(t *testing.T) {
+	if _, err := ParseIPv4(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 20)
+	b[0] = 0x60 // version 6
+	if _, err := ParseIPv4(b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 0x43 // IHL 12 bytes < 20
+	if _, err := ParseIPv4(b); !errors.Is(err, ErrHeaderLength) {
+		t.Fatalf("ihl: %v", err)
+	}
+	b[0] = 0x4f // IHL 60 > len 20
+	if _, err := ParseIPv4(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ihl overrun: %v", err)
+	}
+	b[0] = 0x45
+	b[3] = 10 // total length 10 < IHL
+	if _, err := ParseIPv4(b); !errors.Is(err, ErrHeaderLength) {
+		t.Fatalf("total < ihl: %v", err)
+	}
+	b[2], b[3] = 0x01, 0x00 // total length 256 > buffer
+	if _, err := ParseIPv4(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("total overrun: %v", err)
+	}
+}
+
+func TestIPv4MarshalErrors(t *testing.T) {
+	h := IPv4{Src: srcA, Dst: dstA, TotalLen: 20}
+	if err := h.Marshal(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	h.IHL = 22
+	if err := h.Marshal(make([]byte, 60)); !errors.Is(err, ErrHeaderLength) {
+		t.Fatalf("bad ihl: %v", err)
+	}
+	h.IHL = 20
+	h.Src = src6
+	if err := h.Marshal(make([]byte, 20)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v6 src: %v", err)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := IPv4{IHL: 24, TotalLen: 24, TTL: 1, Protocol: ProtoICMP, Src: srcA, Dst: dstA}
+	b := make([]byte, 24)
+	if err := h.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateIPv4Checksum(b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IHL != 24 {
+		t.Fatalf("ihl = %d", out.IHL)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	b, err := BuildUDP4(srcA, dstA, 1000, 2000, 64, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateIPv4Checksum(b); err != nil {
+		t.Fatal(err)
+	}
+	b[16] ^= 0xff // corrupt dst address
+	if err := ValidateIPv4Checksum(b); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestDecrementTTLIncrementalChecksum(t *testing.T) {
+	b, err := BuildUDP4(srcA, dstA, 1, 2, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 62; i++ {
+		if err := DecrementTTL(b); err != nil {
+			t.Fatalf("decrement %d: %v", i, err)
+		}
+		if err := ValidateIPv4Checksum(b); err != nil {
+			t.Fatalf("checksum invalid after decrement %d: %v", i, err)
+		}
+	}
+	h, _ := ParseIPv4(b)
+	if h.TTL != 2 {
+		t.Fatalf("ttl = %d", h.TTL)
+	}
+	if err := DecrementTTL(b); err != nil { // 2 -> 1
+		t.Fatal(err)
+	}
+	if err := DecrementTTL(b); !errors.Is(err, ErrTTLExpired) { // 1 -> 0
+		t.Fatalf("want ErrTTLExpired at zero, got %v", err)
+	}
+	if err := DecrementTTL(b); !errors.Is(err, ErrTTLExpired) { // already 0
+		t.Fatalf("want ErrTTLExpired on zero, got %v", err)
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	in := IPv6{
+		TrafficClass: 0xb8, FlowLabel: 0xabcde, PayloadLen: 8,
+		NextHeader: ProtoUDP, HopLimit: 7, Src: src6, Dst: dst6,
+	}
+	b := make([]byte, IPv6HeaderLen+8)
+	if err := in.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseIPv6(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestIPv6Errors(t *testing.T) {
+	if _, err := ParseIPv6(make([]byte, 39)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 40)
+	b[0] = 0x45
+	if _, err := ParseIPv6(b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 0x60
+	b[5] = 10 // payload 10 but no bytes follow
+	if _, err := ParseIPv6(b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("payload overrun: %v", err)
+	}
+	h := IPv6{Src: srcA, Dst: dst6}
+	if err := h.Marshal(make([]byte, 40)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v4 src: %v", err)
+	}
+	if err := (IPv6{Src: src6, Dst: dst6}).Marshal(make([]byte, 39)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short marshal: %v", err)
+	}
+}
+
+func TestDecrementHopLimit(t *testing.T) {
+	b, err := BuildUDP6(src6, dst6, 5, 6, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecrementHopLimit(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecrementHopLimit(b); !errors.Is(err, ErrTTLExpired) {
+		t.Fatalf("want expiry, got %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := UDP{SrcPort: 5353, DstPort: 53, Length: 8, Checksum: 0x1234}
+	b := make([]byte, 8)
+	if err := in.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseUDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("mismatch %+v vs %+v", out, in)
+	}
+	if _, err := ParseUDP(b[:4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short: %v", err)
+	}
+	b[4], b[5] = 0, 4 // length 4 < 8
+	if _, err := ParseUDP(b); !errors.Is(err, ErrHeaderLength) {
+		t.Fatalf("bad length: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	in := TCP{SrcPort: 80, DstPort: 51000, Seq: 1e9, Ack: 42, DataOff: 20,
+		Flags: TCPSyn | TCPAck, Window: 29200}
+	b := make([]byte, 20)
+	if err := in.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseTCP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("mismatch %+v vs %+v", out, in)
+	}
+	if _, err := ParseTCP(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short: %v", err)
+	}
+	b[12] = 3 << 4 // data offset 12 < 20
+	if _, err := ParseTCP(b); !errors.Is(err, ErrHeaderLength) {
+		t.Fatalf("bad offset: %v", err)
+	}
+}
+
+func TestFlowExtraction(t *testing.T) {
+	b, err := BuildUDP4(srcA, dstA, 1111, 2222, 64, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Flow(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FlowKey{Src: srcA, Dst: dstA, Proto: ProtoUDP, SrcPort: 1111, DstPort: 2222}
+	if k != want {
+		t.Fatalf("flow = %+v", k)
+	}
+
+	b6, err := BuildUDP6(src6, dst6, 7, 8, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k6, err := Flow(b6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k6.Src != src6 || k6.DstPort != 8 {
+		t.Fatalf("flow6 = %+v", k6)
+	}
+
+	tcp, err := BuildTCP4(srcA, dstA, 443, 50000, 64, TCPSyn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := Flow(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt.Proto != ProtoTCP || kt.SrcPort != 443 {
+		t.Fatalf("tcp flow = %+v", kt)
+	}
+
+	if _, err := Flow([]byte{0x00}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := Flow(nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestFlowNonTransportProto(t *testing.T) {
+	total := IPv4HeaderLen + 8
+	b := make([]byte, total)
+	h := IPv4{IHL: 20, TotalLen: total, TTL: 64, Protocol: ProtoICMP, Src: srcA, Dst: dstA}
+	if err := h.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Flow(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.SrcPort != 0 || k.DstPort != 0 {
+		t.Fatalf("icmp flow has ports: %+v", k)
+	}
+}
+
+func TestVersionNibble(t *testing.T) {
+	if Version(nil) != 0 {
+		t.Fatal("empty version")
+	}
+	if Version([]byte{0x45}) != 4 || Version([]byte{0x60}) != 6 {
+		t.Fatal("version nibble")
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	k := FlowKey{Src: srcA, Dst: dstA, Proto: ProtoUDP, SrcPort: 1, DstPort: 2}
+	if s := k.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Property: the Internet checksum of any buffer with its checksum field
+// folded in verifies to zero — Marshal/Validate agree for arbitrary headers.
+func TestQuickChecksumInvolution(t *testing.T) {
+	check := func(tos, ttl, proto uint8, id uint16, payloadLen uint8) bool {
+		total := IPv4HeaderLen + int(payloadLen)
+		b := make([]byte, total)
+		h := IPv4{
+			IHL: 20, TOS: tos, TotalLen: total, ID: id, TTL: ttl,
+			Protocol: proto, Src: srcA, Dst: dstA,
+		}
+		if err := h.Marshal(b); err != nil {
+			return false
+		}
+		return ValidateIPv4Checksum(b) == nil
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(marshal(h)) is identity for all valid IPv6 headers.
+func TestQuickIPv6RoundTrip(t *testing.T) {
+	check := func(tc uint8, fl uint32, nh, hl uint8, plen uint8) bool {
+		h := IPv6{
+			TrafficClass: tc, FlowLabel: fl & 0xfffff, PayloadLen: int(plen),
+			NextHeader: nh, HopLimit: hl, Src: src6, Dst: dst6,
+		}
+		b := make([]byte, IPv6HeaderLen+int(plen))
+		if err := h.Marshal(b); err != nil {
+			return false
+		}
+		out, err := ParseIPv6(b)
+		return err == nil && out == h
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecrementTTL preserves checksum validity for every starting TTL.
+func TestQuickTTLChecksumPreserved(t *testing.T) {
+	check := func(ttl uint8) bool {
+		if ttl < 2 {
+			return true
+		}
+		b, err := BuildUDP4(srcA, dstA, 9, 9, ttl, nil)
+		if err != nil {
+			return false
+		}
+		if err := DecrementTTL(b); err != nil {
+			return false
+		}
+		return ValidateIPv4Checksum(b) == nil
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

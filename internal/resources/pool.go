@@ -1,0 +1,131 @@
+package resources
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pool is a worker pool draining a pluggable Scheduler: the thread-
+// management CF of the paper, with schedulers as the plug-ins. All
+// scheduler access is serialised under the pool's mutex; workers block on
+// a condition variable when idle.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sched    Scheduler
+	seq      uint64
+	stopped  bool
+	draining bool
+
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool creates a pool with the given parallelism and scheduling policy
+// and starts its workers.
+func NewPool(workers int, sched Scheduler) (*Pool, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("resources: pool needs >=1 worker, got %d", workers)
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("resources: nil scheduler")
+	}
+	p := &Pool{sched: sched, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Submit enqueues fn attributed to task. It fails after Stop.
+func (p *Pool) Submit(task *Task, fn func()) error {
+	if task == nil || fn == nil {
+		return fmt.Errorf("resources: submit with nil task or fn")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return ErrPoolStopped
+	}
+	p.seq++
+	p.sched.Push(&WorkItem{Task: task, Run: fn, seq: p.seq})
+	p.cond.Signal()
+	return nil
+}
+
+// SwapScheduler replaces the scheduling policy, migrating queued items in
+// their current dispatch order. This is the "pluggable scheduler"
+// reconfiguration path; it is safe under load.
+func (p *Pool) SwapScheduler(next Scheduler) error {
+	if next == nil {
+		return fmt.Errorf("resources: nil scheduler")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		it := p.sched.Pop()
+		if it == nil {
+			break
+		}
+		next.Push(it)
+	}
+	p.sched = next
+	p.cond.Broadcast()
+	return nil
+}
+
+// SchedulerName reports the active policy name.
+func (p *Pool) SchedulerName() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sched.Name()
+}
+
+// Pending reports queued (not yet running) items.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sched.Len()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for !p.stopped && p.sched.Len() == 0 {
+			p.cond.Wait()
+		}
+		if p.stopped && (!p.draining || p.sched.Len() == 0) {
+			p.mu.Unlock()
+			return
+		}
+		it := p.sched.Pop()
+		p.mu.Unlock()
+		if it == nil {
+			continue
+		}
+		start := time.Now()
+		it.Run()
+		it.Task.recordRun(time.Since(start))
+	}
+}
+
+// Stop shuts the pool down and waits for all workers to exit. When drain
+// is true, queued items are executed first; otherwise they are abandoned.
+// Stop is idempotent.
+func (p *Pool) Stop(drain bool) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	p.draining = drain
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,272 @@
+// Package resources implements the paper's resources meta-model
+// ([Blair,99], §2): a privileged, per-capsule component framework giving
+// fine-grained control over the resourcing of dynamically-delineable units
+// of work called tasks. Tasks are deliberately orthogonal to the component
+// architecture — a task may account for work spanning many components, and
+// one component may serve many tasks.
+//
+// "Resources" subsume threads (worker pools with pluggable schedulers),
+// memory (byte budgets charged/released around allocations), network
+// bandwidth (token buckets) and abstract application-defined units of
+// allocation (named counted capacities).
+package resources
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	// ErrTaskExists indicates a duplicate task name.
+	ErrTaskExists = errors.New("resources: task exists")
+	// ErrTaskNotFound indicates an unknown task.
+	ErrTaskNotFound = errors.New("resources: task not found")
+	// ErrBudgetExceeded indicates a memory/abstract charge above budget.
+	ErrBudgetExceeded = errors.New("resources: budget exceeded")
+	// ErrPoolStopped indicates a submit to a stopped pool.
+	ErrPoolStopped = errors.New("resources: pool stopped")
+	// ErrNoSuchResource indicates an unknown abstract resource name.
+	ErrNoSuchResource = errors.New("resources: no such abstract resource")
+)
+
+// Task is a unit of resource accounting. All fields are managed through
+// methods; Tasks are safe for concurrent use.
+type Task struct {
+	name     string
+	weight   int // scheduler weight (WFQ) — higher = more service
+	priority int // scheduler priority — higher = sooner
+
+	memBudget int64 // bytes; 0 = unlimited
+	memUsed   atomic.Int64
+
+	jobs     atomic.Uint64 // work items completed
+	busy     atomic.Int64  // cumulative execution time, ns
+	memPeak  atomic.Int64
+	rejected atomic.Uint64 // charges refused
+
+	abstract sync.Map // name -> *int64 (used), capacity in manager
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// Weight returns the task's WFQ weight.
+func (t *Task) Weight() int { return t.weight }
+
+// Priority returns the task's priority.
+func (t *Task) Priority() int { return t.priority }
+
+// ChargeMemory accounts n bytes against the task's memory budget,
+// refusing with ErrBudgetExceeded when the budget would be passed. The
+// buffer-management CF calls this around pooled allocations.
+func (t *Task) ChargeMemory(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("resources: negative charge %d", n)
+	}
+	for {
+		cur := t.memUsed.Load()
+		next := cur + n
+		if t.memBudget > 0 && next > t.memBudget {
+			t.rejected.Add(1)
+			return fmt.Errorf("resources: task %q: %d+%d > %d: %w",
+				t.name, cur, n, t.memBudget, ErrBudgetExceeded)
+		}
+		if t.memUsed.CompareAndSwap(cur, next) {
+			for {
+				peak := t.memPeak.Load()
+				if next <= peak || t.memPeak.CompareAndSwap(peak, next) {
+					break
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// ReleaseMemory returns n bytes to the budget.
+func (t *Task) ReleaseMemory(n int64) {
+	if n < 0 {
+		return
+	}
+	if after := t.memUsed.Add(-n); after < 0 {
+		// Releasing more than charged is a plug-in bug; clamp and count.
+		t.memUsed.Store(0)
+		t.rejected.Add(1)
+	}
+}
+
+// TaskStats is a snapshot of per-task accounting.
+type TaskStats struct {
+	Name      string
+	Jobs      uint64
+	BusyNanos int64
+	MemUsed   int64
+	MemPeak   int64
+	Rejected  uint64
+}
+
+// Stats returns the task's counters.
+func (t *Task) Stats() TaskStats {
+	return TaskStats{
+		Name:      t.name,
+		Jobs:      t.jobs.Load(),
+		BusyNanos: t.busy.Load(),
+		MemUsed:   t.memUsed.Load(),
+		MemPeak:   t.memPeak.Load(),
+		Rejected:  t.rejected.Load(),
+	}
+}
+
+// recordRun is called by worker pools after executing an item.
+func (t *Task) recordRun(d time.Duration) {
+	t.jobs.Add(1)
+	t.busy.Add(int64(d))
+}
+
+// TaskSpec configures a new task.
+type TaskSpec struct {
+	Name      string
+	Weight    int   // WFQ weight; default 1
+	Priority  int   // priority-scheduler rank; default 0
+	MemBudget int64 // bytes; 0 = unlimited
+}
+
+// abstractResource is a named counted capacity.
+type abstractResource struct {
+	capacity int64
+	used     atomic.Int64
+}
+
+// Manager is the per-capsule resources meta-model instance: the task table
+// plus the abstract resource pools.
+type Manager struct {
+	mu    sync.RWMutex
+	tasks map[string]*Task
+	abs   map[string]*abstractResource
+}
+
+// NewManager returns an empty Manager.
+func NewManager() *Manager {
+	return &Manager{tasks: make(map[string]*Task), abs: make(map[string]*abstractResource)}
+}
+
+// CreateTask registers a new task.
+func (m *Manager) CreateTask(spec TaskSpec) (*Task, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("resources: empty task name")
+	}
+	if spec.Weight <= 0 {
+		spec.Weight = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tasks[spec.Name]; ok {
+		return nil, fmt.Errorf("resources: %q: %w", spec.Name, ErrTaskExists)
+	}
+	t := &Task{
+		name: spec.Name, weight: spec.Weight,
+		priority: spec.Priority, memBudget: spec.MemBudget,
+	}
+	m.tasks[spec.Name] = t
+	return t, nil
+}
+
+// Task returns the named task.
+func (m *Manager) Task(name string) (*Task, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tasks[name]
+	if !ok {
+		return nil, fmt.Errorf("resources: %q: %w", name, ErrTaskNotFound)
+	}
+	return t, nil
+}
+
+// DeleteTask removes a task from the table (its outstanding accounting is
+// abandoned — the caller owns quiescence).
+func (m *Manager) DeleteTask(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tasks[name]; !ok {
+		return fmt.Errorf("resources: %q: %w", name, ErrTaskNotFound)
+	}
+	delete(m.tasks, name)
+	return nil
+}
+
+// Tasks returns all task names, sorted.
+func (m *Manager) Tasks() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tasks))
+	for n := range m.tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefineAbstract creates a named abstract resource with the given capacity
+// (the paper: "abstract, application-defined, units of allocation").
+func (m *Manager) DefineAbstract(name string, capacity int64) error {
+	if name == "" || capacity <= 0 {
+		return fmt.Errorf("resources: bad abstract resource %q cap %d", name, capacity)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.abs[name]; ok {
+		return fmt.Errorf("resources: abstract %q: %w", name, ErrTaskExists)
+	}
+	m.abs[name] = &abstractResource{capacity: capacity}
+	return nil
+}
+
+// AcquireAbstract takes n units of the named resource.
+func (m *Manager) AcquireAbstract(name string, n int64) error {
+	m.mu.RLock()
+	r, ok := m.abs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("resources: %q: %w", name, ErrNoSuchResource)
+	}
+	for {
+		cur := r.used.Load()
+		if cur+n > r.capacity {
+			return fmt.Errorf("resources: abstract %q %d+%d > %d: %w",
+				name, cur, n, r.capacity, ErrBudgetExceeded)
+		}
+		if r.used.CompareAndSwap(cur, cur+n) {
+			return nil
+		}
+	}
+}
+
+// ReleaseAbstract returns n units.
+func (m *Manager) ReleaseAbstract(name string, n int64) error {
+	m.mu.RLock()
+	r, ok := m.abs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("resources: %q: %w", name, ErrNoSuchResource)
+	}
+	if after := r.used.Add(-n); after < 0 {
+		r.used.Store(0)
+	}
+	return nil
+}
+
+// AbstractUsage reports (used, capacity).
+func (m *Manager) AbstractUsage(name string) (used, capacity int64, err error) {
+	m.mu.RLock()
+	r, ok := m.abs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("resources: %q: %w", name, ErrNoSuchResource)
+	}
+	return r.used.Load(), r.capacity, nil
+}

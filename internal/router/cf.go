@@ -1,0 +1,156 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+
+	"netkit/internal/cf"
+	"netkit/internal/core"
+)
+
+// RouterCFName is the framework name used for stratum-2 instances.
+const RouterCFName = "netkit.RouterCF"
+
+// ErrNotCompliant wraps Router-CF rule failures (callers usually match
+// cf.ErrRuleViolated, which these rules return through).
+var ErrNotCompliant = errors.New("router: component not compliant with Router CF rules")
+
+// packetIfaceIDs are the data-path interfaces the CF's shape rules count.
+var packetIfaceIDs = []core.InterfaceID{IPacketPushID, IPacketPullID}
+
+// hasPacketInterface reports whether comp provides a packet interface.
+func hasPacketInterface(comp core.Component) bool {
+	for _, id := range packetIfaceIDs {
+		if _, ok := comp.Provided(id); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// packetReceptacleCount counts packet-typed receptacles.
+func packetReceptacleCount(comp core.Component) int {
+	n := 0
+	for _, name := range comp.ReceptacleNames() {
+		r, ok := comp.Receptacle(name)
+		if !ok {
+			continue
+		}
+		if r.Iface() == IPacketPushID || r.Iface() == IPacketPullID {
+			n++
+		}
+	}
+	return n
+}
+
+// RulePacketInterfaces is §5's first rule: compliant components must
+// support appropriate numbers and combinations of the packet-passing
+// interfaces/receptacles — concretely, they must participate in the data
+// path by providing IPacketPush/IPacketPull or requiring one via a
+// receptacle.
+func RulePacketInterfaces() cf.Rule {
+	return cf.Rule{
+		Name: "packet-interfaces",
+		Check: func(_ *cf.Framework, name string, comp core.Component) error {
+			if hasPacketInterface(comp) || packetReceptacleCount(comp) > 0 {
+				return nil
+			}
+			return fmt.Errorf("%q neither provides nor requires a packet interface: %w",
+				name, ErrNotCompliant)
+		},
+	}
+}
+
+// RuleClassifierOutputs is §5's second rule: a component providing
+// IClassifier must expose at least one named outgoing packet interface for
+// filters to route to.
+func RuleClassifierOutputs() cf.Rule {
+	return cf.Rule{
+		Name: "classifier-outputs",
+		Check: func(_ *cf.Framework, name string, comp core.Component) error {
+			if _, ok := comp.Provided(IClassifierID); !ok {
+				return nil
+			}
+			if packetReceptacleCount(comp) == 0 {
+				return fmt.Errorf("%q provides IClassifier but has no outgoing packet interfaces: %w",
+					name, ErrNotCompliant)
+			}
+			cls, ok := comp.Provided(IClassifierID)
+			if !ok {
+				return nil
+			}
+			if c, ok := cls.(IClassifier); ok && len(c.FilterOutputs()) == 0 {
+				return fmt.Errorf("%q advertises no filter outputs: %w", name, ErrNotCompliant)
+			}
+			return nil
+		},
+	}
+}
+
+// RuleCompositeRecursive is §5's third rule: composite members must
+// recursively conform (their nested framework re-checks its own members,
+// which carry the same rules) and must contain a controller.
+func RuleCompositeRecursive() cf.Rule {
+	return cf.Rule{
+		Name: "composite-recursive",
+		Check: func(_ *cf.Framework, name string, comp core.Component) error {
+			comps, ok := comp.(*cf.Composite)
+			if !ok {
+				return nil
+			}
+			if comps.Controller() == nil {
+				return fmt.Errorf("composite %q lacks a controller: %w", name, ErrNotCompliant)
+			}
+			if err := comps.Framework().RecheckAll(); err != nil {
+				return fmt.Errorf("composite %q inner members: %w", name, err)
+			}
+			return nil
+		},
+	}
+}
+
+// RuleTrustAnnotated enforces the §5 isolation policy when strict: a
+// component annotated untrusted must be hosted out-of-process (its in-proc
+// stand-in carries the netkit.remote annotation placed by the IPC layer).
+func RuleTrustAnnotated(strict bool) cf.Rule {
+	return cf.Rule{
+		Name: "trust-isolation",
+		Check: func(_ *cf.Framework, name string, comp core.Component) error {
+			if !strict {
+				return nil
+			}
+			ann := comp.Annotations()
+			if ann[core.AnnotTrust] == "untrusted" && ann["netkit.remote"] != "true" {
+				return fmt.Errorf("untrusted %q must be instantiated out-of-process: %w",
+					name, ErrNotCompliant)
+			}
+			return nil
+		},
+	}
+}
+
+// Rules returns the full Router CF rule set. strictTrust enables the
+// out-of-process isolation rule.
+func Rules(strictTrust bool) []cf.Rule {
+	return []cf.Rule{
+		RulePacketInterfaces(),
+		RuleClassifierOutputs(),
+		RuleCompositeRecursive(),
+		RuleTrustAnnotated(strictTrust),
+	}
+}
+
+// NewFramework creates a Router CF instance over a capsule.
+func NewFramework(capsule *core.Capsule, strictTrust bool) (*cf.Framework, error) {
+	return cf.New(RouterCFName, capsule, Rules(strictTrust))
+}
+
+// ConnectPush binds from's receptacle to to's IPacketPush.
+func ConnectPush(c *core.Capsule, from, receptacle, to string) (*core.Binding, error) {
+	return c.Bind(from, receptacle, to, IPacketPushID)
+}
+
+// ConnectPull binds from's receptacle to to's IPacketPull.
+func ConnectPull(c *core.Capsule, from, receptacle, to string) (*core.Binding, error) {
+	return c.Bind(from, receptacle, to, IPacketPullID)
+}

@@ -1,0 +1,164 @@
+package router
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"netkit/internal/core"
+	"netkit/internal/filter"
+)
+
+// Classifier routes packets to named outputs according to installed filter
+// specifications. It provides IClassifier, honouring §5's rule: "the
+// component must honour the semantics of installed filter specifications
+// in terms of the particular named outgoing IPacketPush ... interface(s)
+// on which each incoming packet should be emitted". Output slots can be
+// added and removed at run time — the CF re-checks its rules afterwards.
+type Classifier struct {
+	*core.Base
+	elementCounters
+	table *filter.Table
+
+	mu    sync.RWMutex
+	outs  map[string]*core.Receptacle[IPacketPush]
+	deflt *core.Receptacle[IPacketPush] // optional "default" output
+}
+
+// NewClassifier creates a classifier with the named output slots. A slot
+// named "default" receives unmatched packets; without one, unmatched
+// packets are dropped (counted).
+func NewClassifier(outputs ...string) (*Classifier, error) {
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("router: classifier needs >=1 output")
+	}
+	c := &Classifier{
+		Base:  core.NewBase(TypeClassifier),
+		table: filter.NewTable(),
+		outs:  make(map[string]*core.Receptacle[IPacketPush], len(outputs)),
+	}
+	for _, name := range outputs {
+		if err := c.AddOutput(name); err != nil {
+			return nil, err
+		}
+	}
+	c.Provide(IPacketPushID, c)
+	c.Provide(IClassifierID, c)
+	return c, nil
+}
+
+// AddOutput creates a new named output slot at run time.
+func (c *Classifier) AddOutput(name string) error {
+	if name == "" {
+		return fmt.Errorf("router: empty output name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.outs[name]; ok {
+		return fmt.Errorf("router: output %q: %w", name, core.ErrAlreadyExists)
+	}
+	r := core.NewReceptacle[IPacketPush](IPacketPushID)
+	c.outs[name] = r
+	c.AddReceptacle(name, r)
+	if name == "default" {
+		c.deflt = r
+	}
+	return nil
+}
+
+// RemoveOutput removes an unbound output slot; filters routed to it keep
+// their names and simply drop until (if ever) the slot is re-added.
+func (c *Classifier) RemoveOutput(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.outs[name]
+	if !ok {
+		return fmt.Errorf("router: output %q: %w", name, core.ErrNotFound)
+	}
+	if r.Bound() {
+		return fmt.Errorf("router: output %q: %w", name, core.ErrAlreadyBound)
+	}
+	if err := c.RemoveReceptacle(name); err != nil {
+		return err
+	}
+	delete(c.outs, name)
+	if name == "default" {
+		c.deflt = nil
+	}
+	return nil
+}
+
+// RegisterFilter implements IClassifier.
+func (c *Classifier) RegisterFilter(spec string, priority int, output string) (uint64, error) {
+	c.mu.RLock()
+	_, ok := c.outs[output]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("router: register_filter to unknown output %q: %w",
+			output, core.ErrNotFound)
+	}
+	return c.table.Add(spec, priority, output)
+}
+
+// UnregisterFilter implements IClassifier.
+func (c *Classifier) UnregisterFilter(id uint64) error {
+	return c.table.Remove(id)
+}
+
+// FilterOutputs implements IClassifier.
+func (c *Classifier) FilterOutputs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.outs))
+	for n := range c.outs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Rules returns the installed filter rules (diagnostic).
+func (c *Classifier) Rules() []filter.Rule { return c.table.Rules() }
+
+// Push implements IPacketPush.
+func (c *Classifier) Push(p *Packet) error {
+	c.in.Add(1)
+	name, matched := c.table.LookupView(p.View())
+	c.mu.RLock()
+	var target *core.Receptacle[IPacketPush]
+	if matched {
+		target = c.outs[name]
+	} else {
+		target = c.deflt
+	}
+	c.mu.RUnlock()
+	if target == nil {
+		c.dropped.Add(1)
+		p.Release()
+		return nil
+	}
+	return c.forward(target, p)
+}
+
+// Stats implements StatsReporter.
+func (c *Classifier) Stats() ElementStats { return c.snapshot() }
+
+func init() {
+	core.Components.MustRegister(TypeClassifier, func(cfg map[string]string) (core.Component, error) {
+		n := 1
+		if s, ok := cfg["outputs"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: classifier outputs: %w", err)
+			}
+			n = v
+		}
+		names := make([]string, 0, n+1)
+		for i := 0; i < n; i++ {
+			names = append(names, "out"+strconv.Itoa(i))
+		}
+		if cfg["default"] != "false" {
+			names = append(names, "default")
+		}
+		return NewClassifier(names...)
+	})
+}

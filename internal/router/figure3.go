@@ -1,0 +1,149 @@
+package router
+
+import (
+	"fmt"
+
+	"netkit/internal/cf"
+	"netkit/internal/core"
+)
+
+// Figure3Config parameterises the canonical composite of Figure 3: a
+// protocol recogniser feeding IPv4/IPv6 header processors, per-version
+// queues, and a link scheduler, all managed by an internal controller.
+type Figure3Config struct {
+	QueueCapacity    int         // per-version queue depth (default 128)
+	SchedulerPolicy  SchedPolicy // default DRR
+	ValidateChecksum bool        // IPv4 checksum validation on ingress
+	QuantumV4        int         // DRR quantum for the IPv4 queue (bytes)
+	QuantumV6        int         // DRR quantum for the IPv6 queue (bytes)
+}
+
+// Figure3TypeName is the composite's component type.
+const Figure3TypeName = "netkit.router.GatewayComposite"
+
+// gatewayController is the composite's controller (the "Gateway CF Manager
+// (or Representative)" of Figure 3): it builds and owns the internal
+// topology and constrains it via bind-time interceptors.
+type gatewayController struct {
+	cfg Figure3Config
+}
+
+// Principal implements cf.Controller.
+func (g *gatewayController) Principal() string { return "gateway-controller" }
+
+// Configure implements cf.Controller: instantiate and wire the Figure 3
+// pipeline inside the composite's capsule.
+func (g *gatewayController) Configure(inner *core.Capsule) error {
+	recogn := NewProtoRecogn()
+	v4 := NewIPv4Proc(g.cfg.ValidateChecksum)
+	v6 := NewIPv6Proc()
+	q4, err := NewFIFOQueue(g.cfg.QueueCapacity)
+	if err != nil {
+		return err
+	}
+	q6, err := NewFIFOQueue(g.cfg.QueueCapacity)
+	if err != nil {
+		return err
+	}
+	drop := NewDropper()
+	sched, err := NewLinkScheduler(g.cfg.SchedulerPolicy)
+	if err != nil {
+		return err
+	}
+	if err := sched.AddInput("in-v4", g.cfg.QuantumV4, 1); err != nil {
+		return err
+	}
+	if err := sched.AddInput("in-v6", g.cfg.QuantumV6, 0); err != nil {
+		return err
+	}
+	egress := NewCounter() // boundary element; its "out" is the composite's out
+
+	for name, comp := range map[string]core.Component{
+		"recogn": recogn, "ipv4": v4, "ipv6": v6,
+		"queue-v4": q4, "queue-v6": q6, "drop": drop,
+		"sched": sched, "egress": egress,
+	} {
+		if err := inner.Insert(name, comp); err != nil {
+			return err
+		}
+	}
+
+	binds := []struct {
+		from, recp, to string
+		iface          core.InterfaceID
+	}{
+		{"recogn", "ipv4", "ipv4", IPacketPushID},
+		{"recogn", "ipv6", "ipv6", IPacketPushID},
+		{"recogn", "other", "drop", IPacketPushID},
+		{"ipv4", "out", "queue-v4", IPacketPushID},
+		{"ipv6", "out", "queue-v6", IPacketPushID},
+		{"sched", "in-v4", "queue-v4", IPacketPullID},
+		{"sched", "in-v6", "queue-v6", IPacketPullID},
+		{"sched", "out", "egress", IPacketPushID},
+	}
+	for _, b := range binds {
+		if _, err := inner.Bind(b.from, b.recp, b.to, b.iface); err != nil {
+			return fmt.Errorf("router: figure3 wiring %s.%s->%s: %w", b.from, b.recp, b.to, err)
+		}
+	}
+	return nil
+}
+
+// NewFigure3Composite builds the Figure 3 composite inside outer's
+// registries. The composite provides IPacketPush (delegating to the
+// protocol recogniser) and exposes an "out" receptacle (the egress
+// counter's output) for the embedder to bind to a NIC sink or further
+// elements.
+func NewFigure3Composite(outer *core.Capsule, cfg Figure3Config) (*cf.Composite, error) {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 128
+	}
+	if cfg.SchedulerPolicy == "" {
+		cfg.SchedulerPolicy = PolicyDRR
+	}
+	if cfg.QuantumV4 <= 0 {
+		cfg.QuantumV4 = 1500
+	}
+	if cfg.QuantumV6 <= 0 {
+		cfg.QuantumV6 = 1500
+	}
+	ctrl := &gatewayController{cfg: cfg}
+	comp, err := cf.NewComposite(Figure3TypeName, outer, Rules(false), ctrl)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Configure(); err != nil {
+		return nil, err
+	}
+	// Boundary: ingress delegates to the recogniser; egress re-exports the
+	// inner counter's out receptacle on the composite surface.
+	if err := comp.Export(IPacketPushID, "recogn"); err != nil {
+		return nil, err
+	}
+	egress, ok := comp.Inner().Component("egress")
+	if !ok {
+		return nil, fmt.Errorf("router: figure3: egress missing: %w", core.ErrNotFound)
+	}
+	outRecp, ok := egress.Receptacle("out")
+	if !ok {
+		return nil, fmt.Errorf("router: figure3: egress out receptacle missing: %w", core.ErrNotFound)
+	}
+	comp.AddReceptacle("out", outRecp)
+
+	// Example of a dynamically added topology constraint (§5): inside this
+	// composite, nothing may bind directly to the scheduler's output — the
+	// egress boundary owns it.
+	err = comp.Framework().AddConstraint(ctrl.Principal(), core.BindConstraint{
+		Name: "egress-owns-sched-out",
+		Check: func(_ *core.Capsule, req core.BindRequest) error {
+			if req.From == "sched" && req.Receptacle == "out" && req.To != "egress" {
+				return fmt.Errorf("sched.out must bind to egress")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp, nil
+}

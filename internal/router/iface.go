@@ -1,0 +1,238 @@
+// Package router implements the paper's stratum-2 Router CF (called the
+// Gateway CF in Figures 2 and 3): a component framework that accepts, as
+// plug-ins, components performing arbitrary user-defined packet-forwarding
+// functions, subject to run-time-checked rules. It also supplies the
+// "standard" components the paper mentions — NIC wrappers, kernel-channel
+// wrappers, classifiers, protocol recognisers, IPv4/IPv6 header
+// processors, queues, link schedulers, shapers and counters.
+package router
+
+import (
+	"errors"
+
+	"netkit/internal/buffers"
+	"netkit/internal/core"
+	"netkit/internal/filter"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoPacket indicates an empty pull source.
+	ErrNoPacket = errors.New("router: no packet")
+	// ErrQueueFull indicates a refused enqueue (drop-tail).
+	ErrQueueFull = errors.New("router: queue full")
+	// ErrStopped indicates a component used outside started state.
+	ErrStopped = errors.New("router: component stopped")
+)
+
+// Packet is the unit travelling the data path. Data aliases the live
+// bytes; when Buf is non-nil the packet owns a pooled buffer that must be
+// released by whichever component terminates the packet's life (sink,
+// dropper, or queue overflow path). The filter view is extracted lazily
+// and cached so a chain of classifiers parses headers once.
+type Packet struct {
+	Data   []byte
+	Buf    *buffers.Buffer
+	InPort string
+
+	view   filter.View
+	viewOK bool
+}
+
+// NewPacket wraps raw bytes (caller-owned).
+func NewPacket(data []byte) *Packet { return &Packet{Data: data} }
+
+// NewPooledPacket copies data into a buffer drawn from pool.
+func NewPooledPacket(pool *buffers.Pool, data []byte) (*Packet, error) {
+	b, err := pool.Get(len(data))
+	if err != nil {
+		return nil, err
+	}
+	b.CopyFrom(data)
+	return &Packet{Data: b.Bytes(), Buf: b}, nil
+}
+
+// View returns the cached filter view, extracting it on first use.
+func (p *Packet) View() *filter.View {
+	if !p.viewOK {
+		p.view = filter.Extract(p.Data)
+		p.viewOK = true
+	}
+	return &p.view
+}
+
+// InvalidateView discards the cached view after the packet bytes are
+// mutated (e.g. TTL decrement changes nothing the view caches, but NAT
+// would).
+func (p *Packet) InvalidateView() { p.viewOK = false }
+
+// Release returns the packet's pooled buffer, if any. Safe on
+// caller-owned packets (no-op).
+func (p *Packet) Release() {
+	if p.Buf != nil {
+		_ = p.Buf.Release()
+		p.Buf = nil
+	}
+}
+
+// Clone returns a new Packet sharing the same bytes (and retaining the
+// pooled buffer, when present) so that independent consumers — e.g. the
+// outputs of a Tee — each own a releasable reference.
+func (p *Packet) Clone() *Packet {
+	if p.Buf != nil {
+		p.Buf.Retain()
+	}
+	cl := *p
+	return &cl
+}
+
+// Interface identities of the Router CF (Figure 2).
+const (
+	// IPacketPushID identifies the push-oriented packet interface.
+	IPacketPushID core.InterfaceID = "netkit.IPacketPush/1"
+	// IPacketPullID identifies the pull-oriented packet interface.
+	IPacketPullID core.InterfaceID = "netkit.IPacketPull/1"
+	// IClassifierID identifies the optional classification interface.
+	IClassifierID core.InterfaceID = "netkit.IClassifier/1"
+)
+
+// IPacketPush is the push-oriented inter-component packet interface: the
+// callee takes ownership of the packet (forwarding it onward, queueing it,
+// or releasing it).
+type IPacketPush interface {
+	Push(p *Packet) error
+}
+
+// IPacketPull is the pull-oriented interface: the caller obtains the next
+// packet from an upstream element, or ErrNoPacket.
+type IPacketPull interface {
+	Pull() (*Packet, error)
+}
+
+// IClassifier is the optional filter-management interface (§5):
+// register_filter installs a packet-filter specification routed to a named
+// outgoing interface, whose semantics the component must honour.
+type IClassifier interface {
+	RegisterFilter(spec string, priority int, output string) (uint64, error)
+	UnregisterFilter(id uint64) error
+	FilterOutputs() []string
+}
+
+// ---------------------------------------------------------------------------
+// Interface meta-model descriptors (with interception proxies)
+
+type pushProxy struct {
+	target IPacketPush
+	around core.Around
+}
+
+func (p *pushProxy) Push(pkt *Packet) error {
+	out := p.around("Push", []any{pkt}, func(args []any) []any {
+		return []any{p.target.Push(args[0].(*Packet))}
+	})
+	if out[0] == nil {
+		return nil
+	}
+	return out[0].(error)
+}
+
+type pullProxy struct {
+	target IPacketPull
+	around core.Around
+}
+
+func (p *pullProxy) Pull() (*Packet, error) {
+	out := p.around("Pull", nil, func([]any) []any {
+		pkt, err := p.target.Pull()
+		return []any{pkt, err}
+	})
+	var pkt *Packet
+	if out[0] != nil {
+		pkt = out[0].(*Packet)
+	}
+	var err error
+	if out[1] != nil {
+		err = out[1].(error)
+	}
+	return pkt, err
+}
+
+type classifierProxy struct {
+	target IClassifier
+	around core.Around
+}
+
+func (p *classifierProxy) RegisterFilter(spec string, priority int, output string) (uint64, error) {
+	out := p.around("RegisterFilter", []any{spec, priority, output}, func(args []any) []any {
+		id, err := p.target.RegisterFilter(args[0].(string), args[1].(int), args[2].(string))
+		return []any{id, err}
+	})
+	var err error
+	if out[1] != nil {
+		err = out[1].(error)
+	}
+	return out[0].(uint64), err
+}
+
+func (p *classifierProxy) UnregisterFilter(id uint64) error {
+	out := p.around("UnregisterFilter", []any{id}, func(args []any) []any {
+		return []any{p.target.UnregisterFilter(args[0].(uint64))}
+	})
+	if out[0] == nil {
+		return nil
+	}
+	return out[0].(error)
+}
+
+func (p *classifierProxy) FilterOutputs() []string {
+	out := p.around("FilterOutputs", nil, func([]any) []any {
+		return []any{p.target.FilterOutputs()}
+	})
+	if out[0] == nil {
+		return nil
+	}
+	return out[0].([]string)
+}
+
+func init() {
+	core.Interfaces.MustRegister(&core.Descriptor{
+		ID:  IPacketPushID,
+		Doc: "push-oriented packet hand-off; callee takes ownership",
+		Ops: []core.OpDesc{{Name: "Push", NumIn: 1, NumOut: 1, Doc: "deliver one packet"}},
+		Check: func(v any) bool {
+			_, ok := v.(IPacketPush)
+			return ok
+		},
+		Proxy: func(target any, around core.Around) any {
+			return &pushProxy{target: target.(IPacketPush), around: around}
+		},
+	})
+	core.Interfaces.MustRegister(&core.Descriptor{
+		ID:  IPacketPullID,
+		Doc: "pull-oriented packet hand-off; caller obtains next packet",
+		Ops: []core.OpDesc{{Name: "Pull", NumIn: 0, NumOut: 2, Doc: "take next packet"}},
+		Check: func(v any) bool {
+			_, ok := v.(IPacketPull)
+			return ok
+		},
+		Proxy: func(target any, around core.Around) any {
+			return &pullProxy{target: target.(IPacketPull), around: around}
+		},
+	})
+	core.Interfaces.MustRegister(&core.Descriptor{
+		ID:  IClassifierID,
+		Doc: "filter installation per §5 register_filter semantics",
+		Ops: []core.OpDesc{
+			{Name: "RegisterFilter", NumIn: 3, NumOut: 2, Doc: "install a filter spec routed to a named output"},
+			{Name: "UnregisterFilter", NumIn: 1, NumOut: 1, Doc: "remove an installed filter"},
+			{Name: "FilterOutputs", NumIn: 0, NumOut: 1, Doc: "list routable output names"},
+		},
+		Check: func(v any) bool {
+			_, ok := v.(IClassifier)
+			return ok
+		},
+		Proxy: func(target any, around core.Around) any {
+			return &classifierProxy{target: target.(IClassifier), around: around}
+		},
+	})
+}

@@ -1,0 +1,284 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"netkit/internal/buffers"
+	"netkit/internal/core"
+	"netkit/internal/osabs"
+)
+
+// NICSource is a standard component wrapping a stratum-1 NIC's receive
+// side (§5: "'standard' components that interface to network cards"). Its
+// pump turns frames into packets — optionally copied into pooled buffers —
+// and pushes them downstream.
+type NICSource struct {
+	*core.Base
+	elementCounters
+	nic  *osabs.NIC
+	pool *buffers.Pool // nil = wrap frames without copying
+	out  *core.Receptacle[IPacketPush]
+
+	mu   sync.Mutex
+	quit chan struct{}
+	done chan struct{}
+}
+
+// NewNICSource wraps an existing NIC. pool may be nil.
+func NewNICSource(nic *osabs.NIC, pool *buffers.Pool) (*NICSource, error) {
+	if nic == nil {
+		return nil, fmt.Errorf("router: nil NIC")
+	}
+	s := &NICSource{Base: core.NewBase(TypeNICSource), nic: nic, pool: pool}
+	s.out = core.NewReceptacle[IPacketPush](IPacketPushID)
+	s.AddReceptacle("out", s.out)
+	s.SetAnnotation("netkit.device", nic.Name())
+	return s, nil
+}
+
+// NIC returns the wrapped device.
+func (s *NICSource) NIC() *osabs.NIC { return s.nic }
+
+// Start implements core.Starter.
+func (s *NICSource) Start(context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quit != nil {
+		return nil
+	}
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.pump(s.quit, s.done)
+	return nil
+}
+
+// Stop implements core.Stopper.
+func (s *NICSource) Stop(context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quit == nil {
+		return nil
+	}
+	close(s.quit)
+	<-s.done
+	s.quit, s.done = nil, nil
+	return nil
+}
+
+func (s *NICSource) pump(quit, done chan struct{}) {
+	defer close(done)
+	rx := s.nic.RecvChan()
+	for {
+		select {
+		case <-quit:
+			return
+		case frame, ok := <-rx:
+			if !ok {
+				return
+			}
+			s.deliver(frame)
+		}
+	}
+}
+
+func (s *NICSource) deliver(frame []byte) {
+	s.in.Add(1)
+	var p *Packet
+	if s.pool != nil {
+		pp, err := NewPooledPacket(s.pool, frame)
+		if err != nil {
+			s.dropped.Add(1)
+			return
+		}
+		p = pp
+	} else {
+		p = NewPacket(frame)
+	}
+	p.InPort = s.nic.Name()
+	_ = s.forward(s.out, p)
+}
+
+// Stats implements StatsReporter.
+func (s *NICSource) Stats() ElementStats { return s.snapshot() }
+
+// ---------------------------------------------------------------------------
+// NICSink
+
+// NICSink wraps a NIC's transmit side: packets pushed into it leave the
+// router. TX-ring overflow counts as a drop.
+type NICSink struct {
+	*core.Base
+	elementCounters
+	nic *osabs.NIC
+}
+
+// NewNICSink wraps an existing NIC.
+func NewNICSink(nic *osabs.NIC) (*NICSink, error) {
+	if nic == nil {
+		return nil, fmt.Errorf("router: nil NIC")
+	}
+	s := &NICSink{Base: core.NewBase(TypeNICSink), nic: nic}
+	s.Provide(IPacketPushID, s)
+	s.SetAnnotation("netkit.device", nic.Name())
+	return s, nil
+}
+
+// NIC returns the wrapped device.
+func (s *NICSink) NIC() *osabs.NIC { return s.nic }
+
+// Push implements IPacketPush.
+func (s *NICSink) Push(p *Packet) error {
+	s.in.Add(1)
+	err := s.nic.Send(p.Data)
+	p.Release()
+	if err != nil {
+		s.dropped.Add(1)
+		return nil
+	}
+	s.out.Add(1)
+	return nil
+}
+
+// Stats implements StatsReporter.
+func (s *NICSink) Stats() ElementStats { return s.snapshot() }
+
+// ---------------------------------------------------------------------------
+// KernelSource
+
+// KernelSource wraps a stratum-1 kernel/user packet channel, batch-reading
+// frames to amortise the crossing (§5: "wrap efficient kernel-user space
+// communication mechanisms").
+type KernelSource struct {
+	*core.Base
+	elementCounters
+	ch    *osabs.KernelChannel
+	batch int
+	out   *core.Receptacle[IPacketPush]
+
+	mu   sync.Mutex
+	quit chan struct{}
+	done chan struct{}
+	idle time.Duration
+}
+
+// NewKernelSource wraps a kernel channel with the given batch size.
+func NewKernelSource(ch *osabs.KernelChannel, batch int) (*KernelSource, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("router: nil kernel channel")
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	k := &KernelSource{
+		Base: core.NewBase(TypeKernelSource), ch: ch, batch: batch,
+		idle: 50 * time.Microsecond,
+	}
+	k.out = core.NewReceptacle[IPacketPush](IPacketPushID)
+	k.AddReceptacle("out", k.out)
+	return k, nil
+}
+
+// Start implements core.Starter.
+func (k *KernelSource) Start(context.Context) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.quit != nil {
+		return nil
+	}
+	k.quit = make(chan struct{})
+	k.done = make(chan struct{})
+	go func(quit, done chan struct{}) {
+		defer close(done)
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			frames := k.ch.GetBatch(k.batch)
+			if len(frames) == 0 {
+				select {
+				case <-quit:
+					return
+				case <-time.After(k.idle):
+				}
+				continue
+			}
+			for _, f := range frames {
+				k.in.Add(1)
+				_ = k.forward(k.out, NewPacket(f))
+			}
+		}
+	}(k.quit, k.done)
+	return nil
+}
+
+// Stop implements core.Stopper.
+func (k *KernelSource) Stop(context.Context) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.quit == nil {
+		return nil
+	}
+	close(k.quit)
+	<-k.done
+	k.quit, k.done = nil, nil
+	return nil
+}
+
+// Stats implements StatsReporter.
+func (k *KernelSource) Stats() ElementStats { return k.snapshot() }
+
+var (
+	_ core.Starter = (*NICSource)(nil)
+	_ core.Stopper = (*NICSource)(nil)
+	_ core.Starter = (*KernelSource)(nil)
+	_ core.Stopper = (*KernelSource)(nil)
+)
+
+func init() {
+	// The config-driven factories create and own their devices; embedders
+	// use the New* constructors with existing devices.
+	core.Components.MustRegister(TypeNICSource, func(cfg map[string]string) (core.Component, error) {
+		name := cfg["device"]
+		if name == "" {
+			name = "eth0"
+		}
+		depth := 512
+		if s, ok := cfg["depth"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: nic depth: %w", err)
+			}
+			depth = v
+		}
+		nic, err := osabs.NewNIC(name, depth, depth)
+		if err != nil {
+			return nil, err
+		}
+		return NewNICSource(nic, nil)
+	})
+	core.Components.MustRegister(TypeNICSink, func(cfg map[string]string) (core.Component, error) {
+		name := cfg["device"]
+		if name == "" {
+			name = "eth0"
+		}
+		depth := 512
+		if s, ok := cfg["depth"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: nic depth: %w", err)
+			}
+			depth = v
+		}
+		nic, err := osabs.NewNIC(name, depth, depth)
+		if err != nil {
+			return nil, err
+		}
+		return NewNICSink(nic)
+	})
+}

@@ -1,0 +1,269 @@
+package router
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"netkit/internal/core"
+)
+
+// FIFOQueue is the standard store-and-forward element: IPacketPush on the
+// input side, IPacketPull on the output side (the push/pull boundary in
+// Figure 3 between the queueing and forwarding Gateway-CF instances).
+// Overflow is drop-tail.
+type FIFOQueue struct {
+	*core.Base
+	elementCounters
+
+	mu   sync.Mutex
+	ring []*Packet
+	head int
+	size int
+}
+
+// NewFIFOQueue creates a queue with the given capacity.
+func NewFIFOQueue(capacity int) (*FIFOQueue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("router: queue capacity %d", capacity)
+	}
+	q := &FIFOQueue{
+		Base: core.NewBase(TypeFIFOQueue),
+		ring: make([]*Packet, capacity),
+	}
+	q.Provide(IPacketPushID, q)
+	q.Provide(IPacketPullID, q)
+	return q, nil
+}
+
+// Push implements IPacketPush (drop-tail on overflow; the drop is counted
+// and absorbed, not propagated, so upstream elements keep forwarding).
+func (q *FIFOQueue) Push(p *Packet) error {
+	q.in.Add(1)
+	q.mu.Lock()
+	if q.size == len(q.ring) {
+		q.mu.Unlock()
+		q.dropped.Add(1)
+		p.Release()
+		return nil
+	}
+	q.ring[(q.head+q.size)%len(q.ring)] = p
+	q.size++
+	q.mu.Unlock()
+	return nil
+}
+
+// Pull implements IPacketPull.
+func (q *FIFOQueue) Pull() (*Packet, error) {
+	q.mu.Lock()
+	if q.size == 0 {
+		q.mu.Unlock()
+		return nil, ErrNoPacket
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.size--
+	q.mu.Unlock()
+	q.out.Add(1)
+	return p, nil
+}
+
+// Len reports the queued packet count.
+func (q *FIFOQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Capacity reports the configured limit.
+func (q *FIFOQueue) Capacity() int { return len(q.ring) }
+
+// Stats implements StatsReporter.
+func (q *FIFOQueue) Stats() ElementStats { return q.snapshot() }
+
+// ---------------------------------------------------------------------------
+// RED queue
+
+// REDQueue implements Random Early Detection (Floyd & Jacobson): packets
+// are dropped probabilistically as the EWMA of the queue length climbs
+// between minTh and maxTh, and always beyond maxTh. It is one of the
+// paper's example in-band functions ("diffserv schedulers, shapers" class).
+type REDQueue struct {
+	*core.Base
+	elementCounters
+
+	mu     sync.Mutex
+	ring   []*Packet
+	head   int
+	size   int
+	avg    float64
+	count  int // packets since last early drop
+	weight float64
+	minTh  float64
+	maxTh  float64
+	maxP   float64
+	rng    func() float64 // injectable for determinism
+
+	earlyDrops  atomic.Uint64
+	forcedDrops atomic.Uint64
+}
+
+// REDConfig parameterises a REDQueue.
+type REDConfig struct {
+	Capacity int
+	MinTh    float64 // early-drop onset (packets)
+	MaxTh    float64 // forced-drop onset (packets)
+	MaxP     float64 // drop probability at MaxTh (0..1]
+	Weight   float64 // EWMA weight (default 0.002)
+	Rand     func() float64
+}
+
+// NewREDQueue creates a RED queue.
+func NewREDQueue(cfg REDConfig) (*REDQueue, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("router: red capacity %d", cfg.Capacity)
+	}
+	if cfg.MinTh <= 0 || cfg.MaxTh <= cfg.MinTh || float64(cfg.Capacity) < cfg.MaxTh {
+		return nil, fmt.Errorf("router: red thresholds min=%f max=%f cap=%d",
+			cfg.MinTh, cfg.MaxTh, cfg.Capacity)
+	}
+	if cfg.MaxP <= 0 || cfg.MaxP > 1 {
+		return nil, fmt.Errorf("router: red maxP %f", cfg.MaxP)
+	}
+	if cfg.Weight <= 0 || cfg.Weight > 1 {
+		cfg.Weight = 0.002
+	}
+	if cfg.Rand == nil {
+		// xorshift-based default; deterministic seeds are injected in tests.
+		state := uint64(0x9e3779b97f4a7c15)
+		cfg.Rand = func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state>>11) / (1 << 53)
+		}
+	}
+	q := &REDQueue{
+		Base:   core.NewBase(TypeREDQueue),
+		ring:   make([]*Packet, cfg.Capacity),
+		weight: cfg.Weight,
+		minTh:  cfg.MinTh,
+		maxTh:  cfg.MaxTh,
+		maxP:   cfg.MaxP,
+		rng:    cfg.Rand,
+	}
+	q.Provide(IPacketPushID, q)
+	q.Provide(IPacketPullID, q)
+	return q, nil
+}
+
+// Push implements IPacketPush with RED admission.
+func (q *REDQueue) Push(p *Packet) error {
+	q.in.Add(1)
+	q.mu.Lock()
+	q.avg = (1-q.weight)*q.avg + q.weight*float64(q.size)
+	drop := false
+	forced := false
+	switch {
+	case q.size == len(q.ring) || q.avg >= q.maxTh:
+		drop, forced = true, true
+	case q.avg >= q.minTh:
+		pb := q.maxP * (q.avg - q.minTh) / (q.maxTh - q.minTh)
+		pa := pb / (1 - float64(q.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if q.rng() < pa {
+			drop = true
+			q.count = 0
+		} else {
+			q.count++
+		}
+	default:
+		q.count = 0
+	}
+	if drop {
+		q.mu.Unlock()
+		if forced {
+			q.forcedDrops.Add(1)
+		} else {
+			q.earlyDrops.Add(1)
+		}
+		q.dropped.Add(1)
+		p.Release()
+		return nil
+	}
+	q.ring[(q.head+q.size)%len(q.ring)] = p
+	q.size++
+	q.mu.Unlock()
+	return nil
+}
+
+// Pull implements IPacketPull.
+func (q *REDQueue) Pull() (*Packet, error) {
+	q.mu.Lock()
+	if q.size == 0 {
+		q.mu.Unlock()
+		return nil, ErrNoPacket
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.size--
+	q.mu.Unlock()
+	q.out.Add(1)
+	return p, nil
+}
+
+// Len reports the instantaneous queue length.
+func (q *REDQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// AvgLen reports the EWMA queue length RED decides on.
+func (q *REDQueue) AvgLen() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.avg
+}
+
+// EarlyDrops returns probabilistic drops; ForcedDrops returns over-max
+// drops.
+func (q *REDQueue) EarlyDrops() uint64 { return q.earlyDrops.Load() }
+
+// ForcedDrops returns drops taken at or beyond the hard threshold.
+func (q *REDQueue) ForcedDrops() uint64 { return q.forcedDrops.Load() }
+
+// Stats implements StatsReporter.
+func (q *REDQueue) Stats() ElementStats { return q.snapshot() }
+
+func init() {
+	core.Components.MustRegister(TypeFIFOQueue, func(cfg map[string]string) (core.Component, error) {
+		capacity := 128
+		if s, ok := cfg["capacity"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: queue capacity: %w", err)
+			}
+			capacity = v
+		}
+		return NewFIFOQueue(capacity)
+	})
+	core.Components.MustRegister(TypeREDQueue, func(cfg map[string]string) (core.Component, error) {
+		conf := REDConfig{Capacity: 128, MinTh: 32, MaxTh: 96, MaxP: 0.1}
+		if s, ok := cfg["capacity"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: red capacity: %w", err)
+			}
+			conf.Capacity = v
+			conf.MinTh = float64(v) / 4
+			conf.MaxTh = float64(v) * 3 / 4
+		}
+		return NewREDQueue(conf)
+	})
+}

@@ -1,0 +1,205 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"netkit/internal/core"
+	"netkit/internal/packet"
+)
+
+func fillQueue(t *testing.T, q *FIFOQueue, n, size int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		b, err := packet.BuildUDP4(srcA, dstA, 1, 2, 64, make([]byte, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push(NewPacket(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func schedFixture(t *testing.T, policy SchedPolicy, quanta map[string]int, prios map[string]int) (*core.Capsule, *LinkScheduler, map[string]*FIFOQueue, *sink) {
+	t.Helper()
+	c := newCap()
+	s, err := NewLinkScheduler(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := newSink()
+	if err := c.Insert("sched", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("out", out); err != nil {
+		t.Fatal(err)
+	}
+	queues := make(map[string]*FIFOQueue)
+	for name, q := range quanta {
+		queue, err := NewFIFOQueue(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues[name] = queue
+		if err := c.Insert(name, queue); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddInput(name, q, prios[name]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ConnectPull(c, "sched", name, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ConnectPush(c, "sched", "out", "out"); err != nil {
+		t.Fatal(err)
+	}
+	return c, s, queues, out
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewLinkScheduler("bogus"); err == nil {
+		t.Fatal("want error for bad policy")
+	}
+	s, err := NewLinkScheduler(PolicyDRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != PolicyDRR {
+		t.Fatal("policy")
+	}
+	if err := s.AddInput("", 1, 1); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	if err := s.AddInput("a", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInput("a", 100, 1); !errors.Is(err, core.ErrAlreadyExists) {
+		t.Fatalf("want ErrAlreadyExists, got %v", err)
+	}
+	if got := s.Inputs(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("inputs = %v", got)
+	}
+	if err := s.RemoveInput("ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := s.RemoveInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.RunOnce(0) != 0 {
+		t.Fatal("zero budget should serve nothing")
+	}
+	if s.RunOnce(10) != 0 {
+		t.Fatal("no inputs should serve nothing")
+	}
+}
+
+func TestDRRProportionalBytes(t *testing.T) {
+	// Two queues with equal packet sizes; quanta 3000 vs 1000 should yield
+	// roughly 3:1 service in packets.
+	_, s, queues, out := schedFixture(t, PolicyDRR,
+		map[string]int{"qa": 3000, "qb": 1000},
+		map[string]int{"qa": 0, "qb": 0})
+	fillQueue(t, queues["qa"], 1000, 472) // 500-byte IP packets
+	fillQueue(t, queues["qb"], 1000, 472)
+	served := s.RunOnce(400)
+	if served != 400 {
+		t.Fatalf("served = %d", served)
+	}
+	if out.count() != 400 {
+		t.Fatalf("out = %d", out.count())
+	}
+	// Count which queue the packets were pulled from via remaining depth.
+	tookA := 1000 - queues["qa"].Len()
+	tookB := 1000 - queues["qb"].Len()
+	ratio := float64(tookA) / float64(tookB)
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Fatalf("DRR ratio = %f (a=%d b=%d), want ~3", ratio, tookA, tookB)
+	}
+}
+
+func TestDRRLargePacketsDebtCarrying(t *testing.T) {
+	// Packets larger than the quantum must still be served (debt carrying),
+	// just less often.
+	_, s, queues, _ := schedFixture(t, PolicyDRR,
+		map[string]int{"qa": 100}, map[string]int{"qa": 0})
+	fillQueue(t, queues["qa"], 10, 1452) // 1480-byte packets >> quantum
+	served := s.RunOnce(100)
+	if served != 10 {
+		t.Fatalf("served = %d, want all 10 despite quantum deficit", served)
+	}
+}
+
+func TestStrictPriorityStarvation(t *testing.T) {
+	_, s, queues, _ := schedFixture(t, PolicyStrict,
+		map[string]int{"hi": 1500, "lo": 1500},
+		map[string]int{"hi": 10, "lo": 1})
+	fillQueue(t, queues["hi"], 50, 100)
+	fillQueue(t, queues["lo"], 50, 100)
+	s.RunOnce(50)
+	if took := 50 - queues["hi"].Len(); took != 50 {
+		t.Fatalf("high-priority served %d of 50", took)
+	}
+	if took := 50 - queues["lo"].Len(); took != 0 {
+		t.Fatalf("low-priority served %d, want starved 0", took)
+	}
+}
+
+func TestRRAlternates(t *testing.T) {
+	_, s, queues, _ := schedFixture(t, PolicyRR,
+		map[string]int{"qa": 1500, "qb": 1500},
+		map[string]int{"qa": 0, "qb": 0})
+	fillQueue(t, queues["qa"], 10, 100)
+	fillQueue(t, queues["qb"], 10, 100)
+	s.RunOnce(10)
+	tookA, tookB := 10-queues["qa"].Len(), 10-queues["qb"].Len()
+	if tookA != 5 || tookB != 5 {
+		t.Fatalf("RR split = %d/%d, want 5/5", tookA, tookB)
+	}
+}
+
+func TestSchedulerEmptyQueuesServeZero(t *testing.T) {
+	_, s, _, _ := schedFixture(t, PolicyDRR,
+		map[string]int{"qa": 1500}, map[string]int{"qa": 0})
+	if served := s.RunOnce(10); served != 0 {
+		t.Fatalf("served = %d from empty queue", served)
+	}
+}
+
+func TestSchedulerPumpLifecycle(t *testing.T) {
+	_, s, queues, out := schedFixture(t, PolicyDRR,
+		map[string]int{"qa": 1500}, map[string]int{"qa": 0})
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(ctx); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	fillQueue(t, queues["qa"], 20, 100)
+	deadline := time.After(2 * time.Second)
+	for out.count() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("pump forwarded %d of 20", out.count())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(ctx); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerRemoveBoundInputRefused(t *testing.T) {
+	_, s, _, _ := schedFixture(t, PolicyDRR,
+		map[string]int{"qa": 1500}, map[string]int{"qa": 0})
+	if err := s.RemoveInput("qa"); !errors.Is(err, core.ErrAlreadyBound) {
+		t.Fatalf("want ErrAlreadyBound, got %v", err)
+	}
+}

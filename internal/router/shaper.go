@@ -1,0 +1,73 @@
+package router
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"netkit/internal/core"
+	"netkit/internal/resources"
+)
+
+// TokenShaper polices traffic to a byte rate with a burst allowance using
+// the resources meta-model's token bucket (the paper's "shapers" in-band
+// function class). Non-conforming packets are dropped and counted; pair
+// the shaper with an upstream queue for shaping rather than policing.
+type TokenShaper struct {
+	*core.Base
+	elementCounters
+	bucket *resources.TokenBucket
+	out    *core.Receptacle[IPacketPush]
+}
+
+// NewTokenShaper creates a shaper with rate bytes/sec and burst bytes. A
+// nil clock uses wall time.
+func NewTokenShaper(rate, burst float64, clock func() time.Time) (*TokenShaper, error) {
+	bucket, err := resources.NewTokenBucket(rate, burst, clock)
+	if err != nil {
+		return nil, fmt.Errorf("router: shaper: %w", err)
+	}
+	s := &TokenShaper{Base: core.NewBase(TypeTokenShaper), bucket: bucket}
+	s.out = core.NewReceptacle[IPacketPush](IPacketPushID)
+	s.AddReceptacle("out", s.out)
+	s.Provide(IPacketPushID, s)
+	return s, nil
+}
+
+// Push implements IPacketPush.
+func (s *TokenShaper) Push(p *Packet) error {
+	s.in.Add(1)
+	if !s.bucket.Allow(len(p.Data)) {
+		s.dropped.Add(1)
+		p.Release()
+		return nil
+	}
+	return s.forward(s.out, p)
+}
+
+// Stats implements StatsReporter.
+func (s *TokenShaper) Stats() ElementStats { return s.snapshot() }
+
+// BucketStats reports (allowed, denied) decisions.
+func (s *TokenShaper) BucketStats() (allowed, denied uint64) { return s.bucket.Stats() }
+
+func init() {
+	core.Components.MustRegister(TypeTokenShaper, func(cfg map[string]string) (core.Component, error) {
+		rate, burst := 1e6, 64e3
+		if v, ok := cfg["rate"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("router: shaper rate: %w", err)
+			}
+			rate = f
+		}
+		if v, ok := cfg["burst"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("router: shaper burst: %w", err)
+			}
+			burst = f
+		}
+		return NewTokenShaper(rate, burst, nil)
+	})
+}

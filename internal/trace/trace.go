@@ -1,0 +1,249 @@
+// Package trace generates deterministic synthetic packet workloads for the
+// benchmark harness: the substitute for the production router traces the
+// paper's testbed would observe (see DESIGN.md substitution table). Flows
+// follow a Zipf popularity law and packet sizes follow the classic IMIX
+// mix, both driven by a splitmix64 PRNG so every experiment is replayable
+// from a seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"netkit/internal/packet"
+)
+
+// RNG is a splitmix64 PRNG: tiny, fast, and deterministic across platforms.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IMIX is the standard simple-IMIX packet size distribution: 7 parts 64 B,
+// 4 parts 570 B, 1 part 1518 B (sizes here are IP lengths, so the L2
+// 18-byte overhead is removed).
+var IMIX = []struct {
+	Size   int
+	Weight int
+}{
+	{46, 7}, {552, 4}, {1500, 1},
+}
+
+// SizeIMIX draws an IMIX packet size.
+func (r *RNG) SizeIMIX() int {
+	total := 0
+	for _, e := range IMIX {
+		total += e.Weight
+	}
+	n := r.Intn(total)
+	for _, e := range IMIX {
+		if n < e.Weight {
+			return e.Size
+		}
+		n -= e.Weight
+	}
+	return IMIX[0].Size
+}
+
+// Zipf draws ranks in [0, n) with P(k) ∝ 1/(k+1)^s using inverse-CDF over a
+// precomputed table — deterministic and allocation-free per draw.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler of n ranks with exponent s (s=1 is classic).
+func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: zipf n=%d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("trace: zipf s=%f", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FlowSpec identifies one synthetic flow.
+type FlowSpec struct {
+	Src, Dst         netip.Addr
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Generator produces packets over a fixed population of flows.
+type Generator struct {
+	rng   *RNG
+	zipf  *Zipf
+	flows []FlowSpec
+	ttl   uint8
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	Seed     uint64
+	Flows    int     // flow population size (default 64)
+	ZipfS    float64 // popularity exponent (default 1.1)
+	TTL      uint8   // initial TTL (default 64)
+	UDPShare int     // percentage of UDP flows 0..100 (default 80)
+	V6Share  int     // percentage of IPv6 flows 0..100 (default 0)
+}
+
+// NewGenerator builds a deterministic generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 64
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 64
+	}
+	if cfg.UDPShare == 0 {
+		cfg.UDPShare = 80
+	}
+	if cfg.UDPShare < 0 || cfg.UDPShare > 100 || cfg.V6Share < 0 || cfg.V6Share > 100 {
+		return nil, fmt.Errorf("trace: bad shares udp=%d v6=%d", cfg.UDPShare, cfg.V6Share)
+	}
+	rng := NewRNG(cfg.Seed)
+	z, err := NewZipf(rng, cfg.Flows, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{rng: rng, zipf: z, ttl: cfg.TTL}
+	for i := 0; i < cfg.Flows; i++ {
+		f := FlowSpec{
+			SrcPort: uint16(1024 + rng.Intn(60000)),
+			DstPort: uint16(1 + rng.Intn(1024)),
+		}
+		if rng.Intn(100) < cfg.UDPShare {
+			f.Proto = packet.ProtoUDP
+		} else {
+			f.Proto = packet.ProtoTCP
+		}
+		if rng.Intn(100) < cfg.V6Share {
+			f.Src = v6Addr(rng)
+			f.Dst = v6Addr(rng)
+		} else {
+			f.Src = v4Addr(rng, 10)
+			f.Dst = v4Addr(rng, 192)
+		}
+		g.flows = append(g.flows, f)
+	}
+	return g, nil
+}
+
+func v4Addr(rng *RNG, first byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{first, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))})
+}
+
+func v6Addr(rng *RNG) netip.Addr {
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x01
+	b[2], b[3] = 0x0d, 0xb8
+	for i := 4; i < 16; i++ {
+		b[i] = byte(rng.Intn(256))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// Flows returns the flow population (copy).
+func (g *Generator) Flows() []FlowSpec {
+	return append([]FlowSpec(nil), g.flows...)
+}
+
+// Next produces the next packet: a Zipf-chosen flow with an IMIX size.
+func (g *Generator) Next() ([]byte, error) {
+	f := g.flows[g.zipf.Draw()]
+	size := g.rng.SizeIMIX()
+	return g.build(f, size)
+}
+
+// NextFixed produces the next packet with a fixed IP length (64-byte-style
+// minimum packets stress per-packet overhead; E3 sweeps this).
+func (g *Generator) NextFixed(ipLen int) ([]byte, error) {
+	f := g.flows[g.zipf.Draw()]
+	return g.build(f, ipLen)
+}
+
+func (g *Generator) build(f FlowSpec, ipLen int) ([]byte, error) {
+	if f.Src.Is4() {
+		hdr := packet.IPv4HeaderLen + packet.UDPHeaderLen
+		if f.Proto == packet.ProtoTCP {
+			hdr = packet.IPv4HeaderLen + packet.TCPMinHeaderLen
+		}
+		if ipLen < hdr {
+			ipLen = hdr
+		}
+		payload := make([]byte, ipLen-hdr)
+		if f.Proto == packet.ProtoTCP {
+			return packet.BuildTCP4(f.Src, f.Dst, f.SrcPort, f.DstPort, g.ttl, packet.TCPAck, payload)
+		}
+		return packet.BuildUDP4(f.Src, f.Dst, f.SrcPort, f.DstPort, g.ttl, payload)
+	}
+	hdr := packet.IPv6HeaderLen + packet.UDPHeaderLen
+	if ipLen < hdr {
+		ipLen = hdr
+	}
+	return packet.BuildUDP6(f.Src, f.Dst, f.SrcPort, f.DstPort, g.ttl, make([]byte, ipLen-hdr))
+}
+
+// Batch produces n packets.
+func (g *Generator) Batch(n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := g.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netkit/internal/packet"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for n<=0")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestSizeIMIXDistribution(t *testing.T) {
+	r := NewRNG(3)
+	counts := map[int]int{}
+	const n = 24000
+	for i := 0; i < n; i++ {
+		counts[r.SizeIMIX()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("sizes seen: %v", counts)
+	}
+	// 7:4:1 ratios within generous tolerance.
+	small, mid, big := counts[46], counts[552], counts[1500]
+	if small < mid || mid < big {
+		t.Fatalf("ordering violated: %d %d %d", small, mid, big)
+	}
+	if float64(small)/float64(n) < 0.5 {
+		t.Fatalf("small share too low: %d/%d", small, n)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(4)
+	z, err := NewZipf(r, 100, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		k := z.Draw()
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("no skew: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 should dominate: more than 10% of draws for s=1.1, n=100.
+	if counts[0] < 2000 {
+		t.Fatalf("rank0 share too low: %d", counts[0])
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	r := NewRNG(5)
+	if _, err := NewZipf(r, 0, 1); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := NewZipf(r, 10, 0); err == nil {
+		t.Fatal("want error for s=0")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() [][]byte {
+		g, err := NewGenerator(Config{Seed: 99, Flows: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.Batch(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("packet %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestGeneratorPacketsParse(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 7, Flows: 32, V6Share: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawV4, sawV6 := false, false
+	for i := 0; i < 300; i++ {
+		p, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch packet.Version(p) {
+		case 4:
+			sawV4 = true
+			if _, err := packet.ParseIPv4(p); err != nil {
+				t.Fatalf("generated v4 unparseable: %v", err)
+			}
+			if err := packet.ValidateIPv4Checksum(p); err != nil {
+				t.Fatalf("generated v4 bad checksum: %v", err)
+			}
+		case 6:
+			sawV6 = true
+			if _, err := packet.ParseIPv6(p); err != nil {
+				t.Fatalf("generated v6 unparseable: %v", err)
+			}
+		default:
+			t.Fatalf("bad version %d", packet.Version(p))
+		}
+		if _, err := packet.Flow(p); err != nil {
+			t.Fatalf("flow extraction: %v", err)
+		}
+	}
+	if !sawV4 || !sawV6 {
+		t.Fatalf("version mix missing: v4=%v v6=%v", sawV4, sawV6)
+	}
+}
+
+func TestGeneratorFixedSize(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 8, Flows: 4, UDPShare: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{46, 100, 1500} {
+		p, err := g.NextFixed(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != want {
+			t.Fatalf("len = %d, want %d", len(p), want)
+		}
+	}
+	// Requests below minimum header size are clamped, not errors.
+	p, err := g.NextFixed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) < packet.IPv4HeaderLen+packet.UDPHeaderLen {
+		t.Fatalf("clamped len = %d", len(p))
+	}
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{UDPShare: 150}); err == nil {
+		t.Fatal("want error for bad udp share")
+	}
+	if _, err := NewGenerator(Config{V6Share: -1}); err == nil {
+		t.Fatal("want error for bad v6 share")
+	}
+}
+
+func TestGeneratorFlowPopulation(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 9, Flows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := g.Flows()
+	if len(flows) != 10 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	flows[0].SrcPort = 0
+	if g.Flows()[0].SrcPort == 0 {
+		t.Fatal("Flows() exposed internal slice")
+	}
+}
+
+// Property: every generated packet round-trips through flow extraction with
+// a flow drawn from the configured population.
+func TestQuickGeneratedFlowsInPopulation(t *testing.T) {
+	check := func(seed uint64) bool {
+		g, err := NewGenerator(Config{Seed: seed, Flows: 8, UDPShare: 100})
+		if err != nil {
+			return false
+		}
+		pop := map[string]bool{}
+		for _, f := range g.Flows() {
+			pop[f.Src.String()+f.Dst.String()] = true
+		}
+		for i := 0; i < 20; i++ {
+			p, err := g.Next()
+			if err != nil {
+				return false
+			}
+			k, err := packet.Flow(p)
+			if err != nil {
+				return false
+			}
+			if !pop[k.Src.String()+k.Dst.String()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
