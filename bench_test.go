@@ -9,18 +9,18 @@ import (
 	"testing"
 	"time"
 
+	"netkit/core"
 	"netkit/internal/appsvc"
 	"netkit/internal/baseline"
 	"netkit/internal/buffers"
 	"netkit/internal/coord"
-	"netkit/internal/core"
 	"netkit/internal/filter"
 	"netkit/internal/ipc"
 	"netkit/internal/ixp"
 	"netkit/internal/netsim"
-	"netkit/internal/resources"
-	"netkit/internal/router"
 	"netkit/internal/trace"
+	"netkit/resources"
+	"netkit/router"
 )
 
 func benchPacketRaw(b *testing.B) []byte {

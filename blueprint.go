@@ -1,0 +1,145 @@
+// blueprint.go is the declarative builder for capsule architectures: the
+// few-lines replacement for the instantiate/bind/start boilerplate that
+// every NETKIT program otherwise repeats. A Blueprint records steps;
+// Build replays them in declaration order against a fresh capsule, infers
+// each binding's interface from the client receptacle, starts every
+// component, and returns the running System.
+
+package netkit
+
+import (
+	"context"
+	"fmt"
+
+	"netkit/core"
+)
+
+// DefaultReceptacle is the receptacle name Pipe assumes, matching the
+// single-output convention of the Router CF components.
+const DefaultReceptacle = "out"
+
+// Blueprint is a declarative description of a capsule architecture. All
+// methods record steps and return the receiver for chaining; nothing
+// touches a capsule until Build. Steps are replayed in declaration order,
+// so a constraint declared before a pipe polices that pipe's bind.
+type Blueprint struct {
+	name  string
+	opts  []core.CapsuleOption
+	steps []buildStep
+}
+
+type buildStep struct {
+	desc  string
+	apply func(*core.Capsule) error
+}
+
+// NewBlueprint starts an empty blueprint for a capsule with the given
+// name and options.
+func NewBlueprint(name string, opts ...core.CapsuleOption) *Blueprint {
+	return &Blueprint{name: name, opts: opts}
+}
+
+// Add declares a component instance of typeName, constructed through the
+// capsule's loader registry with cfg.
+func (b *Blueprint) Add(name, typeName string, cfg map[string]string) *Blueprint {
+	return b.step(fmt.Sprintf("add %s (%s)", name, typeName), func(c *core.Capsule) error {
+		_, err := c.Instantiate(name, typeName, cfg)
+		return err
+	})
+}
+
+// Insert declares a pre-constructed component instance.
+func (b *Blueprint) Insert(name string, comp core.Component) *Blueprint {
+	return b.step(fmt.Sprintf("insert %s", name), func(c *core.Capsule) error {
+		return c.Insert(name, comp)
+	})
+}
+
+// Pipe declares a chain of bindings through each component's
+// DefaultReceptacle: Pipe("a", "b", "c") binds a.out -> b and b.out -> c.
+// The bound interface is inferred from each client receptacle, so the
+// chain may mix interface types as long as adjacent components agree.
+func (b *Blueprint) Pipe(names ...string) *Blueprint {
+	if len(names) < 2 {
+		return b.step("pipe", func(*core.Capsule) error {
+			return fmt.Errorf("netkit: Pipe needs at least two components, got %d", len(names))
+		})
+	}
+	for i := 0; i+1 < len(names); i++ {
+		b.Connect(names[i], DefaultReceptacle, names[i+1])
+	}
+	return b
+}
+
+// Connect declares one binding from the client component's named
+// receptacle to the server component. The interface is inferred from the
+// receptacle's declared interface ID.
+func (b *Blueprint) Connect(from, receptacle, to string) *Blueprint {
+	return b.step(fmt.Sprintf("connect %s.%s -> %s", from, receptacle, to), func(c *core.Capsule) error {
+		comp, ok := c.Component(from)
+		if !ok {
+			return fmt.Errorf("netkit: connect: client %q: %w", from, core.ErrNotFound)
+		}
+		recp, ok := comp.Receptacle(receptacle)
+		if !ok {
+			return fmt.Errorf("netkit: connect: receptacle %s.%q: %w", from, receptacle, core.ErrNotFound)
+		}
+		_, err := c.Bind(from, receptacle, to, recp.Iface())
+		return err
+	})
+}
+
+// Constrain declares a named bind-time constraint. It polices every bind
+// declared after it, and stays installed on the built capsule to police
+// post-build reconfiguration.
+func (b *Blueprint) Constrain(name string, check func(*core.Capsule, core.BindRequest) error) *Blueprint {
+	return b.step(fmt.Sprintf("constrain %s", name), func(c *core.Capsule) error {
+		return c.AddConstraint(core.BindConstraint{Name: name, Check: check})
+	})
+}
+
+// Intercept declares a named Around on the binding most recently reachable
+// at the client component's receptacle, installed after the binding exists.
+func (b *Blueprint) Intercept(component, receptacle, name string, around core.Around) *Blueprint {
+	return b.step(fmt.Sprintf("intercept %s.%s (%s)", component, receptacle, name), func(c *core.Capsule) error {
+		return Meta(c).Interception().Install(component, receptacle, name, around)
+	})
+}
+
+func (b *Blueprint) step(desc string, apply func(*core.Capsule) error) *Blueprint {
+	b.steps = append(b.steps, buildStep{desc: desc, apply: apply})
+	return b
+}
+
+// Build replays the declared steps against a fresh capsule, starts every
+// component, and returns the running System. On any failure the partially
+// built capsule is closed and the failing step is named in the error.
+func (b *Blueprint) Build(ctx context.Context) (*System, error) {
+	capsule := core.NewCapsule(b.name, b.opts...)
+	for _, s := range b.steps {
+		if err := s.apply(capsule); err != nil {
+			_ = capsule.Close(ctx)
+			return nil, fmt.Errorf("netkit: build %q: step %q: %w", b.name, s.desc, err)
+		}
+	}
+	if err := capsule.StartAll(ctx); err != nil {
+		_ = capsule.Close(ctx)
+		return nil, fmt.Errorf("netkit: build %q: start: %w", b.name, err)
+	}
+	return &System{capsule: capsule}, nil
+}
+
+// System is a built, started capsule plus its meta-space.
+type System struct {
+	capsule *core.Capsule
+}
+
+// Capsule returns the underlying component runtime.
+func (s *System) Capsule() *core.Capsule { return s.capsule }
+
+// Meta returns the system's unified meta-space (Figure 2): architecture,
+// interface, interception and resources meta-models.
+func (s *System) Meta() *MetaSpace { return Meta(s.capsule) }
+
+// Close stops every component and tears the capsule down.
+func (s *System) Close(ctx context.Context) error { return s.capsule.Close(ctx) }

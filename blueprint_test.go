@@ -1,0 +1,143 @@
+package netkit_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"netkit"
+	"netkit/core"
+	"netkit/router"
+)
+
+// TestBlueprintBuildsAndStarts: Build instantiates, wires and starts the
+// declared architecture; the result validates.
+func TestBlueprintBuildsAndStarts(t *testing.T) {
+	ctx := context.Background()
+	sys, err := netkit.NewBlueprint("ok").
+		Add("a", router.TypeCounter, nil).
+		Add("b", router.TypeDropper, nil).
+		Pipe("a", "b").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close(ctx) }()
+	capsule := sys.Capsule()
+	for _, name := range []string{"a", "b"} {
+		if !capsule.Started(name) {
+			t.Fatalf("component %q not started by Build", name)
+		}
+	}
+	if err := sys.Meta().Architecture().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pump(capsule, "a", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlueprintConnectInfersInterface: Connect binds through the client
+// receptacle's declared interface without the caller naming it.
+func TestBlueprintConnectInfersInterface(t *testing.T) {
+	ctx := context.Background()
+	sys, err := netkit.NewBlueprint("infer").
+		Add("a", router.TypeCounter, nil).
+		Add("b", router.TypeDropper, nil).
+		Connect("a", "out", "b").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close(ctx) }()
+	edges := sys.Capsule().Snapshot().Edges
+	if len(edges) != 1 || edges[0].Iface != router.IPacketPushID {
+		t.Fatalf("edges = %+v, want one %q binding", edges, router.IPacketPushID)
+	}
+}
+
+// TestBlueprintErrorsNameFailingStep: a failing step aborts Build, names
+// the step, and leaves no half-built running system behind.
+func TestBlueprintErrorsNameFailingStep(t *testing.T) {
+	ctx := context.Background()
+	_, err := netkit.NewBlueprint("bad").
+		Add("a", router.TypeCounter, nil).
+		Pipe("a", "ghost").
+		Build(ctx)
+	if err == nil {
+		t.Fatal("Build succeeded with a dangling pipe")
+	}
+	if !strings.Contains(err.Error(), "connect a.out -> ghost") {
+		t.Fatalf("error does not name the failing step: %v", err)
+	}
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+
+	if _, err := netkit.NewBlueprint("short").Pipe("only").Build(ctx); err == nil {
+		t.Fatal("Pipe with one component must fail Build")
+	}
+	if _, err := netkit.NewBlueprint("unknown").
+		Add("a", "no.such.type", nil).Build(ctx); err == nil {
+		t.Fatal("Add of unknown type must fail Build")
+	}
+}
+
+// TestBlueprintConstraintOrder: a constraint polices only the binds
+// declared after it, matching declaration-order replay.
+func TestBlueprintConstraintOrder(t *testing.T) {
+	ctx := context.Background()
+	deny := func(c *core.Capsule, req core.BindRequest) error {
+		if req.To == "sink" {
+			return fmt.Errorf("sink is off limits")
+		}
+		return nil
+	}
+	// Pipe before the constraint: allowed.
+	sys, err := netkit.NewBlueprint("order").
+		Add("a", router.TypeCounter, nil).
+		Add("sink", router.TypeDropper, nil).
+		Pipe("a", "sink").
+		Constrain("no-sink", deny).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Close(ctx)
+
+	// Pipe after the constraint: vetoed.
+	_, err = netkit.NewBlueprint("order2").
+		Add("a", router.TypeCounter, nil).
+		Add("sink", router.TypeDropper, nil).
+		Constrain("no-sink", deny).
+		Pipe("a", "sink").
+		Build(ctx)
+	if !errors.Is(err, core.ErrVetoed) {
+		t.Fatalf("bind after constraint: err = %v, want ErrVetoed", err)
+	}
+}
+
+// TestBlueprintIntercept: an interceptor declared in the blueprint is
+// installed on the built system's binding.
+func TestBlueprintIntercept(t *testing.T) {
+	ctx := context.Background()
+	var seen int
+	sys, err := netkit.NewBlueprint("icept").
+		Add("a", router.TypeCounter, nil).
+		Add("b", router.TypeDropper, nil).
+		Pipe("a", "b").
+		Intercept("a", "out", "tap", netkit.PrePost(func(string, []any) { seen++ }, nil)).
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close(ctx) }()
+	if err := pump(sys.Capsule(), "a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4 {
+		t.Fatalf("declared interceptor observed %d calls, want 4", seen)
+	}
+}

@@ -14,7 +14,7 @@ import (
 	"sort"
 	"sync"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // Sentinel errors.

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"testing"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // minimal test component

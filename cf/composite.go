@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // Controller manages and configures the internal constituents of a

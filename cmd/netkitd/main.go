@@ -18,11 +18,13 @@ import (
 	"os/signal"
 	"time"
 
+	"netkit"
+	"netkit/core"
 	"netkit/internal/control"
-	"netkit/internal/core"
 	"netkit/internal/nkconfig"
-	"netkit/internal/router"
 	"netkit/internal/trace"
+	"netkit/resources"
+	"netkit/router"
 )
 
 func main() {
@@ -60,7 +62,8 @@ func run() error {
 	if _, err := nkconfig.Load(string(src), fw); err != nil {
 		return err
 	}
-	if err := capsule.Snapshot().Validate(); err != nil {
+	meta := netkit.Meta(capsule)
+	if err := meta.Architecture().Validate(); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -86,19 +89,25 @@ func run() error {
 	trafficDone := make(chan struct{})
 	close(trafficDone)
 	if *trafficInto != "" {
-		comp, ok := capsule.Component(*trafficInto)
-		if !ok {
-			return fmt.Errorf("traffic target %q not found", *trafficInto)
+		push, err := netkit.Service[router.IPacketPush](capsule, *trafficInto, router.IPacketPushID)
+		if err != nil {
+			return fmt.Errorf("traffic target: %w", err)
 		}
-		impl, ok := comp.Provided(router.IPacketPushID)
-		if !ok {
-			return fmt.Errorf("traffic target %q does not provide IPacketPush", *trafficInto)
-		}
-		push := impl.(router.IPacketPush)
 		gen, err := trace.NewGenerator(trace.Config{Seed: *seed, Flows: *flows})
 		if err != nil {
 			return err
 		}
+		// The pump runs as a task on the capsule's resources meta-model,
+		// so its work is visible to operators via `nkctl tasks`.
+		pumpTask, err := meta.Resources().CreateTask(resources.TaskSpec{Name: "traffic-pump"})
+		if err != nil {
+			return err
+		}
+		pumpPool, err := resources.NewPool(1, resources.NewFIFOScheduler())
+		if err != nil {
+			return err
+		}
+		defer pumpPool.Stop(false)
 		trafficDone = make(chan struct{})
 		go func() {
 			defer close(trafficDone)
@@ -114,7 +123,11 @@ func run() error {
 					if err != nil {
 						continue
 					}
-					_ = push.Push(router.NewPacket(raw))
+					if err := pumpPool.Submit(pumpTask, func() {
+						_ = push.Push(router.NewPacket(raw))
+					}); err != nil {
+						return
+					}
 				}
 			}
 		}()

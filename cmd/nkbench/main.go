@@ -6,9 +6,16 @@
 //
 //	nkbench             # run everything
 //	nkbench -run E1,E4  # selected experiments
+//	nkbench -json       # machine-readable results on stdout
+//
+// With -json the human tables are suppressed and a single JSON document
+// is printed instead: an envelope identifying the host plus one metric
+// record per measured value, so experiment trajectories can be tracked
+// across commits by tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,22 +24,23 @@ import (
 	"strings"
 	"time"
 
+	"netkit/core"
 	"netkit/internal/appsvc"
 	"netkit/internal/baseline"
 	"netkit/internal/buffers"
 	"netkit/internal/coord"
-	"netkit/internal/core"
 	"netkit/internal/filter"
 	"netkit/internal/ipc"
 	"netkit/internal/ixp"
 	"netkit/internal/netsim"
-	"netkit/internal/resources"
-	"netkit/internal/router"
 	"netkit/internal/trace"
+	"netkit/resources"
+	"netkit/router"
 )
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiment list (E1..E10) or 'all'")
+	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 	experiments := map[string]func(){
 		"E1": e1CallOverhead, "E2": e2Footprint, "E3": e3Forwarding,
@@ -53,12 +61,70 @@ func main() {
 			os.Exit(1)
 		}
 		fn()
-		fmt.Println()
+		printf("\n")
+	}
+	if jsonOut {
+		doc := jsonDoc{
+			Version:   1,
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			Go:        runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			CPUs:      runtime.NumCPU(),
+			Metrics:   metrics,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "nkbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
+// Metric is one measured value in -json output.
+type Metric struct {
+	Experiment string            `json:"experiment"`
+	Name       string            `json:"name"`
+	Value      float64           `json:"value"`
+	Unit       string            `json:"unit"`
+	Labels     map[string]string `json:"labels,omitempty"`
+}
+
+// jsonDoc is the -json envelope.
+type jsonDoc struct {
+	Version   int      `json:"version"`
+	Timestamp string   `json:"timestamp"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+var (
+	jsonOut bool
+	curExp  string
+	metrics []Metric
+)
+
+// printf writes a human-readable table line, suppressed under -json.
+func printf(format string, a ...any) {
+	if !jsonOut {
+		fmt.Printf(format, a...)
+	}
+}
+
+// record appends one structured metric under the current experiment.
+func record(name string, value float64, unit string, labels map[string]string) {
+	metrics = append(metrics, Metric{
+		Experiment: curExp, Name: name, Value: value, Unit: unit, Labels: labels,
+	})
+}
+
 func header(id, claim string) {
-	fmt.Printf("=== %s — %s\n", id, claim)
+	curExp = id
+	printf("=== %s — %s\n", id, claim)
 }
 
 // measure runs fn n times and returns ns/op.
@@ -102,8 +168,10 @@ func e1CallOverhead() {
 	must(err)
 	fusedNs := measure(iters, func() { _ = cnt.Push(pkt) })
 
-	fmt.Printf("%-28s %10.1f ns/op  (x%.2f)\n", "direct method call", directNs, 1.0)
-	fmt.Printf("%-28s %10.1f ns/op  (x%.2f)\n", "fused binding (receptacle)", fusedNs, fusedNs/directNs)
+	printf("%-28s %10.1f ns/op  (x%.2f)\n", "direct method call", directNs, 1.0)
+	record("direct_call", directNs, "ns/op", nil)
+	printf("%-28s %10.1f ns/op  (x%.2f)\n", "fused binding (receptacle)", fusedNs, fusedNs/directNs)
+	record("fused_binding", fusedNs, "ns/op", nil)
 	for _, k := range []int{1, 2, 4, 8} {
 		for b.Interceptors() != nil && len(b.Interceptors()) > 0 {
 			must(b.RemoveInterceptor(b.Interceptors()[0]))
@@ -115,7 +183,8 @@ func e1CallOverhead() {
 			}))
 		}
 		ns := measure(iters/4, func() { _ = cnt.Push(pkt) })
-		fmt.Printf("binding + %d interceptor(s)   %10.1f ns/op  (x%.2f)\n", k, ns, ns/directNs)
+		printf("binding + %d interceptor(s)   %10.1f ns/op  (x%.2f)\n", k, ns, ns/directNs)
+		record("intercepted_binding", ns, "ns/op", map[string]string{"interceptors": fmt.Sprint(k)})
 	}
 }
 
@@ -160,7 +229,8 @@ func e2Footprint() {
 	}
 	for _, cfg := range configs {
 		bytes := heapDelta(cfg.build)
-		fmt.Printf("%-32s %10.1f KiB\n", cfg.name, float64(bytes)/1024)
+		printf("%-32s %10.1f KiB\n", cfg.name, float64(bytes)/1024)
+		record("footprint", float64(bytes)/1024, "KiB", map[string]string{"config": cfg.name})
 	}
 }
 
@@ -209,7 +279,7 @@ func e3Forwarding() {
 	}
 	// Every system performs the same per-packet function: one IPv4 TTL
 	// decrement (with incremental checksum) plus k counting stages.
-	fmt.Printf("%-10s %14s %14s %14s\n", "chain", "netkit kpps", "click kpps", "monolith kpps")
+	printf("%-10s %14s %14s %14s\n", "chain", "netkit kpps", "click kpps", "monolith kpps")
 	for _, chainLen := range []int{1, 2, 4, 8} {
 		// NETKIT: IPv4Proc then a chain of counters ending in a dropper.
 		capsule := core.NewCapsule("e3")
@@ -267,7 +337,11 @@ func e3Forwarding() {
 		}
 		monoKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
 
-		fmt.Printf("%-10d %14.0f %14.0f %14.0f\n", chainLen, nkKpps, clickKpps, monoKpps)
+		printf("%-10d %14.0f %14.0f %14.0f\n", chainLen, nkKpps, clickKpps, monoKpps)
+		chain := map[string]string{"chain": fmt.Sprint(chainLen)}
+		record("forwarding_netkit", nkKpps, "kpps", chain)
+		record("forwarding_click", clickKpps, "kpps", chain)
+		record("forwarding_monolith", monoKpps, "kpps", chain)
 	}
 }
 
@@ -303,9 +377,12 @@ func e4Reconfigure() {
 	swapNs := time.Since(swapStart)
 	sent := <-done
 	received := tail.Stats().In
-	fmt.Printf("netkit hot-swap latency       %10v\n", swapNs)
-	fmt.Printf("packets sent during swap      %10d\n", sent)
-	fmt.Printf("packets received              %10d (lost %d)\n", received, uint64(sent)-received)
+	printf("netkit hot-swap latency       %10v\n", swapNs)
+	record("hotswap_latency", float64(swapNs.Nanoseconds()), "ns", nil)
+	printf("packets sent during swap      %10d\n", sent)
+	record("packets_sent", float64(sent), "packets", nil)
+	printf("packets received              %10d (lost %d)\n", received, uint64(sent)-received)
+	record("packets_lost", float64(uint64(sent)-received), "packets", nil)
 
 	// Click: reconfiguration is a rebuild; anything queued is abandoned.
 	var c1, c2 uint64
@@ -317,7 +394,8 @@ func e4Reconfigure() {
 	must(err)
 	rebuildNs := time.Since(rebuildStart)
 	_ = click2
-	fmt.Printf("click rebuild latency         %10v (state lost by construction)\n", rebuildNs)
+	printf("click rebuild latency         %10v (state lost by construction)\n", rebuildNs)
+	record("click_rebuild_latency", float64(rebuildNs.Nanoseconds()), "ns", nil)
 }
 
 // ---------------------------------------------------------------------------
@@ -332,7 +410,7 @@ func e5Classifier() {
 		must(err)
 		views[i] = filter.Extract(raw)
 	}
-	fmt.Printf("%-8s %16s %16s\n", "rules", "vm ns/lookup", "closure ns/lookup")
+	printf("%-8s %16s %16s\n", "rules", "vm ns/lookup", "closure ns/lookup")
 	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
 		specs := make([]string, n)
 		for i := range specs {
@@ -366,7 +444,10 @@ func e5Classifier() {
 				}
 			}
 		})
-		fmt.Printf("%-8d %16.1f %16.1f\n", n, vmNs, clNs)
+		printf("%-8d %16.1f %16.1f\n", n, vmNs, clNs)
+		rules := map[string]string{"rules": fmt.Sprint(n)}
+		record("classify_vm", vmNs, "ns/lookup", rules)
+		record("classify_closure", clNs, "ns/lookup", rules)
 	}
 }
 
@@ -390,9 +471,11 @@ func e6OutOfProc() {
 	raw := append([]byte(nil), pkt.Data...)
 	outNs := measure(5_000, func() { _ = rc.Push(router.NewPacket(raw)) })
 
-	fmt.Printf("in-process push               %10.1f ns/op\n", inNs)
-	fmt.Printf("out-of-process push           %10.1f ns/op  (x%.0f)\n", outNs, outNs/inNs)
-	fmt.Println("crash containment             verified by internal/ipc tests (panic -> error, host survives)")
+	printf("in-process push               %10.1f ns/op\n", inNs)
+	record("inproc_push", inNs, "ns/op", nil)
+	printf("out-of-process push           %10.1f ns/op  (x%.0f)\n", outNs, outNs/inNs)
+	record("outproc_push", outNs, "ns/op", nil)
+	printf("crash containment             verified by internal/ipc tests (panic -> error, host survives)\n")
 }
 
 // ---------------------------------------------------------------------------
@@ -412,8 +495,10 @@ func e7Placement() {
 	for _, s := range strategies {
 		rep, err := ixp.Evaluate(chip, pipe, s.mk())
 		must(err)
-		fmt.Printf("%-20s %12.0f kpps   bottleneck %s\n",
+		printf("%-20s %12.0f kpps   bottleneck %s\n",
 			s.name, rep.ThroughputPPS/1e3, rep.Bottleneck)
+		record("placement", rep.ThroughputPPS/1e3, "kpps",
+			map[string]string{"strategy": s.name, "bottleneck": fmt.Sprint(rep.Bottleneck)})
 	}
 	// Rebalance from a bad start.
 	bad := make(ixp.Assignment)
@@ -428,16 +513,20 @@ func e7Placement() {
 	must(err)
 	after, err := mgr.Evaluate()
 	must(err)
-	fmt.Printf("%-20s %12.0f -> %.0f kpps in %d migrations\n",
+	printf("%-20s %12.0f -> %.0f kpps in %d migrations\n",
 		"manager rebalance", before.ThroughputPPS/1e3, after.ThroughputPPS/1e3, moves)
+	record("rebalance_after", after.ThroughputPPS/1e3, "kpps",
+		map[string]string{"migrations": fmt.Sprint(moves)})
 
-	fmt.Printf("%-8s %14s\n", "engines", "greedy kpps")
+	printf("%-8s %14s\n", "engines", "greedy kpps")
 	for engines := 1; engines <= 6; engines++ {
 		c := chip
 		c.Engines = engines
 		rep, err := ixp.Evaluate(c, pipe, ixp.PlaceGreedy(c, pipe))
 		must(err)
-		fmt.Printf("%-8d %14.0f\n", engines, rep.ThroughputPPS/1e3)
+		printf("%-8d %14.0f\n", engines, rep.ThroughputPPS/1e3)
+		record("placement_greedy_sweep", rep.ThroughputPPS/1e3, "kpps",
+			map[string]string{"engines": fmt.Sprint(engines)})
 	}
 }
 
@@ -445,7 +534,7 @@ func e7Placement() {
 
 func e8Signaling() {
 	header("E8", "RSVP-like reservation setup latency vs path length")
-	fmt.Printf("%-8s %16s\n", "hops", "setup latency")
+	printf("%-8s %16s\n", "hops", "setup latency")
 	for _, hops := range []int{1, 2, 4, 8} {
 		w := netsim.NewNetwork()
 		names, err := netsim.Line(w, "r", hops+1, netsim.LinkConfig{})
@@ -467,7 +556,9 @@ func e8Signaling() {
 		}
 		per := time.Since(start) / rounds
 		w.Stop()
-		fmt.Printf("%-8d %16v\n", hops, per)
+		printf("%-8d %16v\n", hops, per)
+		record("reservation_setup", float64(per.Nanoseconds()), "ns",
+			map[string]string{"hops": fmt.Sprint(hops)})
 	}
 }
 
@@ -475,7 +566,7 @@ func e8Signaling() {
 
 func e9Spawn() {
 	header("E9", "Genesis-like spawning: child virtual network instantiation time vs size")
-	fmt.Printf("%-8s %16s\n", "members", "spawn time")
+	printf("%-8s %16s\n", "members", "spawn time")
 	for _, members := range []int{3, 6, 12, 24} {
 		w := netsim.NewNetwork()
 		names, err := netsim.Line(w, "p", members, netsim.LinkConfig{})
@@ -505,7 +596,9 @@ func e9Spawn() {
 		}
 		per := time.Since(start) / rounds
 		w.Stop()
-		fmt.Printf("%-8d %16v\n", members, per)
+		printf("%-8d %16v\n", members, per)
+		record("vnet_spawn", float64(per.Nanoseconds()), "ns",
+			map[string]string{"members": fmt.Sprint(members)})
 	}
 }
 
@@ -524,8 +617,10 @@ func e10Resources() {
 	rawNs := measure(1_000_000, func() {
 		allocSink = make([]byte, 1500)
 	})
-	fmt.Printf("pooled buffer get/release     %10.1f ns/op\n", pooledNs)
-	fmt.Printf("heap make([]byte, 1500)       %10.1f ns/op\n", rawNs)
+	printf("pooled buffer get/release     %10.1f ns/op\n", pooledNs)
+	record("buffer_pooled", pooledNs, "ns/op", nil)
+	printf("heap make([]byte, 1500)       %10.1f ns/op\n", rawNs)
+	record("buffer_heap", rawNs, "ns/op", nil)
 
 	// WFQ service proportions under 3:1 weights.
 	mgr := resources.NewManager()
@@ -543,8 +638,10 @@ func e10Resources() {
 		it := sched.Pop()
 		served[it.Task.Name()]++
 	}
-	fmt.Printf("wfq service at weights 3:1    heavy=%d light=%d (ratio %.2f)\n",
+	printf("wfq service at weights 3:1    heavy=%d light=%d (ratio %.2f)\n",
 		served["heavy"], served["light"], float64(served["heavy"])/float64(served["light"]))
+	record("wfq_ratio", float64(served["heavy"])/float64(served["light"]), "ratio",
+		map[string]string{"weights": "3:1"})
 }
 
 // allocSink defeats escape analysis in E10's raw-allocation baseline.

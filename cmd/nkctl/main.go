@@ -5,9 +5,18 @@
 // Usage:
 //
 //	nkctl [-addr host:port] graph
+//	nkctl validate | constraints | dropped
 //	nkctl stats <component>
 //	nkctl members
 //	nkctl types
+//	nkctl ifaces
+//	nkctl iface <interface-id>
+//	nkctl provided <component>
+//	nkctl intercept <component> <receptacle>
+//	nkctl audit <component> <receptacle>
+//	nkctl chain <component> <receptacle>
+//	nkctl unintercept <component> <receptacle>
+//	nkctl tasks
 //	nkctl filter <classifier> "<spec>" <output> [priority]
 //	nkctl unfilter <classifier> <filter-id>
 //	nkctl swap <old> <new> <type> [key=value ...]
@@ -20,9 +29,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"netkit/core"
 	"netkit/internal/control"
-	"netkit/internal/core"
+	"netkit/resources"
 )
 
 func main() {
@@ -60,13 +71,95 @@ func run() error {
 		}
 		printGraph(&g)
 		return nil
-	case "members", "types":
+	case "members", "types", "constraints", "ifaces":
 		var list []string
 		if err := client.Do(&control.Request{Op: args[0]}, &list); err != nil {
 			return err
 		}
 		for _, m := range list {
 			fmt.Println(m)
+		}
+		return nil
+	case "validate":
+		var verdict string
+		if err := client.Do(&control.Request{Op: "validate"}, &verdict); err != nil {
+			return err
+		}
+		fmt.Println(verdict)
+		return nil
+	case "dropped":
+		var n uint64
+		if err := client.Do(&control.Request{Op: "dropped"}, &n); err != nil {
+			return err
+		}
+		fmt.Printf("dropped events: %d\n", n)
+		return nil
+	case "iface":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: nkctl iface <interface-id>")
+		}
+		var d control.IfaceData
+		if err := client.Do(&control.Request{Op: "iface", Iface: args[1]}, &d); err != nil {
+			return err
+		}
+		fmt.Printf("%s — %s\n", d.ID, d.Doc)
+		for _, op := range d.Ops {
+			fmt.Printf("  %s(%d) -> %d  %s\n", op.Name, op.NumIn, op.NumOut, op.Doc)
+		}
+		return nil
+	case "provided":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: nkctl provided <component>")
+		}
+		var ids []string
+		if err := client.Do(&control.Request{Op: "provided", Component: args[1]}, &ids); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	case "intercept", "chain":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: nkctl %s <component> <receptacle>", args[0])
+		}
+		req := &control.Request{Op: args[0], Component: args[1], Receptacle: args[2]}
+		if args[0] == "intercept" {
+			var ack string
+			if err := client.Do(req, &ack); err != nil {
+				return err
+			}
+			fmt.Printf("%s %s.%s\n", ack, args[1], args[2])
+			return nil
+		}
+		var names []string
+		if err := client.Do(req, &names); err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "audit", "unintercept":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: nkctl %s <component> <receptacle>", args[0])
+		}
+		var ad control.AuditData
+		if err := client.Do(&control.Request{
+			Op: args[0], Component: args[1], Receptacle: args[2],
+		}, &ad); err != nil {
+			return err
+		}
+		fmt.Printf("%s.%s: %d calls\n", ad.Component, ad.Receptacle, ad.Calls)
+		return nil
+	case "tasks":
+		var stats []resources.TaskStats
+		if err := client.Do(&control.Request{Op: "tasks"}, &stats); err != nil {
+			return err
+		}
+		for _, t := range stats {
+			fmt.Printf("%-16s jobs=%d busy=%v mem=%d peak=%d rejected=%d\n",
+				t.Name, t.Jobs, time.Duration(t.BusyNanos), t.MemUsed, t.MemPeak, t.Rejected)
 		}
 		return nil
 	case "stats":

@@ -59,11 +59,13 @@ type Event struct {
 // channels; a subscriber that falls behind has events dropped (counted),
 // never blocking the architectural mutation path.
 type eventHub struct {
-	mu      sync.Mutex
-	nextID  int
-	subs    map[int]chan Event
-	dropped map[int]uint64
-	closed  bool
+	mu           sync.Mutex
+	nextID       int
+	subs         map[int]chan Event
+	dropped      map[int]uint64
+	totalDropped uint64
+	closed       bool
+	closeHooks   []func()
 }
 
 func newEventHub() *eventHub {
@@ -81,6 +83,7 @@ func (h *eventHub) publish(e Event) {
 		case ch <- e:
 		default:
 			h.dropped[id]++
+			h.totalDropped++
 		}
 	}
 }
@@ -117,8 +120,8 @@ func (h *eventHub) droppedCount(id int) uint64 {
 
 func (h *eventHub) close() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return
 	}
 	h.closed = true
@@ -126,22 +129,85 @@ func (h *eventHub) close() {
 		delete(h.subs, id)
 		close(ch)
 	}
+	hooks := h.closeHooks
+	h.closeHooks = nil
+	h.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// onClose registers fn to run when the hub closes; if it is already
+// closed, fn runs immediately.
+func (h *eventHub) onClose(fn func()) {
+	h.mu.Lock()
+	if !h.closed {
+		h.closeHooks = append(h.closeHooks, fn)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	fn()
 }
 
 // Subscribe registers an architecture meta-model event listener with the
 // given channel buffer. It returns the receive channel and a cancel
 // function. Events are dropped (not blocked on) if the subscriber lags.
 func (c *Capsule) Subscribe(buf int) (<-chan Event, func()) {
+	sub := c.SubscribeEvents(buf)
+	return sub.Events(), sub.Cancel
+}
+
+// Subscription is a handle on one architecture meta-model event stream. It
+// carries the receive channel plus the subscriber's own loss counter, so a
+// listener can detect (and react to) event loss instead of silently
+// operating on a stale view.
+type Subscription struct {
+	hub *eventHub
+	id  int
+	ch  <-chan Event
+}
+
+// Events returns the receive channel. It is closed on Cancel and on
+// capsule close.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events have been dropped for this subscriber
+// because its channel buffer was full.
+func (s *Subscription) Dropped() uint64 { return s.hub.droppedCount(s.id) }
+
+// Cancel unregisters the subscription and closes its channel. Safe to call
+// more than once.
+func (s *Subscription) Cancel() { s.hub.unsubscribe(s.id) }
+
+// SubscribeEvents registers an architecture meta-model event listener with
+// the given channel buffer and returns its Subscription handle. Events are
+// dropped (not blocked on) if the subscriber lags; the per-subscriber drop
+// count is readable via Subscription.Dropped.
+func (c *Capsule) SubscribeEvents(buf int) *Subscription {
 	if buf < 1 {
 		buf = 1
 	}
 	id, ch := c.events.subscribe(buf)
-	return ch, func() { c.events.unsubscribe(id) }
+	return &Subscription{hub: c.events, id: id, ch: ch}
 }
 
-// DroppedEvents reports how many events have been dropped for the
-// subscriber — useful in tests asserting no loss.
-func (c *Capsule) droppedEvents(id int) uint64 { return c.events.droppedCount(id) }
+// OnClose registers fn to run once when the capsule closes (after all
+// event subscriber channels have been closed). If the capsule is already
+// closed, fn runs immediately. Facade layers use this to release
+// per-capsule associations without holding an event subscription open.
+func (c *Capsule) OnClose(fn func()) { c.events.onClose(fn) }
+
+// DroppedEvents reports how many events the capsule has dropped across all
+// subscribers (including since-cancelled ones) because their channel
+// buffers were full. A non-zero value tells architecture meta-model
+// listeners that the event stream is not a complete mutation history and a
+// fresh Snapshot is needed to resynchronise.
+func (c *Capsule) DroppedEvents() uint64 {
+	c.events.mu.Lock()
+	defer c.events.mu.Unlock()
+	return c.events.totalDropped
+}
 
 // GraphNode is one component in an architecture snapshot.
 type GraphNode struct {

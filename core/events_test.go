@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// TestDroppedEventsPublic: event loss is observable per subscriber via
+// Subscription.Dropped and capsule-wide via the public DroppedEvents,
+// and the capsule-wide count survives subscriber cancellation.
+func TestDroppedEventsPublic(t *testing.T) {
+	c := NewCapsule("drops")
+	if c.DroppedEvents() != 0 {
+		t.Fatalf("fresh capsule reports %d dropped events", c.DroppedEvents())
+	}
+
+	sub := c.SubscribeEvents(1)
+	mutate := func(n int, prefix string) {
+		for i := 0; i < n; i++ {
+			if err := c.Insert(prefix+string(rune('a'+i)), NewBase("test.Comp")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mutate(5, "x")
+	if sub.Dropped() != 4 {
+		t.Fatalf("subscriber dropped %d events, want 4 (buffer 1, 5 events)", sub.Dropped())
+	}
+	if c.DroppedEvents() != 4 {
+		t.Fatalf("capsule dropped %d events, want 4", c.DroppedEvents())
+	}
+
+	// A second lagging subscriber adds its own losses to the total.
+	sub2 := c.SubscribeEvents(1)
+	mutate(3, "y")
+	sub.Cancel()
+	sub2.Cancel()
+	// sub (buffer still full) missed all 3 new events; sub2's buffer of 1
+	// took the first and missed 2.
+	if got := c.DroppedEvents(); got != 4+3+2 {
+		t.Fatalf("capsule dropped %d events after cancel, want 9", got)
+	}
+
+	// A draining subscriber loses nothing.
+	sub3 := c.SubscribeEvents(16)
+	mutate(3, "z")
+	if sub3.Dropped() != 0 {
+		t.Fatalf("draining subscriber dropped %d events", sub3.Dropped())
+	}
+	sub3.Cancel()
+	for range sub3.Events() {
+		// drain what was buffered; the channel must be closed behind it
+	}
+	sub3.Cancel() // double-cancel must be safe
+}

@@ -1,13 +1,30 @@
 // Package netkit is a Go reproduction of "Reflective Middleware-based
-// Programmable Networking" (Coulson et al., RM2003): an OpenCOM-style
-// reflective component runtime (internal/core), a component-framework kit
-// (internal/cf), and one component framework per stratum of the paper's
-// Figure 1 — hardware abstraction (internal/osabs), in-band functions
-// (internal/router), application services (internal/appsvc) and
-// coordination (internal/coord) — plus the substrates, baselines and
-// experiment harness described in DESIGN.md.
+// Programmable Networking" (Coulson et al., RM2003), packaged as an
+// importable middleware SDK.
 //
-// The root package carries the repository-level benchmark suite
+// The public surface is layered exactly as the paper's Figure 2:
+//
+//   - netkit/core — the OpenCOM-style reflective kernel: capsules,
+//     components, receptacles, first-class bindings, and the raw
+//     meta-object protocols.
+//   - netkit/packet — wire-format packet construction and parsing.
+//   - netkit/router — the Router CF (in-band functions stratum): packet
+//     components, classifier, scheduler, hot-swap.
+//   - netkit/cf — the component-framework kit (admission rules, ACLs,
+//     composites).
+//   - netkit/resources — the resources meta-model (tasks, pools,
+//     schedulers, abstract capacities).
+//   - netkit (this package) — the facade: Meta(capsule) is the unified
+//     meta-space entry point exposing the Architecture, Interface,
+//     Interception and Resources meta-models, and Blueprint is the
+//     declarative builder that collapses instantiate/bind/start
+//     boilerplate into a few chained calls.
+//
+// Genuinely private machinery (substrates, baselines, the experiment
+// harness, the control protocol) remains under internal/; the executables
+// live under cmd/ and runnable walkthroughs under examples/.
+//
+// The root package also carries the repository-level benchmark suite
 // (bench_test.go, experiments E1–E10) and the cross-strata integration
-// tests; the library lives under internal/ and the executables under cmd/.
+// tests.
 package netkit

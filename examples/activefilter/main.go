@@ -5,14 +5,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
 
+	"netkit"
 	"netkit/internal/appsvc"
-	"netkit/internal/core"
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit/packet"
+	"netkit/router"
 )
 
 func main() {
@@ -23,21 +24,19 @@ func main() {
 }
 
 func run() error {
-	capsule := core.NewCapsule("activefilter")
+	ctx := context.Background()
 	ee := appsvc.NewExecEnv()
 	egress := router.NewCounter()
-	sink := router.NewDropper()
-	for name, comp := range map[string]core.Component{"ee": ee, "egress": egress, "sink": sink} {
-		if err := capsule.Insert(name, comp); err != nil {
-			return err
-		}
-	}
-	if _, err := router.ConnectPush(capsule, "ee", "out", "egress"); err != nil {
+	sys, err := netkit.NewBlueprint("activefilter").
+		Insert("ee", ee).
+		Insert("egress", egress).
+		Insert("sink", router.NewDropper()).
+		Pipe("ee", "egress", "sink").
+		Build(ctx)
+	if err != nil {
 		return err
 	}
-	if _, err := router.ConnectPush(capsule, "egress", "out", "sink"); err != nil {
-		return err
-	}
+	defer func() { _ = sys.Close(ctx) }()
 
 	// (a) Native program: thin the media flow (UDP 5004) to 1-in-3.
 	if err := ee.Attach("udp and dst port 5004",

@@ -11,10 +11,11 @@ import (
 	"os"
 	"time"
 
-	"netkit/internal/core"
+	"netkit"
+	"netkit/core"
 	"netkit/internal/osabs"
-	"netkit/internal/router"
 	"netkit/internal/trace"
+	"netkit/router"
 )
 
 func main() {
@@ -132,7 +133,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("live-reconfigured: queue-v4 -> queue-v4-big (2048 slots, state migrated)")
-	if err := inner.Snapshot().Validate(); err != nil {
+	if err := netkit.Meta(inner).Architecture().Validate(); err != nil {
 		return fmt.Errorf("architecture invalid after reconfig: %w", err)
 	}
 	fmt.Println("inner architecture still validates")

@@ -1,114 +1,72 @@
-// Quickstart: build a two-component pipeline inside a capsule, push
-// packets through it, introspect the architecture meta-model, intercept a
-// binding at run time, and hot-swap a component without losing traffic —
-// the reflective-middleware essentials of the paper in ~100 lines.
+// Quickstart: declare a packet pipeline with netkit.Blueprint, push
+// traffic through it, then exercise the meta-space through the unified
+// netkit.Meta entry point — introspection, interception and a lossless
+// hot-swap — against only public netkit packages.
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
-	"os"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit"
+	"netkit/packet"
+	"netkit/router"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "quickstart:", err)
-		os.Exit(1)
-	}
-}
+	ctx := context.Background()
 
-func run() error {
-	// 1. A capsule is the per-address-space component runtime.
-	capsule := core.NewCapsule("quickstart")
+	// 1. Declare the architecture: counter -> ttl processor -> counter -> sink.
+	sys, err := netkit.NewBlueprint("quickstart").
+		Add("ingress", router.TypeCounter, nil).
+		Add("ttl", router.TypeIPv4Proc, nil).
+		Add("egress", router.TypeCounter, nil).
+		Add("sink", router.TypeDropper, nil).
+		Pipe("ingress", "ttl", "egress", "sink").
+		Build(ctx)
+	must(err)
+	defer func() { _ = sys.Close(ctx) }()
+	meta := sys.Meta()
 
-	// 2. Instantiate components through the loader registry and wire them:
-	//    counter -> ttl processor -> counter(sink-side).
-	if _, err := capsule.Instantiate("ingress", router.TypeCounter, nil); err != nil {
-		return err
-	}
-	if _, err := capsule.Instantiate("ttl", router.TypeIPv4Proc, nil); err != nil {
-		return err
-	}
-	if _, err := capsule.Instantiate("egress", router.TypeCounter, nil); err != nil {
-		return err
-	}
-	if _, err := capsule.Instantiate("sink", router.TypeDropper, nil); err != nil {
-		return err
-	}
-	for _, b := range [][3]string{
-		{"ingress", "out", "ttl"}, {"ttl", "out", "egress"}, {"egress", "out", "sink"},
-	} {
-		if _, err := router.ConnectPush(capsule, b[0], b[1], b[2]); err != nil {
-			return err
+	// 2. Push some traffic.
+	ingress, err := netkit.Service[router.IPacketPush](sys.Capsule(), "ingress", router.IPacketPushID)
+	must(err)
+	push := func(n int, src string, sport, dport uint16) {
+		for i := 0; i < n; i++ {
+			raw, err := packet.BuildUDP4(netip.MustParseAddr(src),
+				netip.MustParseAddr("192.168.0.1"), sport, dport, 64, []byte("hello"))
+			must(err)
+			must(ingress.Push(router.NewPacket(raw)))
 		}
 	}
+	push(1000, "10.0.0.1", 5000, 53)
 
-	// 3. Push some traffic.
-	ingress := mustPush(capsule, "ingress")
-	for i := 0; i < 1000; i++ {
-		raw, err := packet.BuildUDP4(
-			netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("192.168.0.1"),
-			5000, 53, 64, []byte("hello"))
-		if err != nil {
-			return err
-		}
-		if err := ingress.Push(router.NewPacket(raw)); err != nil {
-			return err
-		}
-	}
-
-	// 4. Introspect: the architecture meta-model always reflects reality.
-	g := capsule.Snapshot()
+	// 3. Introspect: the architecture meta-model always reflects reality.
+	g := meta.Architecture().Snapshot()
 	fmt.Printf("architecture: %d components, %d bindings (valid: %v)\n",
-		len(g.Nodes), len(g.Edges), g.Validate() == nil)
+		len(g.Nodes), len(g.Edges), meta.Architecture().Validate() == nil)
 
-	// 5. Intercept: attach an auditing interceptor to a live binding.
+	// 4. Intercept: attach an auditing Around to the live ttl->egress binding.
 	var audited int
-	b := capsule.BindingsOf("ttl")[0]
-	if err := b.AddInterceptor(core.Interceptor{
-		Name: "audit",
-		Wrap: core.PrePost(func(op string, args []any) { audited++ }, nil),
-	}); err != nil {
-		return err
-	}
-	for i := 0; i < 10; i++ {
-		raw, err := packet.BuildUDP4(
-			netip.MustParseAddr("10.0.0.2"), netip.MustParseAddr("192.168.0.1"),
-			5001, 80, 64, nil)
-		if err != nil {
-			return err
-		}
-		if err := ingress.Push(router.NewPacket(raw)); err != nil {
-			return err
-		}
-	}
+	audit := netkit.PrePost(func(op string, args []any) { audited++ }, nil)
+	must(meta.Interception().Install("ttl", "out", "audit", audit))
+	push(10, "10.0.0.2", 5001, 80)
 	fmt.Printf("interceptor observed %d calls\n", audited)
-	if err := b.RemoveInterceptor("audit"); err != nil {
-		return err
-	}
+	must(meta.Interception().Remove("ttl", "out", "audit"))
 
-	// 6. Reconfigure: hot-swap the TTL processor for a validating one;
+	// 5. Reconfigure: hot-swap the TTL processor for a validating one;
 	//    traffic is never dropped by the swap itself.
-	if err := router.HotSwap(capsule, "ttl", "ttl2", router.NewIPv4Proc(true)); err != nil {
-		return err
-	}
+	must(router.HotSwap(sys.Capsule(), "ttl", "ttl2", router.NewIPv4Proc(true)))
 	fmt.Println("hot-swapped ttl -> ttl2 (checksum-validating)")
 
-	egress, _ := capsule.Component("egress")
-	stats := egress.(*router.Counter).Stats()
-	fmt.Printf("egress saw %d packets\n", stats.In)
-	return nil
+	egress, err := netkit.Service[*router.Counter](sys.Capsule(), "egress", router.IPacketPushID)
+	must(err)
+	fmt.Printf("egress saw %d packets\n", egress.Stats().In)
 }
 
-func mustPush(c *core.Capsule, name string) router.IPacketPush {
-	comp, ok := c.Component(name)
-	if !ok {
-		panic("missing " + name)
+func must(err error) {
+	if err != nil {
+		panic(err)
 	}
-	impl, _ := comp.Provided(router.IPacketPushID)
-	return impl.(router.IPacketPush)
 }

@@ -1,0 +1,3 @@
+module netkit
+
+go 1.22

@@ -8,13 +8,13 @@ import (
 	"testing"
 	"time"
 
+	"netkit/core"
 	"netkit/internal/appsvc"
 	"netkit/internal/coord"
-	"netkit/internal/core"
 	"netkit/internal/netsim"
 	"netkit/internal/osabs"
-	"netkit/internal/router"
 	"netkit/internal/trace"
+	"netkit/router"
 )
 
 // TestStrataIntegration builds all four strata into one running node:

@@ -8,11 +8,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"netkit/internal/core"
+	"netkit/core"
 	"netkit/internal/filter"
-	"netkit/internal/packet"
-	"netkit/internal/resources"
-	"netkit/internal/router"
+	"netkit/packet"
+	"netkit/resources"
+	"netkit/router"
 )
 
 // EE errors.

@@ -6,9 +6,9 @@ import (
 	"sync"
 	"testing"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/packet"
+	"netkit/router"
 )
 
 var (

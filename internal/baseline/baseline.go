@@ -12,7 +12,7 @@ import (
 	"errors"
 	"fmt"
 
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 // Sentinel errors.

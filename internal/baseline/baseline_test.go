@@ -5,7 +5,7 @@ import (
 	"net/netip"
 	"testing"
 
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 var (

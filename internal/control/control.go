@@ -1,10 +1,13 @@
 // Package control is netkitd's management plane: a JSON-lines protocol
 // over TCP through which operators (and nkctl) exercise the reflective
-// capabilities remotely — inspect the architecture meta-model, read
-// component stats, install classifier filters, and hot-swap components.
-// It demonstrates the paper's claim that a causally-connected runtime
-// makes "deployment, inspection, (re)configuration, and evolution" uniform
-// management operations rather than restart procedures.
+// capabilities remotely. Every verb dispatches onto the unified netkit
+// meta-space — architecture introspection and constraints, interface
+// descriptor lookup, interception chains on live bindings, and resource
+// accounting — plus the Router-CF conveniences (stats, filters,
+// hot-swap). It demonstrates the paper's claim that a causally-connected
+// runtime makes "deployment, inspection, (re)configuration, and
+// evolution" uniform management operations rather than restart
+// procedures.
 package control
 
 import (
@@ -14,10 +17,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
-	"netkit/internal/cf"
-	"netkit/internal/core"
-	"netkit/internal/router"
+	"netkit"
+	"netkit/cf"
+	"netkit/core"
+	"netkit/resources"
+	"netkit/router"
 )
 
 // Sentinel errors.
@@ -41,6 +47,27 @@ type Request struct {
 	Output     string            `json:"output,omitempty"`
 	Priority   int               `json:"priority,omitempty"`
 	FilterID   uint64            `json:"filter_id,omitempty"`
+
+	// Meta-space addressing: the client-side endpoint of a binding and
+	// the name of an interceptor or interface on it.
+	Component  string `json:"component,omitempty"`
+	Receptacle string `json:"receptacle,omitempty"`
+	Iface      string `json:"iface,omitempty"`
+}
+
+// IfaceData is the payload of "iface": one interface descriptor.
+type IfaceData struct {
+	ID  core.InterfaceID `json:"id"`
+	Doc string           `json:"doc,omitempty"`
+	Ops []core.OpDesc    `json:"ops,omitempty"`
+}
+
+// AuditData is the payload of "audit": one remotely installed counting
+// interceptor.
+type AuditData struct {
+	Component  string `json:"component"`
+	Receptacle string `json:"receptacle"`
+	Calls      uint64 `json:"calls"`
 }
 
 // Response is the reply to one Request.
@@ -57,19 +84,26 @@ type StatsData struct {
 	Stats router.ElementStats `json:"stats"`
 }
 
-// Server exposes one framework over a listener.
+// Server exposes one framework — and its capsule's meta-space — over a
+// listener.
 type Server struct {
-	fw *cf.Framework
+	fw   *cf.Framework
+	meta *netkit.MetaSpace
 
 	mu       sync.Mutex
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+	audits   map[string]*atomic.Uint64 // "component\x00receptacle" -> call count
 }
 
 // NewServer wraps a framework.
 func NewServer(fw *cf.Framework) *Server {
-	return &Server{fw: fw}
+	return &Server{
+		fw:     fw,
+		meta:   netkit.Meta(fw.Capsule()),
+		audits: make(map[string]*atomic.Uint64),
+	}
 }
 
 // Serve accepts connections until the listener closes. Call Close to stop.
@@ -144,7 +178,58 @@ func (s *Server) dispatch(req *Request) (any, error) {
 	case "ping":
 		return "pong", nil
 	case "graph":
-		return capsule.Snapshot(), nil
+		return s.meta.Architecture().Snapshot(), nil
+	case "validate":
+		if err := s.meta.Architecture().Validate(); err != nil {
+			return nil, err
+		}
+		return "valid", nil
+	case "constraints":
+		return s.meta.Architecture().Constraints(), nil
+	case "dropped":
+		return s.meta.Architecture().DroppedEvents(), nil
+	case "ifaces":
+		return s.meta.Interface().IDs(), nil
+	case "iface":
+		d, ok := s.meta.Interface().Lookup(core.InterfaceID(req.Iface))
+		if !ok {
+			return nil, fmt.Errorf("control: interface %q: %w", req.Iface, core.ErrNotFound)
+		}
+		return IfaceData{ID: d.ID, Doc: d.Doc, Ops: d.Ops}, nil
+	case "provided":
+		ids, err := s.meta.Interface().ProvidedBy(req.Component)
+		if err != nil {
+			return nil, err
+		}
+		return ids, nil
+	case "intercept":
+		return s.intercept(req.Component, req.Receptacle)
+	case "unintercept":
+		return s.unintercept(req.Component, req.Receptacle)
+	case "chain":
+		return s.meta.Interception().Chain(req.Component, req.Receptacle)
+	case "audit":
+		s.mu.Lock()
+		cnt, ok := s.audits[req.Component+"\x00"+req.Receptacle]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("control: no audit at %s.%s: %w",
+				req.Component, req.Receptacle, core.ErrNotFound)
+		}
+		return AuditData{Component: req.Component, Receptacle: req.Receptacle,
+			Calls: cnt.Load()}, nil
+	case "tasks":
+		mgr := s.meta.Resources()
+		names := mgr.Tasks()
+		out := make([]resources.TaskStats, 0, len(names))
+		for _, name := range names {
+			t, err := mgr.Task(name)
+			if err != nil {
+				continue
+			}
+			out = append(out, t.Stats())
+		}
+		return out, nil
 	case "types":
 		return capsule.ComponentRegistry().Types(), nil
 	case "members":
@@ -193,6 +278,42 @@ func (s *Server) dispatch(req *Request) (any, error) {
 	default:
 		return nil, fmt.Errorf("control: op %q: %w", req.Op, ErrBadRequest)
 	}
+}
+
+// auditName is the interceptor name used by remotely installed audits.
+const auditName = "control.audit"
+
+// intercept installs a counting interceptor on the binding at the given
+// client-side endpoint through the interception meta-model. The count is
+// readable with the "audit" verb.
+func (s *Server) intercept(component, receptacle string) (any, error) {
+	cnt := new(atomic.Uint64)
+	wrap := core.PrePost(func(string, []any) { cnt.Add(1) }, nil)
+	if err := s.meta.Interception().Install(component, receptacle, auditName, wrap); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.audits[component+"\x00"+receptacle] = cnt
+	s.mu.Unlock()
+	return "intercepting", nil
+}
+
+// unintercept removes a previously installed counting interceptor and
+// returns its final call count.
+func (s *Server) unintercept(component, receptacle string) (any, error) {
+	if err := s.meta.Interception().Remove(component, receptacle, auditName); err != nil {
+		return nil, err
+	}
+	key := component + "\x00" + receptacle
+	s.mu.Lock()
+	cnt := s.audits[key]
+	delete(s.audits, key)
+	s.mu.Unlock()
+	var calls uint64
+	if cnt != nil {
+		calls = cnt.Load()
+	}
+	return AuditData{Component: component, Receptacle: receptacle, Calls: calls}, nil
 }
 
 func (s *Server) classifier(name string) (router.IClassifier, error) {

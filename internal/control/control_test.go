@@ -6,9 +6,9 @@ import (
 	"net/netip"
 	"testing"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/packet"
+	"netkit/router"
 )
 
 func fixture(t *testing.T) (*Client, *core.Capsule) {

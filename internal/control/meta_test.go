@@ -1,0 +1,145 @@
+package control
+
+// Tests for the control verbs that dispatch onto the unified meta-space.
+
+import (
+	"net/netip"
+	"testing"
+
+	"netkit/core"
+	"netkit/packet"
+	"netkit/router"
+)
+
+func pushInto(t *testing.T, capsule *core.Capsule, component string, n int) {
+	t.Helper()
+	comp, ok := capsule.Component(component)
+	if !ok {
+		t.Fatalf("component %q missing", component)
+	}
+	impl, _ := comp.Provided(router.IPacketPushID)
+	push := impl.(router.IPacketPush)
+	raw, err := packet.BuildUDP4(netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"), 9000, 53, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := push.Push(router.NewPacket(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMetaArchitectureVerbs(t *testing.T) {
+	client, _ := fixture(t)
+	var verdict string
+	if err := client.Do(&Request{Op: "validate"}, &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict != "valid" {
+		t.Fatalf("validate = %q", verdict)
+	}
+	var constraints []string
+	if err := client.Do(&Request{Op: "constraints"}, &constraints); err != nil {
+		t.Fatal(err)
+	}
+	var dropped uint64
+	if err := client.Do(&Request{Op: "dropped"}, &dropped); err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d on an unsubscribed capsule", dropped)
+	}
+}
+
+func TestMetaInterfaceVerbs(t *testing.T) {
+	client, _ := fixture(t)
+	var ids []string
+	if err := client.Do(&Request{Op: "ifaces"}, &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no interfaces registered")
+	}
+	var d IfaceData
+	if err := client.Do(&Request{Op: "iface", Iface: string(router.IPacketPushID)}, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != router.IPacketPushID || len(d.Ops) == 0 {
+		t.Fatalf("iface data = %+v", d)
+	}
+	if err := client.Do(&Request{Op: "iface", Iface: "no.such/1"}, nil); err == nil {
+		t.Fatal("lookup of unknown interface succeeded")
+	}
+	var provided []string
+	if err := client.Do(&Request{Op: "provided", Component: "cnt"}, &provided); err != nil {
+		t.Fatal(err)
+	}
+	if len(provided) == 0 {
+		t.Fatal("cnt provides nothing")
+	}
+}
+
+func TestMetaInterceptionVerbs(t *testing.T) {
+	client, capsule := fixture(t)
+	if err := client.Do(&Request{
+		Op: "intercept", Component: "cnt", Receptacle: "out",
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var chain []string
+	if err := client.Do(&Request{
+		Op: "chain", Component: "cnt", Receptacle: "out",
+	}, &chain); err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0] != auditName {
+		t.Fatalf("chain = %v", chain)
+	}
+
+	pushInto(t, capsule, "cnt", 7)
+	var ad AuditData
+	if err := client.Do(&Request{
+		Op: "audit", Component: "cnt", Receptacle: "out",
+	}, &ad); err != nil {
+		t.Fatal(err)
+	}
+	if ad.Calls != 7 {
+		t.Fatalf("audit counted %d calls, want 7", ad.Calls)
+	}
+
+	if err := client.Do(&Request{
+		Op: "unintercept", Component: "cnt", Receptacle: "out",
+	}, &ad); err != nil {
+		t.Fatal(err)
+	}
+	if ad.Calls != 7 {
+		t.Fatalf("unintercept reported %d calls, want 7", ad.Calls)
+	}
+	if err := client.Do(&Request{
+		Op: "chain", Component: "cnt", Receptacle: "out",
+	}, &chain); err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 0 {
+		t.Fatalf("chain after unintercept = %v", chain)
+	}
+	// The audit is gone: a further audit query must fail.
+	if err := client.Do(&Request{
+		Op: "audit", Component: "cnt", Receptacle: "out",
+	}, nil); err == nil {
+		t.Fatal("audit of removed interceptor succeeded")
+	}
+}
+
+func TestMetaTasksVerb(t *testing.T) {
+	client, _ := fixture(t)
+	var tasks []any
+	if err := client.Do(&Request{Op: "tasks"}, &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Fatalf("tasks = %v on a fresh capsule", tasks)
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"netkit/internal/netsim"
-	"netkit/internal/resources"
+	"netkit/resources"
 )
 
 // spawnType enumerates spawning-protocol messages.

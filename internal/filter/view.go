@@ -3,7 +3,7 @@ package filter
 import (
 	"net/netip"
 
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 // View is the per-packet field cache both matchers evaluate against. It is

@@ -8,8 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"netkit/internal/core"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/router"
 )
 
 // Client is the parent-composite side of an isolation boundary: it

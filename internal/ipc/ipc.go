@@ -23,8 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"netkit/internal/core"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/router"
 )
 
 // Sentinel errors.

@@ -7,9 +7,9 @@ import (
 	"testing"
 	"time"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/packet"
+	"netkit/router"
 )
 
 var (

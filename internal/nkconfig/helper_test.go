@@ -4,8 +4,8 @@ import (
 	"net/netip"
 	"testing"
 
-	"netkit/internal/packet"
-	"netkit/internal/router"
+	"netkit/packet"
+	"netkit/router"
 )
 
 func testPacket(t *testing.T, dstPort uint16) *router.Packet {

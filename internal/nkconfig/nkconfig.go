@@ -27,9 +27,9 @@ import (
 	"strconv"
 	"strings"
 
-	"netkit/internal/cf"
-	"netkit/internal/core"
-	"netkit/internal/router"
+	"netkit/cf"
+	"netkit/core"
+	"netkit/router"
 )
 
 // Sentinel errors.

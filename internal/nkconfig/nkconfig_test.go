@@ -4,8 +4,8 @@ import (
 	"errors"
 	"testing"
 
-	"netkit/internal/core"
-	"netkit/internal/router"
+	"netkit/core"
+	"netkit/router"
 )
 
 const sample = `

@@ -11,7 +11,7 @@ import (
 	"math"
 	"net/netip"
 
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 // RNG is a splitmix64 PRNG: tiny, fast, and deterministic across platforms.

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 func TestRNGDeterminism(t *testing.T) {

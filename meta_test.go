@@ -1,0 +1,273 @@
+package netkit_test
+
+// Round-trip tests for the unified meta-space: each meta-model reached
+// through the netkit.Meta facade must observe and mutate the very same
+// state as the underlying capsule — the causal connection the paper
+// requires of a reflective runtime.
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"netkit"
+	"netkit/core"
+	"netkit/packet"
+	"netkit/resources"
+	"netkit/router"
+)
+
+// testPacket builds one minimal UDP/IPv4 packet.
+func testPacket() *router.Packet {
+	raw, err := packet.BuildUDP4(netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"), 4000, 53, 64, []byte("x"))
+	if err != nil {
+		panic(err)
+	}
+	return router.NewPacket(raw)
+}
+
+// buildPipeline returns a started a->b->sink system.
+func buildPipeline(t *testing.T) *netkit.System {
+	t.Helper()
+	ctx := context.Background()
+	sys, err := netkit.NewBlueprint("rt").
+		Add("a", router.TypeCounter, nil).
+		Add("b", router.TypeCounter, nil).
+		Add("sink", router.TypeDropper, nil).
+		Pipe("a", "b", "sink").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close(ctx) })
+	return sys
+}
+
+// TestMetaArchitectureRoundTrip: a snapshot taken through the facade
+// after Blueprint.Pipe reflects exactly the bindings the capsule holds,
+// and a constraint installed through the facade vetoes a direct capsule
+// bind (mutation flows facade -> capsule).
+func TestMetaArchitectureRoundTrip(t *testing.T) {
+	sys := buildPipeline(t)
+	capsule := sys.Capsule()
+	arch := netkit.Meta(capsule).Architecture()
+
+	g := arch.Snapshot()
+	if len(g.Nodes) != 3 || len(g.Edges) != 2 {
+		t.Fatalf("facade snapshot: %d nodes %d edges, want 3/2", len(g.Nodes), len(g.Edges))
+	}
+	direct := capsule.Snapshot()
+	if len(direct.Edges) != len(g.Edges) {
+		t.Fatalf("facade sees %d edges, capsule %d", len(g.Edges), len(direct.Edges))
+	}
+	for i, e := range g.Edges {
+		d := direct.Edges[i]
+		if e.ID != d.ID || e.From != d.From || e.To != d.To || e.Iface != d.Iface {
+			t.Fatalf("edge %d: facade %+v != capsule %+v", i, e, d)
+		}
+	}
+	if err := arch.Validate(); err != nil {
+		t.Fatalf("facade validate: %v", err)
+	}
+
+	// Facade-installed constraint must police capsule-level binds.
+	veto := func(*core.Capsule, core.BindRequest) error { return core.ErrVetoed }
+	if err := arch.Constrain("no-more", veto); err != nil {
+		t.Fatal(err)
+	}
+	if got := capsule.Constraints(); len(got) != 1 || got[0] != "no-more" {
+		t.Fatalf("capsule constraints = %v, want [no-more]", got)
+	}
+	if _, err := capsule.Instantiate("c", router.TypeDropper, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capsule.Bind("b", "out", "c", router.IPacketPushID); err == nil {
+		t.Fatal("bind succeeded despite facade-installed constraint")
+	}
+	if err := arch.Unconstrain("no-more"); err != nil {
+		t.Fatal(err)
+	}
+	if got := capsule.Constraints(); len(got) != 0 {
+		t.Fatalf("capsule constraints after Unconstrain = %v", got)
+	}
+}
+
+// TestMetaArchitectureEvents: mutations performed on the capsule surface
+// as events on a facade subscription, and event loss is visible through
+// both the Subscription and Capsule.DroppedEvents.
+func TestMetaArchitectureEvents(t *testing.T) {
+	sys := buildPipeline(t)
+	capsule := sys.Capsule()
+	arch := netkit.Meta(capsule).Architecture()
+
+	sub := arch.Subscribe(4)
+	defer sub.Cancel()
+	if _, err := capsule.Instantiate("x", router.TypeDropper, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-sub.Events()
+	if ev.Kind != core.EventInsert || ev.Component != "x" {
+		t.Fatalf("facade subscription got %+v, want insert of x", ev)
+	}
+
+	// Overflow the buffer without draining: loss must be counted.
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("p%d", i)
+		if _, err := capsule.Instantiate(name, router.TypeDropper, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("subscription overflowed but Dropped() == 0")
+	}
+	if capsule.DroppedEvents() == 0 {
+		t.Fatal("capsule overflowed but DroppedEvents() == 0")
+	}
+	if arch.DroppedEvents() != capsule.DroppedEvents() {
+		t.Fatalf("facade dropped %d != capsule dropped %d",
+			arch.DroppedEvents(), capsule.DroppedEvents())
+	}
+}
+
+// TestMetaInterfaceRoundTrip: the facade's interface meta-model is the
+// registry in force for the capsule, not a copy.
+func TestMetaInterfaceRoundTrip(t *testing.T) {
+	sys := buildPipeline(t)
+	capsule := sys.Capsule()
+	im := netkit.Meta(capsule).Interface()
+
+	if im.Registry() != capsule.InterfaceRegistry() {
+		t.Fatal("facade registry is not the capsule's registry")
+	}
+	d, ok := im.Lookup(router.IPacketPushID)
+	if !ok {
+		t.Fatalf("facade cannot find %q", router.IPacketPushID)
+	}
+	if !im.Conforms(router.IPacketPushID, router.NewCounter()) {
+		t.Fatal("facade conformance check rejects a Counter")
+	}
+	if _, ok := d.Op("Push"); !ok {
+		t.Fatal("descriptor lost its Push op through the facade")
+	}
+	ids, err := im.ProvidedBy("a")
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("ProvidedBy(a) = %v, %v", ids, err)
+	}
+}
+
+// TestMetaInterceptionUnderTraffic: an interceptor installed through the
+// facade observes live traffic, shows up on the underlying binding's
+// chain, and removal re-fuses the path — all while packets keep flowing
+// from a concurrent pusher and none are lost.
+func TestMetaInterceptionUnderTraffic(t *testing.T) {
+	sys := buildPipeline(t)
+	capsule := sys.Capsule()
+	ic := netkit.Meta(capsule).Interception()
+
+	push, err := netkit.Service[router.IPacketPush](capsule, "a", router.IPacketPushID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := push.Push(testPacket()); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Repeatedly install/remove a counting interceptor mid-traffic. The
+	// main goroutine pushes one packet of its own per cycle while the
+	// interceptor is installed, so observation is guaranteed even when
+	// the concurrent pusher is starved.
+	const cycles = 50
+	var seen int
+	var mu sync.Mutex
+	wrap := netkit.PrePost(func(string, []any) { mu.Lock(); seen++; mu.Unlock() }, nil)
+	for i := 0; i < cycles; i++ {
+		if err := ic.Install("a", "out", "audit", wrap); err != nil {
+			t.Fatal(err)
+		}
+		// The capsule's own binding must show the facade-installed chain.
+		b, err := ic.Binding("a", "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Interceptors(); len(got) != 1 || got[0] != "audit" {
+			t.Fatalf("binding chain = %v, want [audit]", got)
+		}
+		if err := push.Push(testPacket()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ic.Remove("a", "out", "audit"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	chain, err := ic.Chain("a", "out")
+	if err != nil || len(chain) != 0 {
+		t.Fatalf("chain after removal = %v, %v", chain, err)
+	}
+	mu.Lock()
+	observed := seen
+	mu.Unlock()
+	if observed < cycles {
+		t.Fatalf("interceptor observed %d calls, want at least %d", observed, cycles)
+	}
+	// Atomic reroute: every packet pushed was delivered downstream.
+	bStats, _ := netkit.Service[*router.Counter](capsule, "b", router.IPacketPushID)
+	if got := bStats.Stats().In; got != total+cycles {
+		t.Fatalf("downstream saw %d packets, want %d (lost during reroute)", got, total+cycles)
+	}
+}
+
+// TestMetaResourcesRoundTrip: every Meta handle onto the same capsule
+// shares one resources meta-model; distinct capsules get distinct ones.
+func TestMetaResourcesRoundTrip(t *testing.T) {
+	sys := buildPipeline(t)
+	capsule := sys.Capsule()
+
+	m1 := netkit.Meta(capsule).Resources()
+	if _, err := m1.CreateTask(resources.TaskSpec{Name: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := netkit.Meta(capsule).Resources()
+	if m1 != m2 {
+		t.Fatal("two Meta handles returned distinct resource managers")
+	}
+	if tasks := m2.Tasks(); len(tasks) != 1 || tasks[0] != "t1" {
+		t.Fatalf("second handle sees tasks %v, want [t1]", tasks)
+	}
+
+	other := core.NewCapsule("other")
+	if got := netkit.Meta(other).Resources().Tasks(); len(got) != 0 {
+		t.Fatalf("fresh capsule's resource manager already has tasks %v", got)
+	}
+
+	// Closing a capsule drops the facade's association (no leak): a
+	// later Meta call yields a fresh manager without the old tasks.
+	tmp := core.NewCapsule("tmp")
+	mgrA := netkit.Meta(tmp).Resources()
+	if _, err := mgrA.CreateTask(resources.TaskSpec{Name: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mgrB := netkit.Meta(tmp).Resources()
+	if mgrA == mgrB {
+		t.Fatal("closed capsule still pinned its resource manager")
+	}
+	if got := mgrB.Tasks(); len(got) != 0 {
+		t.Fatalf("manager for closed capsule carries tasks %v", got)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"netkit/internal/cf"
-	"netkit/internal/core"
+	"netkit/cf"
+	"netkit/core"
 )
 
 // RouterCFName is the framework name used for stratum-2 instances.

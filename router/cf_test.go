@@ -6,11 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"netkit/cf"
+	"netkit/core"
 	"netkit/internal/buffers"
-	"netkit/internal/cf"
-	"netkit/internal/core"
 	"netkit/internal/osabs"
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 // bare is a component with no packet interfaces at all.

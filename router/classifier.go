@@ -5,7 +5,7 @@ import (
 	"strconv"
 	"sync"
 
-	"netkit/internal/core"
+	"netkit/core"
 	"netkit/internal/filter"
 )
 

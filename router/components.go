@@ -5,8 +5,8 @@ import (
 	"strconv"
 	"sync/atomic"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
+	"netkit/core"
+	"netkit/packet"
 )
 
 // Component type names registered with the loader.

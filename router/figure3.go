@@ -3,8 +3,8 @@ package router
 import (
 	"fmt"
 
-	"netkit/internal/cf"
-	"netkit/internal/core"
+	"netkit/cf"
+	"netkit/core"
 )
 
 // Figure3Config parameterises the canonical composite of Figure 3: a

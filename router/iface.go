@@ -10,8 +10,8 @@ package router
 import (
 	"errors"
 
+	"netkit/core"
 	"netkit/internal/buffers"
-	"netkit/internal/core"
 	"netkit/internal/filter"
 )
 

@@ -7,8 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"netkit/core"
 	"netkit/internal/buffers"
-	"netkit/internal/core"
 	"netkit/internal/osabs"
 )
 

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // FIFOQueue is the standard store-and-forward element: IPacketPush on the

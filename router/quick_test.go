@@ -6,9 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
+	"netkit/core"
 	"netkit/internal/trace"
+	"netkit/packet"
 )
 
 // TestQuickPipelineConservation: for random linear pipelines assembled

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sync"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // Exportable is implemented by stateful components that support state

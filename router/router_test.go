@@ -6,9 +6,9 @@ import (
 	"sync"
 	"testing"
 
+	"netkit/core"
 	"netkit/internal/buffers"
-	"netkit/internal/core"
-	"netkit/internal/packet"
+	"netkit/packet"
 )
 
 var (

@@ -8,7 +8,7 @@ import (
 	"sync"
 	"time"
 
-	"netkit/internal/core"
+	"netkit/core"
 )
 
 // SchedPolicy selects the link-scheduling discipline.

@@ -6,8 +6,8 @@ import (
 	"testing"
 	"time"
 
-	"netkit/internal/core"
-	"netkit/internal/packet"
+	"netkit/core"
+	"netkit/packet"
 )
 
 func fillQueue(t *testing.T, q *FIFOQueue, n, size int) {

@@ -5,8 +5,8 @@ import (
 	"strconv"
 	"time"
 
-	"netkit/internal/core"
-	"netkit/internal/resources"
+	"netkit/core"
+	"netkit/resources"
 )
 
 // TokenShaper polices traffic to a byte rate with a burst allowance using
