@@ -514,6 +514,118 @@ func BenchmarkE10_Schedulers(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E11 — batched fast path: per-packet Push vs PushBatch through the
+// forwarding chain (DESIGN.md §3/§4). All variants process one packet per
+// benchmark op, so ns/op and B/op are directly comparable.
+
+// e11Packets builds k distinct E-series trace packets plus their TTL
+// bytes for rearming between iterations.
+func e11Packets(b *testing.B, k int) (pkts []*router.Packet, raws [][]byte, ttls []byte) {
+	b.Helper()
+	gen, err := trace.NewGenerator(trace.Config{Seed: 7, Flows: 32, UDPShare: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts = make([]*router.Packet, k)
+	raws = make([][]byte, k)
+	ttls = make([]byte, k)
+	for i := 0; i < k; i++ {
+		raw, err := gen.NextFixed(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = raw
+		ttls[i] = raw[8]
+		pkts[i] = router.NewPacket(raw)
+	}
+	return pkts, raws, ttls
+}
+
+func BenchmarkE11_PerPacket(b *testing.B) {
+	first, _ := e3Chain(b, 2)
+	pkts, raws, ttls := e11Packets(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raws[0][8] = ttls[0]
+		_ = first.Push(pkts[0])
+	}
+}
+
+func BenchmarkE11_Batched(b *testing.B) {
+	for _, k := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("batch-%d", k), func(b *testing.B) {
+			first, _ := e3Chain(b, 2)
+			pkts, raws, ttls := e11Packets(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += k {
+				n := k // process exactly b.N packets so ns/op is per packet
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					raws[j][8] = ttls[j] // rearm TTLs so packets never expire
+				}
+				_ = router.ForwardBatch(first, pkts[:n])
+			}
+		})
+	}
+}
+
+// BenchmarkE11_Intercepted measures the batch dividend under live
+// interception: the chain wraps a batch crossing once, so per-packet
+// interception overhead (and its []any allocations) shrinks by the batch
+// factor.
+func BenchmarkE11_Intercepted(b *testing.B) {
+	setup := func(b *testing.B) router.IPacketPush {
+		b.Helper()
+		capsule := core.NewCapsule("e11i")
+		cnt := router.NewCounter()
+		if err := capsule.Insert("cnt", cnt); err != nil {
+			b.Fatal(err)
+		}
+		if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+			b.Fatal(err)
+		}
+		bind, err := router.ConnectPush(capsule, "cnt", "out", "drop")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bind.AddInterceptor(core.Interceptor{
+			Name: "audit", Wrap: core.PrePost(nil, nil),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return cnt
+	}
+	b.Run("perpacket", func(b *testing.B) {
+		first := setup(b)
+		pkts, _, _ := e11Packets(b, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = first.Push(pkts[0])
+		}
+	})
+	for _, k := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("batch-%d", k), func(b *testing.B) {
+			first := setup(b)
+			pkts, _, _ := e11Packets(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += k {
+				n := k
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				_ = router.ForwardBatch(first, pkts[:n])
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // EE — stratum-3 program dispatch (ablation for E1/E5)
 
 func BenchmarkEE_NativeProgram(b *testing.B) {

@@ -1,12 +1,13 @@
-// Command nkbench runs the NETKIT experiment suite E1–E10 (see DESIGN.md
+// Command nkbench runs the NETKIT experiment suite E1–E11 (see DESIGN.md
 // §3 for the claim-to-experiment mapping) and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
-//	nkbench             # run everything
-//	nkbench -run E1,E4  # selected experiments
-//	nkbench -json       # machine-readable results on stdout
+//	nkbench                 # run everything
+//	nkbench -run E1,E4      # selected experiments
+//	nkbench -json           # machine-readable results on stdout
+//	nkbench -batch 1,8,32   # batch sizes the E11 sweep drives
 //
 // With -json the human tables are suppressed and a single JSON document
 // is printed instead: an envelope identifying the host plus one metric
@@ -21,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,17 +41,27 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment list (E1..E10) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E11) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
 	flag.Parse()
+	for _, s := range strings.Split(*batchList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "nkbench: bad batch size %q\n", s)
+			os.Exit(1)
+		}
+		batchSizes = append(batchSizes, v)
+	}
 	experiments := map[string]func(){
 		"E1": e1CallOverhead, "E2": e2Footprint, "E3": e3Forwarding,
 		"E4": e4Reconfigure, "E5": e5Classifier, "E6": e6OutOfProc,
 		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
+		"E11": e11Batched,
 	}
 	var names []string
 	if *runList == "all" {
-		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	} else {
 		names = strings.Split(*runList, ",")
 	}
@@ -103,9 +115,10 @@ type jsonDoc struct {
 }
 
 var (
-	jsonOut bool
-	curExp  string
-	metrics []Metric
+	jsonOut    bool
+	curExp     string
+	metrics    []Metric
+	batchSizes []int // -batch flag; E11's sweep
 )
 
 // printf writes a human-readable table line, suppressed under -json.
@@ -642,6 +655,75 @@ func e10Resources() {
 		served["heavy"], served["light"], float64(served["heavy"])/float64(served["light"]))
 	record("wfq_ratio", float64(served["heavy"])/float64(served["light"]), "ratio",
 		map[string]string{"weights": "3:1"})
+}
+
+// ---------------------------------------------------------------------------
+
+func e11Batched() {
+	header("E11", "batched fast path: PushBatch amortises the binding crossing (DESIGN.md §4)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 7, Flows: 32, UDPShare: 100})
+	must(err)
+	const nPkts = 200_000
+
+	// The forwarding function under test: IPv4 TTL decrement plus two
+	// counting stages ending in a dropper (the E3 netkit chain).
+	build := func() router.IPacketPush {
+		c := core.NewCapsule("e11")
+		v4 := router.NewIPv4Proc(false)
+		must(c.Insert("v4", v4))
+		prev := "v4"
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("c%d", i)
+			must(c.Insert(name, router.NewCounter()))
+			_, err := router.ConnectPush(c, prev, "out", name)
+			must(err)
+			prev = name
+		}
+		must(c.Insert("drop", router.NewDropper()))
+		_, err := router.ConnectPush(c, prev, "out", "drop")
+		must(err)
+		return v4
+	}
+	master := make([][]byte, nPkts)
+	for i := range master {
+		master[i], err = gen.NextFixed(64)
+		must(err)
+	}
+	wrap := func() []*router.Packet {
+		out := make([]*router.Packet, len(master))
+		for i, raw := range master {
+			out[i] = router.NewPacket(append([]byte(nil), raw...))
+		}
+		return out
+	}
+
+	first := build()
+	pkts := wrap()
+	runtime.GC()
+	start := time.Now()
+	for _, p := range pkts {
+		_ = first.Push(p)
+	}
+	perKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+	printf("%-14s %14.0f kpps  (x%.2f)\n", "per-packet", perKpps, 1.0)
+	record("batch_forwarding", perKpps, "kpps", map[string]string{"batch": "per-packet"})
+
+	for _, k := range batchSizes {
+		first := build()
+		pkts := wrap()
+		runtime.GC()
+		start := time.Now()
+		for lo := 0; lo < len(pkts); lo += k {
+			hi := lo + k
+			if hi > len(pkts) {
+				hi = len(pkts)
+			}
+			_ = router.ForwardBatch(first, pkts[lo:hi])
+		}
+		kpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+		printf("batch=%-8d %14.0f kpps  (x%.2f)\n", k, kpps, kpps/perKpps)
+		record("batch_forwarding", kpps, "kpps", map[string]string{"batch": fmt.Sprint(k)})
+	}
 }
 
 // allocSink defeats escape analysis in E10's raw-allocation baseline.

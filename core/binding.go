@@ -12,6 +12,15 @@ type BindingID uint64
 // Around: it receives each operation crossing the binding and must call
 // invoke (zero or one times) to continue the chain. Name identifies the
 // interceptor for removal and introspection.
+//
+// Operations are not necessarily unit-cardinality: an interface may define
+// aggregate (batched) operations whose single argument carries many units
+// of work — e.g. the Router CF's "PushBatch", whose args[0] is a packet
+// slice. A proxy presents such a crossing to the chain as ONE operation,
+// so interceptor overhead is paid per batch rather than per element; an
+// interceptor that accounts per element (an audit) must inspect the
+// aggregate argument rather than counting invocations (the router package
+// exposes PacketCount for its data-path ops).
 type Interceptor struct {
 	Name string
 	Wrap Around
@@ -78,6 +87,16 @@ func (b *Binding) Interceptors() []string {
 // binding un-fuses the fast path; this is the reverse of the paper's
 // vtable-bypass optimisation and its cost is measured by experiment E1.
 // Requires the target interface to have a Proxy-capable descriptor.
+//
+// A fused binding (empty chain) routes the receptacle straight at the raw
+// provided interface, so capability discovery by type assertion — how the
+// router's batched fast path finds IPacketPushBatch downstream — sees the
+// real component. An un-fused binding interposes the descriptor's proxy;
+// descriptors whose interfaces have aggregate operations must produce
+// proxies preserving those capabilities (the router's push proxy forwards
+// whole batches through the chain as single operations), otherwise
+// installing an interceptor silently degrades the data path to
+// per-element calls.
 func (b *Binding) AddInterceptor(ic Interceptor) error {
 	if ic.Name == "" || ic.Wrap == nil {
 		return fmt.Errorf("core: add interceptor: empty name or nil wrap")

@@ -1,0 +1,61 @@
+package buffers
+
+import "sync"
+
+// BatchPool recycles batch slices for the batched fast path (DESIGN.md
+// §4). One generic implementation serves both strata: stratum-1 ingress
+// dequeues [][]byte frame batches from devices, and the router pipeline
+// recycles []*Packet batches (via router.GetBatch/PutBatch), so neither
+// pump allocates a fresh header-and-backing array per poll in the steady
+// state.
+//
+// Ownership mirrors the router's batch rule: the batch slice belongs to
+// whoever Got it; the elements inside follow their own lifetime (callee
+// takes ownership on hand-off). Put clears the slice so the pool never
+// pins element memory.
+type BatchPool[T any] struct {
+	size int
+	pool sync.Pool
+}
+
+// NewBatchPool creates a pool of batches with the given capacity
+// (elements per batch). Batches that outgrow the capacity are still
+// recycled — the grown backing array simply replaces the original.
+func NewBatchPool[T any](size int) *BatchPool[T] {
+	if size <= 0 {
+		size = 256
+	}
+	bp := &BatchPool[T]{size: size}
+	bp.pool.New = func() any {
+		b := make([]T, 0, bp.size)
+		return &b
+	}
+	return bp
+}
+
+// Get returns a zero-length batch with at least the pool's configured
+// capacity.
+func (bp *BatchPool[T]) Get() []T {
+	return (*bp.pool.Get().(*[]T))[:0]
+}
+
+// Put recycles a batch obtained from Get, clearing element references.
+func (bp *BatchPool[T]) Put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	var zero T
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = zero
+	}
+	b = b[:0]
+	bp.pool.Put(&b)
+}
+
+// Size returns the configured elements-per-batch capacity.
+func (bp *BatchPool[T]) Size() int { return bp.size }
+
+// Batches is the package-default frame-batch pool, sized for the largest
+// batch the benchmarks drive (128) with headroom.
+var Batches = NewBatchPool[[]byte](256)

@@ -63,7 +63,10 @@ type IfaceData struct {
 }
 
 // AuditData is the payload of "audit": one remotely installed counting
-// interceptor.
+// interceptor. Calls counts units of work, not chain invocations: a
+// batched data-path crossing (op "PushBatch") contributes one count per
+// packet in the batch, so audits read the same whether the pipeline runs
+// the batched fast path or per-packet pushes.
 type AuditData struct {
 	Component  string `json:"component"`
 	Receptacle string `json:"receptacle"`
@@ -288,7 +291,9 @@ const auditName = "control.audit"
 // readable with the "audit" verb.
 func (s *Server) intercept(component, receptacle string) (any, error) {
 	cnt := new(atomic.Uint64)
-	wrap := core.PrePost(func(string, []any) { cnt.Add(1) }, nil)
+	wrap := core.PrePost(func(op string, args []any) {
+		cnt.Add(uint64(router.PacketCount(op, args)))
+	}, nil)
 	if err := s.meta.Interception().Install(component, receptacle, auditName, wrap); err != nil {
 		return nil, err
 	}

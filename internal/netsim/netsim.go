@@ -1,9 +1,10 @@
 // Package netsim is the multi-node network substrate used by the stratum-3
 // and stratum-4 experiments: named nodes joined by duplex links with
 // configurable latency, loss and queueing. It replaces the paper's
-// physical testbed (see DESIGN.md): the code above it — signalling agents,
-// spawning coordinators, active-packet EEs — is the code under test and is
-// identical to what would run over real sockets.
+// physical testbed (see the substitution table in DESIGN.md §2.4): the
+// code above it — signalling agents, spawning coordinators, active-packet
+// EEs — is the code under test and is identical to what would run over
+// real sockets.
 //
 // Frames carry a one-byte protocol tag so several subsystems (signalling,
 // spawnet data, active packets) can share a node.
@@ -133,6 +134,43 @@ func (n *Node) Send(neighbor string, proto byte, payload []byte) error {
 		d.drops.Add(1)
 		return nil // queue overflow: dropped
 	}
+}
+
+// SendBatch transmits frames to a directly connected neighbour in order,
+// resolving the link once for the whole batch (the netsim arm of the
+// batched fast path, DESIGN.md §4). Loss, link-down and queue-overflow
+// semantics are applied per frame exactly as Send applies them, so a
+// SendBatch is observationally identical to len(payloads) Sends — the
+// delivery order at the receiver is the same, only the per-frame overhead
+// differs. The payloads slice is not retained.
+func (n *Node) SendBatch(neighbor string, proto byte, payloads [][]byte) error {
+	if n.net.stopped.Load() {
+		return ErrStopped
+	}
+	n.mu.RLock()
+	d, ok := n.peers[neighbor]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("netsim: %s->%s: %w", n.name, neighbor, ErrNoLink)
+	}
+	for _, payload := range payloads {
+		// Down is re-checked per frame, like N individual Sends would: a
+		// link taken down mid-batch stops the remainder.
+		if d.down.Load() {
+			return fmt.Errorf("netsim: %s->%s: %w", n.name, neighbor, ErrLinkDown)
+		}
+		if d.cfg.LossPct > 0 && d.next() < d.cfg.LossPct {
+			d.drops.Add(1)
+			continue
+		}
+		select {
+		case d.ch <- frame{from: n.name, proto: proto, payload: payload}:
+			d.sent.Add(1)
+		default:
+			d.drops.Add(1)
+		}
+	}
+	return nil
 }
 
 // deliver invokes the destination handler.

@@ -313,3 +313,76 @@ func TestLineValidation(t *testing.T) {
 		t.Fatal("want error")
 	}
 }
+
+// TestSendBatchOrderingMatchesSend drives identically seeded lossy links
+// with the same frame sequence — per-frame Send on one, one SendBatch on
+// the other — and requires identical delivered sequences: the batched
+// fast path must be observationally equivalent to N individual sends.
+func TestSendBatchOrderingMatchesSend(t *testing.T) {
+	w := mkNet(t, "a", "b", "c", "d")
+	defer w.Stop()
+	cfg := LinkConfig{LossPct: 30, Seed: 424242}
+	if err := w.Connect("a", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Connect("c", "d", cfg); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[string][]byte{}
+	recorder := func(name string) Handler {
+		return func(_ string, payload []byte) {
+			mu.Lock()
+			got[name] = append(got[name], payload[0])
+			mu.Unlock()
+		}
+	}
+	nb, _ := w.Node("b")
+	nb.Register(7, recorder("b"))
+	nd, _ := w.Node("d")
+	nd.Register(7, recorder("d"))
+
+	const n = 100
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = []byte{byte(i)}
+	}
+	na, _ := w.Node("a")
+	for _, f := range frames {
+		if err := na.Send("b", 7, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc, _ := w.Node("c")
+	if err := nc.SendBatch("d", 7, frames); err != nil {
+		t.Fatal(err)
+	}
+
+	sentAB, _, _ := w.LinkStats("a", "b")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		bn, dn := len(got["b"]), len(got["d"])
+		mu.Unlock()
+		if uint64(bn) == sentAB && bn == dn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: b=%d d=%d sent=%d", bn, dn, sentAB)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got["b"]) == 0 || len(got["b"]) == n {
+		t.Fatalf("loss model inert: delivered %d of %d", len(got["b"]), n)
+	}
+	if string(got["b"]) != string(got["d"]) {
+		t.Fatalf("delivery diverged:\nper-frame %v\nbatched   %v", got["b"], got["d"])
+	}
+	sentCD, dropsCD, _ := w.LinkStats("c", "d")
+	_, dropsAB, _ := w.LinkStats("a", "b")
+	if sentAB != sentCD || dropsAB != dropsCD {
+		t.Fatalf("link stats diverged: sent %d/%d drops %d/%d", sentAB, sentCD, dropsAB, dropsCD)
+	}
+}

@@ -198,22 +198,26 @@ func (k *KernelChannel) Put(frame []byte) error {
 
 // GetBatch dequeues up to max frames without blocking.
 func (k *KernelChannel) GetBatch(max int) [][]byte {
-	if max <= 0 {
-		return nil
-	}
-	var out [][]byte
-	for len(out) < max {
+	return k.GetBatchInto(nil, max)
+}
+
+// GetBatchInto dequeues up to max frames without blocking, appending them
+// to dst and returning the extended slice. Passing a recycled slice (e.g.
+// from a buffers.BatchPool) makes the crossing allocation-free in the
+// steady state — the [:0]-reset pattern callers use with pooled batches.
+func (k *KernelChannel) GetBatchInto(dst [][]byte, max int) [][]byte {
+	for n := 0; n < max; n++ {
 		select {
 		case f, ok := <-k.q:
 			if !ok {
-				return out
+				return dst
 			}
-			out = append(out, f)
+			dst = append(dst, f)
 		default:
-			return out
+			return dst
 		}
 	}
-	return out
+	return dst
 }
 
 // Close shuts the channel.

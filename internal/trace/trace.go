@@ -1,9 +1,9 @@
 // Package trace generates deterministic synthetic packet workloads for the
 // benchmark harness: the substitute for the production router traces the
-// paper's testbed would observe (see DESIGN.md substitution table). Flows
-// follow a Zipf popularity law and packet sizes follow the classic IMIX
-// mix, both driven by a splitmix64 PRNG so every experiment is replayable
-// from a seed.
+// paper's testbed would observe (see the substitution table in DESIGN.md
+// §2.4). Flows follow a Zipf popularity law and packet sizes follow the
+// classic IMIX mix, both driven by a splitmix64 PRNG so every experiment
+// is replayable from a seed.
 package trace
 
 import (

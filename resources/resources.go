@@ -9,6 +9,20 @@
 // memory (byte budgets charged/released around allocations), network
 // bandwidth (token buckets) and abstract application-defined units of
 // allocation (named counted capacities).
+//
+// # Relation to the data path
+//
+// The meta-model meters the router's batched fast path without changing
+// its ownership rules: a token bucket admits each packet of a PushBatch
+// individually (bytes are bytes, batched or not — see TokenShaper in the
+// router package), and memory budgets cap the live buffers a pipeline may
+// hold, not who holds them. Slice recycling (the [][]byte batch pools in
+// internal/buffers, the []*Packet pools in the router package) is
+// deliberately outside budget accounting: pooled batch headers carry no
+// payload, so charging them would double-count the buffers they point at.
+// The contract is the router package's: batch slices belong to their
+// caller, packets to whoever was pushed them — budgets follow the packet,
+// never the slice.
 package resources
 
 import (

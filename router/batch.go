@@ -1,0 +1,168 @@
+package router
+
+import (
+	"netkit/core"
+	"netkit/internal/buffers"
+)
+
+// This file is the hub of the batched fast path (DESIGN.md §4): the
+// IPacketPushBatch capability interface, the ForwardBatch fallback shim,
+// and the pooled []*Packet scratch batches that keep the steady state
+// allocation-free.
+//
+// Ownership contract: a PushBatch callee takes ownership of every Packet
+// in the batch (exactly as Push does for one packet) but NOT of the batch
+// slice itself. The slice remains the caller's; the callee must not retain
+// it — or any sub-slice of it — after returning. Components that buffer
+// packets (queues) copy the pointers out; everyone else forwards within
+// the call. This is what lets callers recycle batches through GetBatch/
+// PutBatch without handshaking.
+
+// IPacketPushBatch is the batched fast-path variant of IPacketPush. It is
+// a capability, not a separate binding contract: bindings are still made
+// on IPacketPushID, and each hop discovers its downstream's batch support
+// with a type assertion (use ForwardBatch, which does exactly that). A
+// component that implements PushBatch must process packets in slice order
+// and must also accept single packets via Push.
+type IPacketPushBatch interface {
+	IPacketPush
+	// PushBatch delivers the packets in order. The callee takes ownership
+	// of the packets but must not retain the slice after returning.
+	PushBatch(batch []*Packet) error
+}
+
+// ForwardBatch delivers batch to dst, using the batched fast path when dst
+// implements IPacketPushBatch and falling back to one Push per packet
+// otherwise. It is the generic adoption shim: a pipeline may mix batch-
+// aware and per-packet components freely, and ForwardBatch re-forms the
+// fast path wherever both sides support it. The first error is returned;
+// later packets are still delivered (matching the absorb-and-continue
+// discipline of the data path).
+func ForwardBatch(dst IPacketPush, batch []*Packet) error {
+	if bp, ok := dst.(IPacketPushBatch); ok {
+		return bp.PushBatch(batch)
+	}
+	var firstErr error
+	for _, p := range batch {
+		if err := dst.Push(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// PacketCount reports how many packets an intercepted operation carries:
+// len(batch) for a PushBatch crossing, 1 for any other operation. Audit-
+// style interceptors use it so a batch of 32 packets counts as 32
+// observations even though the chain wrapped the crossing once.
+func PacketCount(op string, args []any) int {
+	if op == "PushBatch" && len(args) == 1 {
+		if b, ok := args[0].([]*Packet); ok {
+			return len(b)
+		}
+	}
+	return 1
+}
+
+// batchCap is the capacity of pooled packet batches; large enough for the
+// biggest batch size the benches drive (128) without reallocation.
+const batchCap = 256
+
+var packetBatches = buffers.NewBatchPool[*Packet](batchCap)
+
+// GetBatch returns a zero-length pooled packet batch. Return it with
+// PutBatch once every packet in it has been handed off.
+func GetBatch() []*Packet { return packetBatches.Get() }
+
+// PutBatch recycles a batch obtained from GetBatch. The caller must have
+// relinquished ownership of the packets; PutBatch clears the slice so the
+// pool never pins packet memory.
+func PutBatch(b []*Packet) { packetBatches.Put(b) }
+
+// forwardBatch pushes batch to the receptacle target, accounting the
+// outcome as forward does per packet; an unbound receptacle drops (and
+// releases) the whole batch. Error accounting is batch-granular: a batch
+// crossing yields at most one downstream error, so a failing batch counts
+// one structural error and forfeits Out accounting for the batch (the
+// per-packet path would count per packet). Downstream errors are
+// structural — absent from the standard components, which absorb and
+// count problems locally — so the divergence is confined to misbehaving
+// plug-ins.
+func (e *elementCounters) forwardBatch(out *core.Receptacle[IPacketPush], batch []*Packet) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	next, ok := out.Get()
+	if !ok {
+		e.dropped.Add(uint64(len(batch)))
+		for _, p := range batch {
+			p.Release()
+		}
+		return nil
+	}
+	if err := ForwardBatch(next, batch); err != nil {
+		e.errs.Add(1)
+		return err
+	}
+	e.out.Add(uint64(len(batch)))
+	return nil
+}
+
+// forwardRuns is the shared drop-or-forward scan of the batched header
+// processors and the shaper: packets rejected by keep are dropped (counted
+// and released), and maximal surviving runs — sub-slices of batch, so no
+// copying — are forwarded. keep may mutate the packet (TTL decrement) and
+// is responsible for its own specialised drop counters.
+func (e *elementCounters) forwardRuns(out *core.Receptacle[IPacketPush], batch []*Packet, keep func(*Packet) bool) error {
+	var firstErr error
+	run := 0
+	for i, p := range batch {
+		if !keep(p) {
+			if err := e.forwardBatch(out, batch[run:i]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			e.dropped.Add(1)
+			p.Release()
+			run = i + 1
+		}
+	}
+	if err := e.forwardBatch(out, batch[run:]); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// splitRuns is the shared demultiplexing scan of the batched classifier
+// and protocol recogniser: each packet resolves to a target receptacle
+// (nil = drop), and maximal same-target runs are forwarded as sub-slices
+// of batch. Per-output order is exactly the per-packet path's.
+func (e *elementCounters) splitRuns(batch []*Packet, target func(*Packet) *core.Receptacle[IPacketPush]) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	var firstErr error
+	flush := func(t *core.Receptacle[IPacketPush], seg []*Packet) {
+		if len(seg) == 0 {
+			return
+		}
+		if t == nil {
+			e.dropped.Add(uint64(len(seg)))
+			for _, p := range seg {
+				p.Release()
+			}
+			return
+		}
+		if err := e.forwardBatch(t, seg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	run, cur := 0, target(batch[0])
+	for i := 1; i < len(batch); i++ {
+		if t := target(batch[i]); t != cur {
+			flush(cur, batch[run:i])
+			run, cur = i, t
+		}
+	}
+	flush(cur, batch[run:])
+	return firstErr
+}

@@ -1,0 +1,548 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"netkit/core"
+	"netkit/internal/osabs"
+	"netkit/packet"
+)
+
+// batchSink collects packets and records how they arrived (per-packet
+// pushes vs whole batches).
+type batchSink struct {
+	*core.Base
+	mu      sync.Mutex
+	pkts    []*Packet
+	pushes  int
+	batches int
+}
+
+func newBatchSink() *batchSink {
+	s := &batchSink{Base: core.NewBase("test.BatchSink")}
+	s.Provide(IPacketPushID, s)
+	return s
+}
+
+func (s *batchSink) Push(p *Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pushes++
+	s.pkts = append(s.pkts, p)
+	return nil
+}
+
+func (s *batchSink) PushBatch(batch []*Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.pkts = append(s.pkts, batch...) // pointers copied; slice not retained
+	return nil
+}
+
+func (s *batchSink) snapshot() (pkts []*Packet, pushes, batches int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Packet(nil), s.pkts...), s.pushes, s.batches
+}
+
+func mkBatch(t *testing.T, n int) []*Packet {
+	t.Helper()
+	batch := make([]*Packet, n)
+	for i := range batch {
+		batch[i] = udpPkt(t, uint16(1000+i), 64)
+	}
+	return batch
+}
+
+// dstPorts projects the destination-port sequence of a packet slice, the
+// ordering fingerprint used by the equivalence tests.
+func dstPorts(ps []*Packet) []uint16 {
+	out := make([]uint16, len(ps))
+	for i, p := range ps {
+		out[i] = p.View().DstPort
+	}
+	return out
+}
+
+func equalPorts(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- ForwardBatch shim ----------------------------------------------------
+
+func TestForwardBatchFallbackPerPacket(t *testing.T) {
+	dst := newSink() // push-only: no PushBatch
+	batch := mkBatch(t, 8)
+	if err := ForwardBatch(dst, batch); err != nil {
+		t.Fatal(err)
+	}
+	if dst.count() != 8 {
+		t.Fatalf("delivered %d, want 8", dst.count())
+	}
+	for i, p := range dst.pkts {
+		if p != batch[i] {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+}
+
+func TestForwardBatchFastPath(t *testing.T) {
+	dst := newBatchSink()
+	batch := mkBatch(t, 8)
+	if err := ForwardBatch(dst, batch); err != nil {
+		t.Fatal(err)
+	}
+	pkts, pushes, batches := dst.snapshot()
+	if len(pkts) != 8 || pushes != 0 || batches != 1 {
+		t.Fatalf("pkts=%d pushes=%d batches=%d, want 8/0/1", len(pkts), pushes, batches)
+	}
+}
+
+func TestPacketCount(t *testing.T) {
+	batch := make([]*Packet, 5)
+	if got := PacketCount("PushBatch", []any{batch}); got != 5 {
+		t.Fatalf("PushBatch count = %d, want 5", got)
+	}
+	if got := PacketCount("Push", []any{&Packet{}}); got != 1 {
+		t.Fatalf("Push count = %d, want 1", got)
+	}
+	if got := PacketCount("PushBatch", nil); got != 1 {
+		t.Fatalf("malformed PushBatch count = %d, want 1", got)
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch()
+	if len(b) != 0 {
+		t.Fatalf("pooled batch len = %d, want 0", len(b))
+	}
+	b = append(b, udpPkt(t, 1, 64))
+	PutBatch(b)
+	b2 := GetBatch()
+	if len(b2) != 0 {
+		t.Fatalf("recycled batch len = %d, want 0", len(b2))
+	}
+	for _, p := range b2[:cap(b2)] {
+		if p != nil {
+			t.Fatal("recycled batch pins a packet")
+		}
+	}
+}
+
+// ---- interception on the batch path --------------------------------------
+
+// TestBatchInterceptorWrapsOnce: with a batch-capable target, the chain
+// sees the whole batch as ONE "PushBatch" operation, and an audit using
+// PacketCount still observes every packet exactly once.
+func TestBatchInterceptorWrapsOnce(t *testing.T) {
+	c := newCap()
+	head := NewCounter()
+	tail := newBatchSink()
+	if err := c.Insert("head", head); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("tail", tail); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConnectPush(c, "head", "out", "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	var audited int
+	if err := b.AddInterceptor(core.Interceptor{
+		Name: "audit",
+		Wrap: core.PrePost(func(op string, args []any) {
+			ops = append(ops, op)
+			audited += PacketCount(op, args)
+		}, nil),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := mkBatch(t, 32)
+	if err := head.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0] != "PushBatch" {
+		t.Fatalf("chain crossings = %v, want exactly one PushBatch", ops)
+	}
+	if audited != 32 {
+		t.Fatalf("audit observed %d packets, want 32", audited)
+	}
+	pkts, _, batches := tail.snapshot()
+	if len(pkts) != 32 || batches != 1 {
+		t.Fatalf("delivered %d in %d batches, want 32 in 1", len(pkts), batches)
+	}
+	for i, p := range pkts {
+		if p != batch[i] {
+			t.Fatalf("packet %d out of order through intercepted batch", i)
+		}
+	}
+}
+
+// TestBatchInterceptorFallback: with a per-packet-only target, the proxy
+// degrades to per-packet "Push" operations — the audit still observes
+// every packet exactly once, never zero times and never twice.
+func TestBatchInterceptorFallback(t *testing.T) {
+	c := newCap()
+	head := NewCounter()
+	tail := newSink()
+	if err := c.Insert("head", head); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("tail", tail); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConnectPush(c, "head", "out", "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushOps, audited int
+	if err := b.AddInterceptor(core.Interceptor{
+		Name: "audit",
+		Wrap: core.PrePost(func(op string, args []any) {
+			if op == "Push" {
+				pushOps++
+			}
+			audited += PacketCount(op, args)
+		}, nil),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := mkBatch(t, 16)
+	if err := head.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if pushOps != 16 || audited != 16 {
+		t.Fatalf("pushOps=%d audited=%d, want 16/16", pushOps, audited)
+	}
+	if tail.count() != 16 {
+		t.Fatalf("delivered %d, want 16", tail.count())
+	}
+}
+
+// ---- per-component equivalence -------------------------------------------
+
+// TestClassifierBatchEquivalence: batch classification routes every packet
+// to the same output, in the same order, as per-packet classification.
+func TestClassifierBatchEquivalence(t *testing.T) {
+	build := func(a, b core.Component) (*Classifier, error) {
+		c := newCap()
+		cls, err := NewClassifier("a", "b", "default")
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Insert("cls", cls); err != nil {
+			return nil, err
+		}
+		if err := c.Insert("sa", a); err != nil {
+			return nil, err
+		}
+		if err := c.Insert("sb", b); err != nil {
+			return nil, err
+		}
+		if _, err := ConnectPush(c, "cls", "a", "sa"); err != nil {
+			return nil, err
+		}
+		if _, err := ConnectPush(c, "cls", "b", "sb"); err != nil {
+			return nil, err
+		}
+		if _, err := cls.RegisterFilter("udp and dst port 1001", 1, "a"); err != nil {
+			return nil, err
+		}
+		if _, err := cls.RegisterFilter("udp and dst port 1003", 1, "b"); err != nil {
+			return nil, err
+		}
+		return cls, nil
+	}
+	mk := func(t *testing.T) []*Packet {
+		// Mixed traffic: runs and alternations across a, b and drop.
+		ports := []uint16{1001, 1001, 1003, 1001, 9999, 9999, 1003, 1003, 1001, 9999}
+		out := make([]*Packet, len(ports))
+		for i, port := range ports {
+			out[i] = udpPkt(t, port, 64)
+		}
+		return out
+	}
+
+	aPer, bPer := newSink(), newSink()
+	clsPer, err := build(aPer, bPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mk(t) {
+		if err := clsPer.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	aBat, bBat := newBatchSink(), newBatchSink()
+	clsBat, err := build(aBat, bBat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clsBat.PushBatch(mk(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	gotA, _, _ := aBat.snapshot()
+	gotB, _, _ := bBat.snapshot()
+	if !equalPorts(dstPorts(aPer.pkts), dstPorts(gotA)) {
+		t.Fatalf("output a diverged: per-packet %v vs batch %v",
+			dstPorts(aPer.pkts), dstPorts(gotA))
+	}
+	if !equalPorts(dstPorts(bPer.pkts), dstPorts(gotB)) {
+		t.Fatalf("output b diverged: per-packet %v vs batch %v",
+			dstPorts(bPer.pkts), dstPorts(gotB))
+	}
+	per, bat := clsPer.Stats(), clsBat.Stats()
+	if per.Dropped != bat.Dropped || per.In != bat.In {
+		t.Fatalf("stats diverged: %+v vs %+v", per, bat)
+	}
+}
+
+func TestFIFOQueueBatchOverflow(t *testing.T) {
+	q, err := NewFIFOQueue(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := mkBatch(t, 6)
+	if err := q.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("queued %d, want 4", q.Len())
+	}
+	if st := q.Stats(); st.Dropped != 2 || st.In != 6 {
+		t.Fatalf("stats = %+v, want 2 dropped of 6", st)
+	}
+	got := q.PullBatch(nil, 10)
+	if len(got) != 4 {
+		t.Fatalf("pulled %d, want 4", len(got))
+	}
+	for i, p := range got {
+		if p != batch[i] {
+			t.Fatalf("FIFO order violated at %d", i)
+		}
+	}
+	if _, err := q.Pull(); err != ErrNoPacket {
+		t.Fatalf("drained queue Pull err = %v", err)
+	}
+}
+
+// TestREDQueueBatchEquivalence: with identical deterministic RNGs and
+// identical arrivals, batch admission takes exactly the per-packet path's
+// decisions (the EWMA is per-arrival either way).
+func TestREDQueueBatchEquivalence(t *testing.T) {
+	mkRng := func() func() float64 {
+		state := uint64(12345)
+		return func() float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state>>11) / (1 << 53)
+		}
+	}
+	cfg := REDConfig{Capacity: 64, MinTh: 8, MaxTh: 48, MaxP: 0.5, Weight: 0.2}
+	cfg.Rand = mkRng()
+	qPer, err := NewREDQueue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rand = mkRng()
+	qBat, err := NewREDQueue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	perIn := make([]*Packet, n)
+	batIn := make([]*Packet, n)
+	for i := 0; i < n; i++ {
+		perIn[i] = udpPkt(t, uint16(i), 64)
+		batIn[i] = udpPkt(t, uint16(i), 64)
+	}
+	for _, p := range perIn {
+		if err := qPer.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qBat.PushBatch(batIn); err != nil {
+		t.Fatal(err)
+	}
+	if qPer.Len() != qBat.Len() {
+		t.Fatalf("queue lengths diverged: %d vs %d", qPer.Len(), qBat.Len())
+	}
+	if qPer.EarlyDrops() != qBat.EarlyDrops() || qPer.ForcedDrops() != qBat.ForcedDrops() {
+		t.Fatalf("drop mix diverged: early %d/%d forced %d/%d",
+			qPer.EarlyDrops(), qBat.EarlyDrops(), qPer.ForcedDrops(), qBat.ForcedDrops())
+	}
+	var perOut, batOut []*Packet
+	perOut = qPer.PullBatch(perOut, n)
+	batOut = qBat.PullBatch(batOut, n)
+	if !equalPorts(dstPorts(perOut), dstPorts(batOut)) {
+		t.Fatal("admitted packet sequences diverged")
+	}
+}
+
+// TestSchedulerRunOnceBatchOrdering: RunOnceBatch emits the same packets
+// in the same order as RunOnce under the same discipline, delivering them
+// downstream as one batch.
+func TestSchedulerRunOnceBatchOrdering(t *testing.T) {
+	build := func(dst core.Component) (*LinkScheduler, []*FIFOQueue, error) {
+		c := newCap()
+		s, err := NewLinkScheduler(PolicyDRR)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.AddInput("q0", 200, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := s.AddInput("q1", 100, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Insert("sched", s); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Insert("dst", dst); err != nil {
+			return nil, nil, err
+		}
+		qs := make([]*FIFOQueue, 2)
+		for i := range qs {
+			q, err := NewFIFOQueue(64)
+			if err != nil {
+				return nil, nil, err
+			}
+			qs[i] = q
+		}
+		if err := c.Insert("fq0", qs[0]); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Insert("fq1", qs[1]); err != nil {
+			return nil, nil, err
+		}
+		if _, err := ConnectPull(c, "sched", "q0", "fq0"); err != nil {
+			return nil, nil, err
+		}
+		if _, err := ConnectPull(c, "sched", "q1", "fq1"); err != nil {
+			return nil, nil, err
+		}
+		if _, err := ConnectPush(c, "sched", "out", "dst"); err != nil {
+			return nil, nil, err
+		}
+		return s, qs, nil
+	}
+	fill := func(t *testing.T, qs []*FIFOQueue) {
+		for i := 0; i < 12; i++ {
+			if err := qs[0].Push(udpPkt(t, uint16(100+i), 64)); err != nil {
+				t.Fatal(err)
+			}
+			if err := qs[1].Push(udpPkt(t, uint16(200+i), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	perSink := newSink()
+	sPer, qsPer, err := build(perSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, qsPer)
+	servedPer := sPer.RunOnce(24)
+
+	batSink := newBatchSink()
+	sBat, qsBat, err := build(batSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, qsBat)
+	servedBat := sBat.RunOnceBatch(24)
+
+	if servedPer != servedBat {
+		t.Fatalf("served %d vs %d", servedPer, servedBat)
+	}
+	got, _, batches := batSink.snapshot()
+	if batches != 1 {
+		t.Fatalf("delivered in %d batches, want 1", batches)
+	}
+	if !equalPorts(dstPorts(perSink.pkts), dstPorts(got)) {
+		t.Fatalf("emission order diverged:\nper-packet %v\nbatched    %v",
+			dstPorts(perSink.pkts), dstPorts(got))
+	}
+}
+
+// TestKernelSourceBatchedDelivery: the kernel-channel pump delivers whole
+// batches through the pipeline, preserving frame order.
+func TestKernelSourceBatchedDelivery(t *testing.T) {
+	ch, err := osabs.NewKernelChannel(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	src, err := NewKernelSource(ch, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCap()
+	tail := newBatchSink()
+	if err := c.Insert("src", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("tail", tail); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectPush(c, "src", "out", "tail"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		b, err := packet.BuildUDP4(srcA, dstA, 4000, uint16(i), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		pkts, _, _ := tail.snapshot()
+		if len(pkts) >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d packets", len(pkts), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := src.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	pkts, pushes, batches := tail.snapshot()
+	if len(pkts) != n {
+		t.Fatalf("delivered %d, want %d", len(pkts), n)
+	}
+	if pushes != 0 || batches == 0 {
+		t.Fatalf("pushes=%d batches=%d, want batched delivery only", pushes, batches)
+	}
+	for i, p := range pkts {
+		if p.View().DstPort != uint16(i) {
+			t.Fatalf("frame %d out of order (port %d)", i, p.View().DstPort)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"netkit/core"
 	"netkit/internal/filter"
@@ -20,9 +21,27 @@ type Classifier struct {
 	elementCounters
 	table *filter.Table
 
-	mu    sync.RWMutex
+	mu   sync.Mutex // serialises output-set mutators (control path)
+	outs map[string]*core.Receptacle[IPacketPush]
+	// snap is the data path's copy-on-write view of the output set: one
+	// atomic load per packet (or per batch scan), no locks — the same
+	// discipline receptacles use. Mutators republish it under mu.
+	snap atomic.Pointer[clsOutputs]
+}
+
+// clsOutputs is an immutable output-set snapshot.
+type clsOutputs struct {
 	outs  map[string]*core.Receptacle[IPacketPush]
 	deflt *core.Receptacle[IPacketPush] // optional "default" output
+}
+
+// publishLocked rebuilds the data-path snapshot. Caller holds c.mu.
+func (c *Classifier) publishLocked() {
+	outs := make(map[string]*core.Receptacle[IPacketPush], len(c.outs))
+	for name, r := range c.outs {
+		outs[name] = r
+	}
+	c.snap.Store(&clsOutputs{outs: outs, deflt: outs["default"]})
 }
 
 // NewClassifier creates a classifier with the named output slots. A slot
@@ -37,6 +56,7 @@ func NewClassifier(outputs ...string) (*Classifier, error) {
 		table: filter.NewTable(),
 		outs:  make(map[string]*core.Receptacle[IPacketPush], len(outputs)),
 	}
+	c.publishLocked() // empty snapshot; AddOutput republishes
 	for _, name := range outputs {
 		if err := c.AddOutput(name); err != nil {
 			return nil, err
@@ -60,9 +80,7 @@ func (c *Classifier) AddOutput(name string) error {
 	r := core.NewReceptacle[IPacketPush](IPacketPushID)
 	c.outs[name] = r
 	c.AddReceptacle(name, r)
-	if name == "default" {
-		c.deflt = r
-	}
+	c.publishLocked()
 	return nil
 }
 
@@ -82,18 +100,13 @@ func (c *Classifier) RemoveOutput(name string) error {
 		return err
 	}
 	delete(c.outs, name)
-	if name == "default" {
-		c.deflt = nil
-	}
+	c.publishLocked()
 	return nil
 }
 
 // RegisterFilter implements IClassifier.
 func (c *Classifier) RegisterFilter(spec string, priority int, output string) (uint64, error) {
-	c.mu.RLock()
-	_, ok := c.outs[output]
-	c.mu.RUnlock()
-	if !ok {
+	if _, ok := c.snap.Load().outs[output]; !ok {
 		return 0, fmt.Errorf("router: register_filter to unknown output %q: %w",
 			output, core.ErrNotFound)
 	}
@@ -107,10 +120,9 @@ func (c *Classifier) UnregisterFilter(id uint64) error {
 
 // FilterOutputs implements IClassifier.
 func (c *Classifier) FilterOutputs() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.outs))
-	for n := range c.outs {
+	snap := c.snap.Load()
+	out := make([]string, 0, len(snap.outs))
+	for n := range snap.outs {
 		out = append(out, n)
 	}
 	return out
@@ -122,21 +134,36 @@ func (c *Classifier) Rules() []filter.Rule { return c.table.Rules() }
 // Push implements IPacketPush.
 func (c *Classifier) Push(p *Packet) error {
 	c.in.Add(1)
-	name, matched := c.table.LookupView(p.View())
-	c.mu.RLock()
-	var target *core.Receptacle[IPacketPush]
-	if matched {
-		target = c.outs[name]
-	} else {
-		target = c.deflt
-	}
-	c.mu.RUnlock()
+	target := c.snap.Load().target(c.table, p)
 	if target == nil {
 		c.dropped.Add(1)
 		p.Release()
 		return nil
 	}
 	return c.forward(target, p)
+}
+
+// target resolves the output receptacle for p (nil = drop) against this
+// snapshot.
+func (s *clsOutputs) target(table *filter.Table, p *Packet) *core.Receptacle[IPacketPush] {
+	if name, matched := table.LookupView(p.View()); matched {
+		return s.outs[name]
+	}
+	return s.deflt
+}
+
+// PushBatch implements IPacketPushBatch: each packet is classified
+// individually, then maximal runs routed to the same output are forwarded
+// as sub-batches of the incoming slice (no per-output copying), so
+// per-output arrival order equals the per-packet path's exactly.
+// Unmatched packets with no default output are dropped, as per packet.
+// The output-set snapshot is loaded once for the whole batch.
+func (c *Classifier) PushBatch(batch []*Packet) error {
+	c.in.Add(uint64(len(batch)))
+	snap := c.snap.Load()
+	return c.splitRuns(batch, func(p *Packet) *core.Receptacle[IPacketPush] {
+		return snap.target(c.table, p)
+	})
 }
 
 // Stats implements StatsReporter.

@@ -97,6 +97,18 @@ func (c *Counter) Push(p *Packet) error {
 	return c.forward(c.out, p)
 }
 
+// PushBatch implements IPacketPushBatch: counters are updated once per
+// batch and the batch is forwarded whole.
+func (c *Counter) PushBatch(batch []*Packet) error {
+	c.in.Add(uint64(len(batch)))
+	var bytes uint64
+	for _, p := range batch {
+		bytes += uint64(len(p.Data))
+	}
+	c.bytes.Add(bytes)
+	return c.forwardBatch(c.out, batch)
+}
+
 // Stats implements StatsReporter.
 func (c *Counter) Stats() ElementStats { return c.snapshot() }
 
@@ -124,6 +136,16 @@ func (d *Dropper) Push(p *Packet) error {
 	d.in.Add(1)
 	d.dropped.Add(1)
 	p.Release()
+	return nil
+}
+
+// PushBatch implements IPacketPushBatch.
+func (d *Dropper) PushBatch(batch []*Packet) error {
+	d.in.Add(uint64(len(batch)))
+	d.dropped.Add(uint64(len(batch)))
+	for _, p := range batch {
+		p.Release()
+	}
 	return nil
 }
 
@@ -237,6 +259,26 @@ func (r *ProtoRecogn) Push(p *Packet) error {
 	}
 }
 
+// output returns the receptacle serving p's IP version.
+func (r *ProtoRecogn) output(p *Packet) *core.Receptacle[IPacketPush] {
+	switch packet.Version(p.Data) {
+	case 4:
+		return r.v4
+	case 6:
+		return r.v6
+	default:
+		return r.other
+	}
+}
+
+// PushBatch implements IPacketPushBatch: maximal runs of same-version
+// packets are forwarded as sub-batches (slices of the incoming batch, so
+// splitting allocates nothing), preserving arrival order on every output.
+func (r *ProtoRecogn) PushBatch(batch []*Packet) error {
+	r.in.Add(uint64(len(batch)))
+	return r.splitRuns(batch, r.output)
+}
+
 // Stats implements StatsReporter.
 func (r *ProtoRecogn) Stats() ElementStats { return r.snapshot() }
 
@@ -285,6 +327,27 @@ func (h *IPv4Proc) Push(p *Packet) error {
 	return h.forward(h.out, p)
 }
 
+// PushBatch implements IPacketPushBatch: per-packet header work is done in
+// place and surviving runs are forwarded as sub-batches, so the downstream
+// hand-off cost is paid once per run (once per batch when nothing drops,
+// the common case).
+func (h *IPv4Proc) PushBatch(batch []*Packet) error {
+	h.in.Add(uint64(len(batch)))
+	return h.forwardRuns(h.out, batch, func(p *Packet) bool {
+		if h.validate {
+			if err := packet.ValidateIPv4Checksum(p.Data); err != nil {
+				h.csDrops.Add(1)
+				return false
+			}
+		}
+		if err := packet.DecrementTTL(p.Data); err != nil {
+			h.ttlDrops.Add(1)
+			return false
+		}
+		return true
+	})
+}
+
 // Stats implements StatsReporter.
 func (h *IPv4Proc) Stats() ElementStats { return h.snapshot() }
 
@@ -326,6 +389,18 @@ func (h *IPv6Proc) Push(p *Packet) error {
 	return h.forward(h.out, p)
 }
 
+// PushBatch implements IPacketPushBatch (see IPv4Proc.PushBatch).
+func (h *IPv6Proc) PushBatch(batch []*Packet) error {
+	h.in.Add(uint64(len(batch)))
+	return h.forwardRuns(h.out, batch, func(p *Packet) bool {
+		if err := packet.DecrementHopLimit(p.Data); err != nil {
+			h.hopDrops.Add(1)
+			return false
+		}
+		return true
+	})
+}
+
 // Stats implements StatsReporter.
 func (h *IPv6Proc) Stats() ElementStats { return h.snapshot() }
 
@@ -363,6 +438,14 @@ func (v *ChecksumValidator) Push(p *Packet) error {
 		}
 	}
 	return v.forward(v.out, p)
+}
+
+// PushBatch implements IPacketPushBatch.
+func (v *ChecksumValidator) PushBatch(batch []*Packet) error {
+	v.in.Add(uint64(len(batch)))
+	return v.forwardRuns(v.out, batch, func(p *Packet) bool {
+		return packet.Version(p.Data) != 4 || packet.ValidateIPv4Checksum(p.Data) == nil
+	})
 }
 
 // Stats implements StatsReporter.

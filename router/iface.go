@@ -5,6 +5,31 @@
 // "standard" components the paper mentions — NIC wrappers, kernel-channel
 // wrappers, classifiers, protocol recognisers, IPv4/IPv6 header
 // processors, queues, link schedulers, shapers and counters.
+//
+// # The batched fast path
+//
+// Alongside the per-packet IPacketPush contract, components may implement
+// IPacketPushBatch to amortise the cross-component indirect call over a
+// whole []*Packet batch (DESIGN.md §4). Adoption is incremental: callers
+// hand batches to ForwardBatch, which takes the batch path when the
+// downstream supports it and degrades to per-packet Push otherwise, so
+// batch-aware and per-packet components compose freely on one pipeline.
+//
+// Ownership on the batch path follows two rules:
+//
+//   - Packets: a PushBatch callee takes ownership of every packet in the
+//     batch, exactly as Push does for one packet — it forwards, queues, or
+//     releases each of them.
+//   - Slices: the batch slice (and any sub-slice of it) belongs to the
+//     caller. A callee must not retain it after returning; components that
+//     buffer packets across calls (queues) copy the pointers out. This
+//     lets callers recycle batches through GetBatch/PutBatch, keeping the
+//     steady state allocation-free. The same rule applies one stratum
+//     down to the [][]byte frame batches recycled by internal/buffers.
+//
+// Interception composes with batching: an interceptor chain on a binding
+// wraps a PushBatch crossing once (op "PushBatch", args [batch]), not once
+// per packet — see PacketCount for audit-style per-packet accounting.
 package router
 
 import (
@@ -135,6 +160,34 @@ func (p *pushProxy) Push(pkt *Packet) error {
 	}
 	return out[0].(error)
 }
+
+// PushBatch keeps the batch path alive across an intercepted binding: the
+// whole batch crosses the chain as ONE "PushBatch" operation (args[0] is
+// the []*Packet), so interceptors pay per batch, not per packet. When the
+// proxied target has no batch path the proxy degrades to per-packet "Push"
+// operations, so every packet is observed by the chain exactly once either
+// way.
+func (p *pushProxy) PushBatch(batch []*Packet) error {
+	bt, ok := p.target.(IPacketPushBatch)
+	if !ok {
+		var firstErr error
+		for _, pkt := range batch {
+			if err := p.Push(pkt); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	out := p.around("PushBatch", []any{batch}, func(args []any) []any {
+		return []any{bt.PushBatch(args[0].([]*Packet))}
+	})
+	if out[0] == nil {
+		return nil
+	}
+	return out[0].(error)
+}
+
+var _ IPacketPushBatch = (*pushProxy)(nil)
 
 type pullProxy struct {
 	target IPacketPull

@@ -54,6 +54,33 @@ func (q *FIFOQueue) Push(p *Packet) error {
 	return nil
 }
 
+// PushBatch implements IPacketPushBatch: the whole batch is admitted under
+// one lock acquisition. Packets beyond the remaining capacity are dropped
+// (drop-tail, exactly as the per-packet path would have dropped them). The
+// packet pointers are copied into the ring — the batch slice itself is not
+// retained.
+func (q *FIFOQueue) PushBatch(batch []*Packet) error {
+	q.in.Add(uint64(len(batch)))
+	q.mu.Lock()
+	free := len(q.ring) - q.size
+	take := len(batch)
+	if take > free {
+		take = free
+	}
+	for _, p := range batch[:take] {
+		q.ring[(q.head+q.size)%len(q.ring)] = p
+		q.size++
+	}
+	q.mu.Unlock()
+	if over := batch[take:]; len(over) > 0 {
+		q.dropped.Add(uint64(len(over)))
+		for _, p := range over {
+			p.Release()
+		}
+	}
+	return nil
+}
+
 // Pull implements IPacketPull.
 func (q *FIFOQueue) Pull() (*Packet, error) {
 	q.mu.Lock()
@@ -68,6 +95,39 @@ func (q *FIFOQueue) Pull() (*Packet, error) {
 	q.mu.Unlock()
 	q.out.Add(1)
 	return p, nil
+}
+
+// ringDrain pops up to max packets from a ring buffer into dst (appending,
+// clearing vacated slots) and returns the extended slice plus the updated
+// head, remaining size and count moved. Caller holds the queue lock.
+func ringDrain(ring []*Packet, head, size, max int, dst []*Packet) ([]*Packet, int, int, int) {
+	n := size
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, ring[head])
+		ring[head] = nil
+		head = (head + 1) % len(ring)
+	}
+	return dst, head, size - n, n
+}
+
+// PullBatch moves up to max queued packets into dst (appending) under one
+// lock acquisition and returns the extended slice: the batch-granular way
+// to drain the push/pull boundary for callers that own their service loop.
+// (The LinkScheduler still pulls per packet — its disciplines account
+// bytes per packet — and batches on its egress side via RunOnceBatch.)
+func (q *FIFOQueue) PullBatch(dst []*Packet, max int) []*Packet {
+	if max <= 0 {
+		return dst
+	}
+	q.mu.Lock()
+	var n int
+	dst, q.head, q.size, n = ringDrain(q.ring, q.head, q.size, max, dst)
+	q.mu.Unlock()
+	q.out.Add(uint64(n))
+	return dst
 }
 
 // Len reports the queued packet count.
@@ -159,13 +219,10 @@ func NewREDQueue(cfg REDConfig) (*REDQueue, error) {
 	return q, nil
 }
 
-// Push implements IPacketPush with RED admission.
-func (q *REDQueue) Push(p *Packet) error {
-	q.in.Add(1)
-	q.mu.Lock()
+// admitLocked runs the RED admission decision for one arriving packet and
+// enqueues it when admitted. Caller holds q.mu.
+func (q *REDQueue) admitLocked(p *Packet) (drop, forced bool) {
 	q.avg = (1-q.weight)*q.avg + q.weight*float64(q.size)
-	drop := false
-	forced := false
 	switch {
 	case q.size == len(q.ring) || q.avg >= q.maxTh:
 		drop, forced = true, true
@@ -184,8 +241,20 @@ func (q *REDQueue) Push(p *Packet) error {
 	default:
 		q.count = 0
 	}
+	if !drop {
+		q.ring[(q.head+q.size)%len(q.ring)] = p
+		q.size++
+	}
+	return drop, forced
+}
+
+// Push implements IPacketPush with RED admission.
+func (q *REDQueue) Push(p *Packet) error {
+	q.in.Add(1)
+	q.mu.Lock()
+	drop, forced := q.admitLocked(p)
+	q.mu.Unlock()
 	if drop {
-		q.mu.Unlock()
 		if forced {
 			q.forcedDrops.Add(1)
 		} else {
@@ -193,11 +262,39 @@ func (q *REDQueue) Push(p *Packet) error {
 		}
 		q.dropped.Add(1)
 		p.Release()
-		return nil
 	}
-	q.ring[(q.head+q.size)%len(q.ring)] = p
-	q.size++
+	return nil
+}
+
+// PushBatch implements IPacketPushBatch: the RED decision stays strictly
+// per-packet (the EWMA evolves arrival by arrival, so admission behaviour
+// is identical to the per-packet path), but the whole batch is admitted
+// under one lock acquisition. Dropped packets are released outside the
+// lock.
+func (q *REDQueue) PushBatch(batch []*Packet) error {
+	q.in.Add(uint64(len(batch)))
+	var drops []*Packet
+	var early, forcedN uint64
+	q.mu.Lock()
+	for _, p := range batch {
+		if drop, forced := q.admitLocked(p); drop {
+			if forced {
+				forcedN++
+			} else {
+				early++
+			}
+			drops = append(drops, p)
+		}
+	}
 	q.mu.Unlock()
+	if len(drops) > 0 {
+		q.earlyDrops.Add(early)
+		q.forcedDrops.Add(forcedN)
+		q.dropped.Add(uint64(len(drops)))
+		for _, p := range drops {
+			p.Release()
+		}
+	}
 	return nil
 }
 
@@ -215,6 +312,21 @@ func (q *REDQueue) Pull() (*Packet, error) {
 	q.mu.Unlock()
 	q.out.Add(1)
 	return p, nil
+}
+
+// PullBatch moves up to max queued packets into dst (appending) under one
+// lock acquisition and returns the extended slice (see
+// FIFOQueue.PullBatch).
+func (q *REDQueue) PullBatch(dst []*Packet, max int) []*Packet {
+	if max <= 0 {
+		return dst
+	}
+	q.mu.Lock()
+	var n int
+	dst, q.head, q.size, n = ringDrain(q.ring, q.head, q.size, max, dst)
+	q.mu.Unlock()
+	q.out.Add(uint64(n))
+	return dst
 }
 
 // Len reports the instantaneous queue length.

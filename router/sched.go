@@ -40,9 +40,11 @@ type LinkScheduler struct {
 	out    *core.Receptacle[IPacketPush]
 	policy SchedPolicy
 
-	mu     sync.Mutex
-	inputs []*schedInput
-	next   int
+	mu      sync.Mutex
+	inputs  []*schedInput
+	next    int
+	collect bool      // emit() appends to scratch instead of pushing
+	scratch []*Packet // pending batch, reused across RunOnceBatch calls
 
 	pumpMu sync.Mutex
 	quit   chan struct{}
@@ -163,10 +165,47 @@ func pullFrom(in *schedInput) *Packet {
 	return p
 }
 
-// emit forwards one packet; caller holds s.mu.
+// emit forwards one packet — or, in collect mode, stages it for the
+// RunOnceBatch departure batch; caller holds s.mu.
 func (s *LinkScheduler) emit(p *Packet) bool {
 	s.in.Add(1)
+	if s.collect {
+		s.scratch = append(s.scratch, p)
+		return true
+	}
 	return s.forward(s.out, p) == nil
+}
+
+// RunOnceBatch serves up to maxPkts packets exactly as RunOnce would —
+// same discipline, same emission order — but stages them in a reusable
+// scratch batch and pushes them downstream as one PushBatch, so the
+// egress binding is crossed once per service round instead of once per
+// packet.
+func (s *LinkScheduler) RunOnceBatch(maxPkts int) int {
+	if maxPkts <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collect = true
+	s.scratch = s.scratch[:0]
+	var served int
+	switch s.policy {
+	case PolicyStrict:
+		served = s.runStrict(maxPkts)
+	case PolicyRR:
+		served = s.runRR(maxPkts)
+	default:
+		served = s.runDRR(maxPkts)
+	}
+	s.collect = false
+	if len(s.scratch) > 0 {
+		_ = s.forwardBatch(s.out, s.scratch)
+		for i := range s.scratch {
+			s.scratch[i] = nil // no stale packet refs pinned by the scratch
+		}
+	}
+	return served
 }
 
 func (s *LinkScheduler) runStrict(budget int) int {
@@ -262,7 +301,7 @@ func (s *LinkScheduler) Start(context.Context) error {
 				return
 			default:
 			}
-			if s.RunOnce(64) == 0 {
+			if s.RunOnceBatch(64) == 0 {
 				select {
 				case <-quit:
 					return

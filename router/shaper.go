@@ -45,6 +45,17 @@ func (s *TokenShaper) Push(p *Packet) error {
 	return s.forward(s.out, p)
 }
 
+// PushBatch implements IPacketPushBatch: conformance stays per-packet
+// (token buckets meter bytes), but conforming runs leave as sub-batches so
+// the downstream hand-off is amortised. Under no congestion the whole
+// batch departs in one push.
+func (s *TokenShaper) PushBatch(batch []*Packet) error {
+	s.in.Add(uint64(len(batch)))
+	return s.forwardRuns(s.out, batch, func(p *Packet) bool {
+		return s.bucket.Allow(len(p.Data))
+	})
+}
+
 // Stats implements StatsReporter.
 func (s *TokenShaper) Stats() ElementStats { return s.snapshot() }
 
