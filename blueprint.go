@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"netkit/core"
+	"netkit/router"
 )
 
 // DefaultReceptacle is the receptacle name Pipe assumes, matching the
@@ -86,6 +87,22 @@ func (b *Blueprint) Connect(from, receptacle, to string) *Blueprint {
 		}
 		_, err := c.Bind(from, receptacle, to, recp.Iface())
 		return err
+	})
+}
+
+// Shards declares a sharded data plane under name: n parallel Router CF
+// pipeline replicas built by build, fed by an RSS flow-hash dispatcher so
+// every flow keeps ordering on one replica (router.ShardedCF). The
+// resulting component provides IPacketPush and a DefaultReceptacle "out"
+// where the replicas merge, so it composes with Pipe like any single-lane
+// component: NewBlueprint("r").Shards("fwd", 4, replica).Pipe("fwd", "sink").
+func (b *Blueprint) Shards(name string, n int, build router.ReplicaFactory) *Blueprint {
+	return b.step(fmt.Sprintf("shards %s x%d", name, n), func(c *core.Capsule) error {
+		sc, err := router.NewShardedCF(c, router.ShardConfig{Shards: n}, build)
+		if err != nil {
+			return err
+		}
+		return c.Insert(name, sc)
 	})
 }
 

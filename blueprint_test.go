@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"netkit"
+	"netkit/cf"
 	"netkit/core"
 	"netkit/router"
 )
@@ -139,5 +141,73 @@ func TestBlueprintIntercept(t *testing.T) {
 	}
 	if seen != 4 {
 		t.Fatalf("declared interceptor observed %d calls, want 4", seen)
+	}
+}
+
+// TestBlueprintShards: the Shards verb declares a sharded data plane that
+// composes with Pipe like any single-lane component — Build starts its
+// workers, traffic flows through the replicas to the downstream sink, and
+// the replicas are enumerable through the composite.
+func TestBlueprintShards(t *testing.T) {
+	ctx := context.Background()
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "cnt")
+		if err := fw.Admit(name, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sys, err := netkit.NewBlueprint("sharded-bp").
+		Shards("fwd", 2, replica).
+		Add("sink", router.TypeCounter, nil).
+		Pipe("fwd", "sink").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close(ctx) }()
+
+	sharded, ok := sys.Capsule().Component("fwd")
+	if !ok {
+		t.Fatal("fwd missing")
+	}
+	sc := sharded.(*router.ShardedCF)
+	if sc.Shards() != 2 || len(sc.Replicas()) != 2 {
+		t.Fatalf("shards %d, replicas %v", sc.Shards(), sc.Replicas())
+	}
+	if err := pump(sys.Capsule(), "fwd", 40); err != nil {
+		t.Fatal(err)
+	}
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sc.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := netkit.Service[*router.Counter](sys.Capsule(), "sink", router.IPacketPushID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Stats().In; got != 40 {
+		t.Fatalf("sink saw %d of 40", got)
+	}
+}
+
+// TestBlueprintShardsFailureNamesStep: a failing replica factory surfaces
+// through Build with the shards step named.
+func TestBlueprintShardsFailureNamesStep(t *testing.T) {
+	ctx := context.Background()
+	bad := func(shard int, fw *cf.Framework) (string, error) {
+		return "", errors.New("replica refused")
+	}
+	_, err := netkit.NewBlueprint("sharded-bad").Shards("fwd", 2, bad).Build(ctx)
+	if err == nil {
+		t.Fatal("build succeeded with failing replica factory")
+	}
+	if !strings.Contains(err.Error(), "shards fwd x2") {
+		t.Fatalf("error does not name the shards step: %v", err)
 	}
 }

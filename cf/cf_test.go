@@ -330,3 +330,49 @@ type lifecycleComp struct {
 
 func (l *lifecycleComp) Start(context.Context) error { l.started = true; return nil }
 func (l *lifecycleComp) Stop(context.Context) error  { l.stopped = true; return nil }
+
+// TestCompositeReplicas proves the sharded-composite enumeration: members
+// annotated with AnnotReplica group by replica index, unannotated members
+// (shared infrastructure) stay out of every group.
+func TestCompositeReplicas(t *testing.T) {
+	cap := newCapsule()
+	ctrl := &testController{principal: "ctrl"}
+	comp, err := NewComposite("sharded", cap, nil, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.Replicas(); len(got) != 0 {
+		t.Fatalf("unreplicated composite enumerates %v", got)
+	}
+	for i := 0; i < 2; i++ {
+		for _, part := range []string{"in", "out"} {
+			m := newComp("member")
+			m.SetAnnotation(AnnotReplica, fmt.Sprint(i))
+			name := fmt.Sprintf("s%d/%s", i, part)
+			if err := comp.Inner().Insert(name, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := comp.Inner().Insert("shared", newComp("member")); err != nil {
+		t.Fatal(err)
+	}
+	got := comp.Replicas()
+	if len(got) != 2 {
+		t.Fatalf("replica groups %v, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		idx := fmt.Sprint(i)
+		want := []string{fmt.Sprintf("s%d/in", i), fmt.Sprintf("s%d/out", i)}
+		if len(got[idx]) != 2 || got[idx][0] != want[0] || got[idx][1] != want[1] {
+			t.Fatalf("replica %s = %v, want %v", idx, got[idx], want)
+		}
+	}
+	for _, names := range got {
+		for _, n := range names {
+			if n == "shared" {
+				t.Fatal("unannotated member enumerated as a replica constituent")
+			}
+		}
+	}
+}

@@ -3,9 +3,16 @@ package cf
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"netkit/core"
 )
+
+// AnnotReplica marks an inner constituent as belonging to one replica of a
+// replicated (sharded) composite. The value is the replica index as a
+// decimal string; Replicas groups members by it. Constituents without the
+// annotation are shared infrastructure, not part of any replica.
+const AnnotReplica = "netkit.cf.replica"
 
 // Controller manages and configures the internal constituents of a
 // composite component (Figure 3's "controller" box). Configure wires the
@@ -71,6 +78,29 @@ func (c *Composite) Configure() error {
 		return fmt.Errorf("cf: composite %q configure: %w", c.TypeName(), err)
 	}
 	return c.framework.RecheckAll()
+}
+
+// Replicas enumerates the composite's replicated structure through the
+// architecture meta-space: inner constituents are grouped by their
+// AnnotReplica annotation, keyed by replica index value, each group sorted
+// by name. Composites that are not replicated return an empty map. This is
+// how a sharded data plane stays inspectable as one CF — the meta-space
+// sees the shards without knowing how the composite schedules them.
+func (c *Composite) Replicas() map[string][]string {
+	out := make(map[string][]string)
+	for _, name := range c.inner.ComponentNames() {
+		comp, ok := c.inner.Component(name)
+		if !ok {
+			continue
+		}
+		if idx, ok := comp.Annotations()[AnnotReplica]; ok {
+			out[idx] = append(out[idx], name)
+		}
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
 }
 
 // Export re-exports an interface provided by an inner member on the

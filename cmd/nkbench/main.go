@@ -1,4 +1,4 @@
-// Command nkbench runs the NETKIT experiment suite E1–E11 (see DESIGN.md
+// Command nkbench runs the NETKIT experiment suite E1–E12 (see DESIGN.md
 // §3 for the claim-to-experiment mapping) and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -8,6 +8,7 @@
 //	nkbench -run E1,E4      # selected experiments
 //	nkbench -json           # machine-readable results on stdout
 //	nkbench -batch 1,8,32   # batch sizes the E11 sweep drives
+//	nkbench -shards 1,2,4   # shard counts the E12 sweep drives
 //
 // With -json the human tables are suppressed and a single JSON document
 // is printed instead: an envelope identifying the host plus one metric
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"netkit/cf"
 	"netkit/core"
 	"netkit/internal/appsvc"
 	"netkit/internal/baseline"
@@ -41,9 +44,10 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment list (E1..E11) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E12) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
+	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts driven by E12")
 	flag.Parse()
 	for _, s := range strings.Split(*batchList, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -53,15 +57,23 @@ func main() {
 		}
 		batchSizes = append(batchSizes, v)
 	}
+	for _, s := range strings.Split(*shardList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "nkbench: bad shard count %q\n", s)
+			os.Exit(1)
+		}
+		shardCounts = append(shardCounts, v)
+	}
 	experiments := map[string]func(){
 		"E1": e1CallOverhead, "E2": e2Footprint, "E3": e3Forwarding,
 		"E4": e4Reconfigure, "E5": e5Classifier, "E6": e6OutOfProc,
 		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
-		"E11": e11Batched,
+		"E11": e11Batched, "E12": e12Sharded,
 	}
 	var names []string
 	if *runList == "all" {
-		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	} else {
 		names = strings.Split(*runList, ",")
 	}
@@ -115,10 +127,11 @@ type jsonDoc struct {
 }
 
 var (
-	jsonOut    bool
-	curExp     string
-	metrics    []Metric
-	batchSizes []int // -batch flag; E11's sweep
+	jsonOut     bool
+	curExp      string
+	metrics     []Metric
+	batchSizes  []int // -batch flag; E11's sweep
+	shardCounts []int // -shards flag; E12's sweep
 )
 
 // printf writes a human-readable table line, suppressed under -json.
@@ -723,6 +736,106 @@ func e11Batched() {
 		kpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
 		printf("batch=%-8d %14.0f kpps  (x%.2f)\n", k, kpps, kpps/perKpps)
 		record("batch_forwarding", kpps, "kpps", map[string]string{"batch": fmt.Sprint(k)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e12Sharded() {
+	header("E12", "sharded multi-core scale-out: RSS flow dispatch over parallel Router CF replicas (DESIGN.md §4.5)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 12, Flows: 64, UDPShare: 100})
+	must(err)
+	const nPool = 1024
+	pkts := make([]*router.Packet, nPool)
+	for i := range pkts {
+		raw, err := gen.NextFixed(64)
+		must(err)
+		pkts[i] = router.NewPacket(raw)
+	}
+	// Per-shard replica: two checksum validations plus a counter — enough
+	// read-only per-packet work for parallel replicas to matter.
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		names := []string{
+			router.ShardName(shard, "val1"),
+			router.ShardName(shard, "val2"),
+			router.ShardName(shard, "cnt"),
+		}
+		comps := []core.Component{
+			router.NewChecksumValidator(), router.NewChecksumValidator(), router.NewCounter(),
+		}
+		for i, n := range names {
+			if err := fw.Admit(n, comps[i]); err != nil {
+				return "", err
+			}
+		}
+		chain := append(names, router.ShardName(shard, "egress"))
+		for i := 0; i+1 < len(chain); i++ {
+			if _, err := fw.Capsule().Bind(chain[i], "out", chain[i+1], router.IPacketPushID); err != nil {
+				return "", err
+			}
+		}
+		return names[0], nil
+	}
+	const total = 200_000
+	printf("host CPUs: %d (near-linear scaling needs >= the shard count)\n", runtime.NumCPU())
+	type e12Point struct {
+		n    int
+		kpps float64
+	}
+	var points []e12Point
+	for _, n := range shardCounts {
+		capsule := core.NewCapsule("e12")
+		s, err := router.NewShardedCF(capsule, router.ShardConfig{Shards: n}, replica)
+		must(err)
+		must(capsule.Insert("fwd", s))
+		must(capsule.Insert("drop", router.NewDropper()))
+		_, err = router.ConnectPush(capsule, "fwd", "out", "drop")
+		must(err)
+		ctx := context.Background()
+		must(capsule.StartAll(ctx))
+		drive := func(count int) time.Duration {
+			start := time.Now()
+			sent := 0
+			for sent < count {
+				lo := sent % nPool
+				hi := lo + 32
+				if hi > nPool {
+					hi = nPool
+				}
+				if hi-lo > count-sent {
+					hi = lo + (count - sent)
+				}
+				must(s.PushBatch(pkts[lo:hi]))
+				sent += hi - lo
+			}
+			qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			must(s.Quiesce(qctx))
+			return time.Since(start)
+		}
+		drive(total / 4) // warm-up
+		elapsed := drive(total)
+		must(capsule.StopAll(ctx))
+		kpps := float64(total) / elapsed.Seconds() / 1e3
+		points = append(points, e12Point{n: n, kpps: kpps})
+		record("sharded_forwarding", kpps, "kpps", map[string]string{
+			"shards": fmt.Sprint(n), "batch": "32", "cpus": fmt.Sprint(runtime.NumCPU()),
+		})
+	}
+	// The speedup column is anchored to the shards=1 point regardless of
+	// sweep order (falling back to the first point when 1 isn't swept),
+	// so "x at 4 shards" always means "vs one shard".
+	base := points[0].kpps
+	baseN := points[0].n
+	for _, p := range points {
+		if p.n == 1 {
+			base, baseN = p.kpps, 1
+			break
+		}
+	}
+	printf("%-10s %14s %16s\n", "shards", "kpps", fmt.Sprintf("vs shards=%d", baseN))
+	for _, p := range points {
+		printf("%-10d %14.0f %15.2fx\n", p.n, p.kpps, p.kpps/base)
 	}
 }
 

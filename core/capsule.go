@@ -346,6 +346,61 @@ func (c *Capsule) Unbind(id BindingID) error {
 	return nil
 }
 
+// AddInterceptorAll installs ic on every listed binding, all-or-nothing:
+// the bindings are resolved up front (a missing ID fails the whole call
+// before any chain is touched) and a failed install rolls the interceptor
+// back off the bindings it already reached. It is the primitive behind
+// sharded interception — a data plane replicated over N parallel pipelines
+// installs one audit/gate on all N replica bindings and can never be left
+// observing some replicas but not others. Each individual chain swap is
+// atomic with respect to traffic on its binding; crossings on different
+// bindings while the loop runs see the interceptor appear in ID order.
+func (c *Capsule) AddInterceptorAll(ids []BindingID, ic Interceptor) error {
+	c.mu.RLock()
+	bs := make([]*Binding, 0, len(ids))
+	for _, id := range ids {
+		b, ok := c.bindings[id]
+		if !ok {
+			c.mu.RUnlock()
+			return fmt.Errorf("core: binding #%d: %w", id, ErrNotFound)
+		}
+		bs = append(bs, b)
+	}
+	c.mu.RUnlock()
+	for i, b := range bs {
+		if err := b.AddInterceptor(ic); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = bs[j].RemoveInterceptor(ic.Name)
+			}
+			return fmt.Errorf("core: intercept-all at #%d: %w", b.ID(), err)
+		}
+	}
+	return nil
+}
+
+// RemoveInterceptorAll removes the named interceptor from every listed
+// binding. All removals are attempted; the first error is returned.
+func (c *Capsule) RemoveInterceptorAll(ids []BindingID, name string) error {
+	c.mu.RLock()
+	bs := make([]*Binding, 0, len(ids))
+	for _, id := range ids {
+		b, ok := c.bindings[id]
+		if !ok {
+			c.mu.RUnlock()
+			return fmt.Errorf("core: binding #%d: %w", id, ErrNotFound)
+		}
+		bs = append(bs, b)
+	}
+	c.mu.RUnlock()
+	var firstErr error
+	for _, b := range bs {
+		if err := b.RemoveInterceptor(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Binding returns the binding with the given ID.
 func (c *Capsule) Binding(id BindingID) (*Binding, bool) {
 	c.mu.RLock()

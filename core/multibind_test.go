@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// wireN inserts n source/sink pairs and returns their bindings.
+func wireN(t *testing.T, c *Capsule, n int) ([]*sourceImpl, []*Binding) {
+	t.Helper()
+	srcs := make([]*sourceImpl, n)
+	ids := make([]*Binding, n)
+	for i := 0; i < n; i++ {
+		src, snk := newSource(), newSink()
+		sname := "src" + string(rune('0'+i))
+		kname := "snk" + string(rune('0'+i))
+		if err := c.Insert(sname, src); err != nil {
+			t.Fatalf("insert %s: %v", sname, err)
+		}
+		if err := c.Insert(kname, snk); err != nil {
+			t.Fatalf("insert %s: %v", kname, err)
+		}
+		b, err := c.Bind(sname, "out", kname, ifSink)
+		if err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+		srcs[i] = src
+		ids[i] = b
+	}
+	return srcs, ids
+}
+
+func bindingIDs(bs []*Binding) []BindingID {
+	ids := make([]BindingID, len(bs))
+	for i, b := range bs {
+		ids[i] = b.ID()
+	}
+	return ids
+}
+
+func TestAddInterceptorAllInstallsEverywhere(t *testing.T) {
+	c := newTestCapsule(t)
+	srcs, bs := wireN(t, c, 3)
+	var calls atomic.Int64
+	ic := Interceptor{Name: "count", Wrap: PrePost(func(string, []any) {
+		calls.Add(1)
+	}, nil)}
+	if err := c.AddInterceptorAll(bindingIDs(bs), ic); err != nil {
+		t.Fatalf("AddInterceptorAll: %v", err)
+	}
+	for i, src := range srcs {
+		tgt, ok := src.out.Get()
+		if !ok {
+			t.Fatalf("src %d unbound", i)
+		}
+		tgt.Consume(1)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("interceptor saw %d calls, want 3", got)
+	}
+	for i, b := range bs {
+		if names := b.Interceptors(); len(names) != 1 || names[0] != "count" {
+			t.Fatalf("binding %d chain %v, want [count]", i, names)
+		}
+	}
+	if err := c.RemoveInterceptorAll(bindingIDs(bs), "count"); err != nil {
+		t.Fatalf("RemoveInterceptorAll: %v", err)
+	}
+	for i, b := range bs {
+		if names := b.Interceptors(); len(names) != 0 {
+			t.Fatalf("binding %d still has chain %v", i, names)
+		}
+	}
+}
+
+// TestAddInterceptorAllRollsBack pre-installs a colliding interceptor on
+// the middle binding: the all-bindings install must fail and leave the
+// other bindings exactly as they were.
+func TestAddInterceptorAllRollsBack(t *testing.T) {
+	c := newTestCapsule(t)
+	_, bs := wireN(t, c, 3)
+	noop := PrePost(nil, nil)
+	if err := bs[1].AddInterceptor(Interceptor{Name: "clash", Wrap: noop}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.AddInterceptorAll(bindingIDs(bs), Interceptor{Name: "clash", Wrap: noop})
+	if !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("want ErrAlreadyExists, got %v", err)
+	}
+	if names := bs[0].Interceptors(); len(names) != 0 {
+		t.Fatalf("binding 0 not rolled back: %v", names)
+	}
+	if names := bs[2].Interceptors(); len(names) != 0 {
+		t.Fatalf("binding 2 touched: %v", names)
+	}
+	if names := bs[1].Interceptors(); len(names) != 1 || names[0] != "clash" {
+		t.Fatalf("binding 1 pre-installed chain lost: %v", names)
+	}
+}
+
+func TestAddInterceptorAllMissingBinding(t *testing.T) {
+	c := newTestCapsule(t)
+	_, bs := wireN(t, c, 2)
+	ids := append(bindingIDs(bs), BindingID(999))
+	err := c.AddInterceptorAll(ids, Interceptor{Name: "x", Wrap: PrePost(nil, nil)})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	for i, b := range bs {
+		if names := b.Interceptors(); len(names) != 0 {
+			t.Fatalf("binding %d touched before resolution failure: %v", i, names)
+		}
+	}
+	if err := c.RemoveInterceptorAll(ids, "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove-all with bad id: want ErrNotFound, got %v", err)
+	}
+}

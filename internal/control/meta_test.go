@@ -3,9 +3,13 @@ package control
 // Tests for the control verbs that dispatch onto the unified meta-space.
 
 import (
+	"context"
+	"net"
 	"net/netip"
 	"testing"
+	"time"
 
+	"netkit/cf"
 	"netkit/core"
 	"netkit/packet"
 	"netkit/router"
@@ -141,5 +145,142 @@ func TestMetaTasksVerb(t *testing.T) {
 	}
 	if len(tasks) != 0 {
 		t.Fatalf("tasks = %v on a fresh capsule", tasks)
+	}
+}
+
+// TestMetaShardedAuditVerbs runs the control protocol against a sharded
+// data plane: the server wraps the ShardedCF's inner framework, the
+// intercept/audit/unintercept verbs address each replica's ingress
+// binding, and the per-shard audit counts must sum to exactly the packets
+// pushed through the sharded dispatcher (batched or not, via PacketCount).
+func TestMetaShardedAuditVerbs(t *testing.T) {
+	outer := core.NewCapsule("sharded-ctl")
+	const shards = 3
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "cnt")
+		if err := fw.Admit(name, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sharded, err := router.NewShardedCF(outer, router.ShardConfig{Shards: shards}, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := router.NewDropper()
+	if err := outer.Insert("fwd", sharded); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Insert("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.ConnectPush(outer, "fwd", "out", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := outer.StartAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = outer.StopAll(ctx) })
+
+	srv := NewServer(sharded.Framework())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = srv.Close()
+	})
+
+	// intercept every replica's ingress binding.
+	for i := 0; i < shards; i++ {
+		if err := client.Do(&Request{Op: "intercept",
+			Component: router.ShardName(i, "ingress"), Receptacle: "out"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drive traffic across many flows through the sharded dispatcher, in
+	// batches so the audits count through PushBatch crossings.
+	const total = 640
+	batch := make([]*router.Packet, 0, 16)
+	for i := 0; i < total; i++ {
+		raw, err := packet.BuildUDP4(
+			netip.AddrFrom4([4]byte{10, 1, 0, byte(i % 32)}),
+			netip.MustParseAddr("10.0.0.2"), 9000, 53, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, router.NewPacket(raw))
+		if len(batch) == 16 {
+			if err := sharded.PushBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sharded.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// audit: the per-shard counts must sum to the dispatched total.
+	var sum, busy uint64
+	for i := 0; i < shards; i++ {
+		var data AuditData
+		if err := client.Do(&Request{Op: "audit",
+			Component: router.ShardName(i, "ingress"), Receptacle: "out"}, &data); err != nil {
+			t.Fatal(err)
+		}
+		if data.Calls != sharded.ShardStats(i).In {
+			t.Fatalf("shard %d: audit %d != ShardStats.In %d",
+				i, data.Calls, sharded.ShardStats(i).In)
+		}
+		sum += data.Calls
+		if data.Calls > 0 {
+			busy++
+		}
+	}
+	if sum != total {
+		t.Fatalf("per-shard audit sum %d, want %d", sum, total)
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards audited traffic across 32 flows", busy)
+	}
+
+	// unintercept returns each final count; the sum must still conserve.
+	var final uint64
+	for i := 0; i < shards; i++ {
+		var data AuditData
+		if err := client.Do(&Request{Op: "unintercept",
+			Component: router.ShardName(i, "ingress"), Receptacle: "out"}, &data); err != nil {
+			t.Fatal(err)
+		}
+		final += data.Calls
+	}
+	if final != total {
+		t.Fatalf("unintercept counts sum %d, want %d", final, total)
+	}
+	// Chains are re-fused: the chain verb reports empty on every replica.
+	for i := 0; i < shards; i++ {
+		var chain []string
+		if err := client.Do(&Request{Op: "chain",
+			Component: router.ShardName(i, "ingress"), Receptacle: "out"}, &chain); err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != 0 {
+			t.Fatalf("shard %d chain %v after unintercept", i, chain)
+		}
 	}
 }

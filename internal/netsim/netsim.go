@@ -95,6 +95,26 @@ func (n *Node) Register(proto byte, h Handler) {
 	n.handlers[proto] = h
 }
 
+// RegisterQueues installs a multi-queue receive path for a protocol tag:
+// the netsim analogue of a multi-queue NIC with RSS. Each delivered frame
+// is routed to queues[hash(from, payload) % len(queues)], so frames that
+// hash alike (one flow, under a flow hash) always land on the same queue
+// and keep their arrival order — the property a sharded data plane needs
+// from its ingress. It replaces any previous handler for proto.
+func (n *Node) RegisterQueues(proto byte, hash func(from string, payload []byte) uint32, queues ...Handler) error {
+	if len(queues) == 0 {
+		return fmt.Errorf("netsim: %s: RegisterQueues needs >=1 queue", n.name)
+	}
+	if hash == nil {
+		return fmt.Errorf("netsim: %s: RegisterQueues needs a hash", n.name)
+	}
+	qs := append([]Handler(nil), queues...)
+	n.Register(proto, func(from string, payload []byte) {
+		qs[int(hash(from, payload)%uint32(len(qs)))](from, payload)
+	})
+	return nil
+}
+
 // Neighbors returns adjacent node names, sorted.
 func (n *Node) Neighbors() []string {
 	n.mu.RLock()
@@ -109,6 +129,8 @@ func (n *Node) Neighbors() []string {
 
 // Send transmits a frame to a directly connected neighbour.
 func (n *Node) Send(neighbor string, proto byte, payload []byte) error {
+	n.net.opMu.RLock()
+	defer n.net.opMu.RUnlock()
 	if n.net.stopped.Load() {
 		return ErrStopped
 	}
@@ -144,6 +166,8 @@ func (n *Node) Send(neighbor string, proto byte, payload []byte) error {
 // delivery order at the receiver is the same, only the per-frame overhead
 // differs. The payloads slice is not retained.
 func (n *Node) SendBatch(neighbor string, proto byte, payloads [][]byte) error {
+	n.net.opMu.RLock()
+	defer n.net.opMu.RUnlock()
 	if n.net.stopped.Load() {
 		return ErrStopped
 	}
@@ -190,6 +214,12 @@ type Network struct {
 	dirs    []*direction
 	wg      sync.WaitGroup
 	stopped atomic.Bool
+
+	// opMu fences frame injection against Stop: senders hold the read
+	// side for the duration of one Send/SendBatch, Stop takes the write
+	// side before closing direction channels, so a send never races a
+	// close (found by the -race CI job).
+	opMu sync.RWMutex
 }
 
 // NewNetwork returns an empty network.
@@ -267,6 +297,11 @@ func (w *Network) Connect(a, b string, cfg LinkConfig) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.stopped.Load() {
+		// Re-checked under the lock Stop closes channels under, so a
+		// racing Connect cannot start pumps Stop will never join.
+		return ErrStopped
+	}
 	if _, dup := na.peers[b]; dup {
 		return fmt.Errorf("netsim: link %s-%s: %w", a, b, ErrNodeExists)
 	}
@@ -339,7 +374,12 @@ func (w *Network) LinkStats(a, b string) (sent, dropped uint64, err error) {
 // Stop closes all pumps and waits for them. The network is unusable
 // afterwards.
 func (w *Network) Stop() {
+	// The write side of opMu waits out every in-flight Send/SendBatch and
+	// blocks new ones behind the stopped flag, making the channel closes
+	// below safe against concurrent senders.
+	w.opMu.Lock()
 	if w.stopped.Swap(true) {
+		w.opMu.Unlock()
 		return
 	}
 	w.mu.Lock()
@@ -347,6 +387,7 @@ func (w *Network) Stop() {
 		close(d.ch)
 	}
 	w.mu.Unlock()
+	w.opMu.Unlock()
 	w.wg.Wait()
 }
 

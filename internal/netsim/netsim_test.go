@@ -386,3 +386,104 @@ func TestSendBatchOrderingMatchesSend(t *testing.T) {
 		t.Fatalf("link stats diverged: sent %d/%d drops %d/%d", sentAB, sentCD, dropsAB, dropsCD)
 	}
 }
+
+func TestRegisterQueuesValidation(t *testing.T) {
+	w := mkNet(t, "a")
+	n, _ := w.Node("a")
+	if err := n.RegisterQueues(1, func(string, []byte) uint32 { return 0 }); err == nil {
+		t.Fatal("no queues accepted")
+	}
+	if err := n.RegisterQueues(1, nil, func(string, []byte) {}); err == nil {
+		t.Fatal("nil hash accepted")
+	}
+}
+
+// TestRegisterQueuesDemux proves the multi-queue receive path: frames are
+// routed to queues by hash, same-hash frames stay on one queue in arrival
+// order, and different hashes spread across queues.
+func TestRegisterQueuesDemux(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	nb, _ := w.Node("b")
+
+	queues := make([]*collector, 3)
+	handlers := make([]Handler, 3)
+	for i := range queues {
+		queues[i] = newCollector()
+		handlers[i] = queues[i].handler
+	}
+	// Hash on the first payload byte: the test's stand-in flow key.
+	if err := nb.RegisterQueues(7, func(_ string, p []byte) uint32 {
+		return uint32(p[0])
+	}, handlers...); err != nil {
+		t.Fatal(err)
+	}
+
+	const perFlow = 20
+	for seq := 0; seq < perFlow; seq++ {
+		for flow := byte(0); flow < 9; flow++ {
+			if err := na.Send("b", 7, []byte{flow, byte(seq)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := make([]int, 3)
+	for flow := byte(0); flow < 9; flow++ {
+		want[int(flow)%3] += perFlow
+	}
+	for i, c := range queues {
+		c.wait(t, want[i])
+	}
+	for i, c := range queues {
+		c.mu.Lock()
+		perFlowSeq := make(map[byte]byte)
+		for _, f := range c.frames {
+			payload := f[len("a:"):]
+			flow, seq := payload[0], payload[1]
+			if int(flow)%3 != i {
+				t.Errorf("queue %d received flow %d", i, flow)
+			}
+			if seq != perFlowSeq[flow] {
+				t.Errorf("queue %d flow %d: seq %d, want %d", i, flow, seq, perFlowSeq[flow])
+			}
+			perFlowSeq[flow]++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// TestStopRacesSend drives Stop concurrently with a storm of senders; under
+// -race this guards the opMu fence between frame injection and channel
+// close.
+func TestStopRacesSend(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	if err := w.Connect("a", "b", LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				if err := na.Send("b", 1, []byte{1}); errors.Is(err, ErrStopped) {
+					return
+				}
+				if j%100 == 0 {
+					_ = na.SendBatch("b", 1, [][]byte{{2}, {3}})
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	w.Stop()
+	wg.Wait()
+	if err := na.Send("b", 1, []byte{1}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("send after stop: %v", err)
+	}
+}

@@ -161,6 +161,73 @@ func (n *NIC) Stats() NICStats {
 	}
 }
 
+// MultiQueueNIC models a multi-queue device with receive-side scaling:
+// N independent RX/TX queue pairs under one device name, each queue an
+// ordinary NIC so the strata above wrap queues exactly like single-queue
+// devices (one NICSource per queue feeds one pipeline replica). The wire
+// side steers frames with InjectRSS, which — like hardware RSS — applies a
+// caller-supplied flow hash so one flow always lands on one queue and
+// keeps its arrival order there.
+type MultiQueueNIC struct {
+	name   string
+	queues []*NIC
+}
+
+// NewMultiQueueNIC creates a device with the given queue count and
+// per-queue ring depths. Queues are named "<name>:q<i>".
+func NewMultiQueueNIC(name string, queues, rxDepth, txDepth int) (*MultiQueueNIC, error) {
+	if queues < 1 {
+		return nil, fmt.Errorf("osabs: NIC %q needs >=1 queue, got %d", name, queues)
+	}
+	m := &MultiQueueNIC{name: name, queues: make([]*NIC, queues)}
+	for i := range m.queues {
+		q, err := NewNIC(fmt.Sprintf("%s:q%d", name, i), rxDepth, txDepth)
+		if err != nil {
+			return nil, err
+		}
+		m.queues[i] = q
+	}
+	return m, nil
+}
+
+// Name returns the device name.
+func (m *MultiQueueNIC) Name() string { return m.name }
+
+// Queues returns the queue count.
+func (m *MultiQueueNIC) Queues() int { return len(m.queues) }
+
+// Queue returns queue i as an ordinary NIC.
+func (m *MultiQueueNIC) Queue(i int) *NIC { return m.queues[i] }
+
+// InjectRSS delivers a frame to the queue selected by hash%queues — the
+// simulated wire side of receive-side scaling. Overflow semantics are the
+// selected queue's (a full ring drops and returns ErrOverflow).
+func (m *MultiQueueNIC) InjectRSS(frame []byte, hash uint32) error {
+	return m.queues[int(hash%uint32(len(m.queues)))].Inject(frame)
+}
+
+// Close shuts every queue.
+func (m *MultiQueueNIC) Close() {
+	for _, q := range m.queues {
+		q.Close()
+	}
+}
+
+// Stats aggregates the per-queue counters.
+func (m *MultiQueueNIC) Stats() NICStats {
+	var agg NICStats
+	for _, q := range m.queues {
+		st := q.Stats()
+		agg.RxFrames += st.RxFrames
+		agg.TxFrames += st.TxFrames
+		agg.RxDrops += st.RxDrops
+		agg.TxDrops += st.TxDrops
+		agg.RxBytes += st.RxBytes
+		agg.TxBytes += st.TxBytes
+	}
+	return agg
+}
+
 // KernelChannel models the "efficient kernel-user space communication
 // mechanisms" the Router CF's standard components wrap (§5): a bounded
 // SPSC-style frame queue with batch dequeue to amortise crossing costs.

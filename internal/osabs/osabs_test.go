@@ -171,3 +171,83 @@ func TestKernelChannel(t *testing.T) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 }
+
+func TestMultiQueueNICValidation(t *testing.T) {
+	if _, err := NewMultiQueueNIC("mq", 0, 8, 8); err == nil {
+		t.Fatal("zero queues accepted")
+	}
+	if _, err := NewMultiQueueNIC("mq", 2, 0, 8); err == nil {
+		t.Fatal("zero ring depth accepted")
+	}
+}
+
+// TestMultiQueueNICRSSSteering proves the multi-queue receive path: frames
+// steered by hash land on hash%queues, same-hash frames keep arrival order
+// on their queue, and Stats aggregates all queues.
+func TestMultiQueueNICRSSSteering(t *testing.T) {
+	m, err := NewMultiQueueNIC("mq", 3, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Queues() != 3 {
+		t.Fatalf("queues = %d", m.Queues())
+	}
+	const perFlow = 10
+	for seq := byte(0); seq < perFlow; seq++ {
+		for flow := uint32(0); flow < 7; flow++ {
+			if err := m.InjectRSS([]byte{byte(flow), seq}, flow); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := 0
+	for q := 0; q < 3; q++ {
+		seen := map[byte]byte{}
+		for {
+			f, err := m.Queue(q).Recv()
+			if errors.Is(err, ErrEmpty) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			flow, seq := f[0], f[1]
+			if int(flow)%3 != q {
+				t.Fatalf("flow %d on queue %d", flow, q)
+			}
+			if seq != seen[flow] {
+				t.Fatalf("queue %d flow %d: seq %d, want %d", q, flow, seq, seen[flow])
+			}
+			seen[flow]++
+		}
+	}
+	if total != 7*perFlow {
+		t.Fatalf("received %d frames, want %d", total, 7*perFlow)
+	}
+	if st := m.Stats(); st.RxFrames != 7*perFlow || st.RxDrops != 0 {
+		t.Fatalf("aggregate stats %+v", st)
+	}
+}
+
+func TestMultiQueueNICOverflowIsPerQueue(t *testing.T) {
+	m, err := NewMultiQueueNIC("mq", 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.InjectRSS([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectRSS([]byte{2}, 2); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("queue 0 overflow: %v", err)
+	}
+	// Queue 1 is unaffected by queue 0's full ring.
+	if err := m.InjectRSS([]byte{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.RxFrames != 2 || st.RxDrops != 1 {
+		t.Fatalf("aggregate stats %+v", st)
+	}
+}

@@ -213,6 +213,46 @@ func (ic *InterceptionMeta) Binding(component, receptacle string) (*core.Binding
 	return ic.binding(component, receptacle)
 }
 
+// Endpoint is the client-side address of one binding: the component whose
+// receptacle roots it.
+type Endpoint struct {
+	Component  string
+	Receptacle string
+}
+
+// InstallAll appends the named Around to the interceptor chain of EVERY
+// listed endpoint's binding, all-or-nothing: endpoints are resolved before
+// any chain is touched, and a failed install rolls the interceptor back
+// off the bindings it already reached. This is the interception verb for
+// replicated (sharded) structures — an audit installed on all replicas
+// either observes every shard or none. The same Around value runs on each
+// binding, so an accumulating hook aggregates across endpoints naturally.
+func (ic *InterceptionMeta) InstallAll(endpoints []Endpoint, name string, around core.Around) error {
+	ids := make([]core.BindingID, len(endpoints))
+	for i, ep := range endpoints {
+		b, err := ic.binding(ep.Component, ep.Receptacle)
+		if err != nil {
+			return err
+		}
+		ids[i] = b.ID()
+	}
+	return ic.capsule.AddInterceptorAll(ids, core.Interceptor{Name: name, Wrap: around})
+}
+
+// RemoveAll removes the named interceptor from every listed endpoint's
+// binding. All removals are attempted; the first error is returned.
+func (ic *InterceptionMeta) RemoveAll(endpoints []Endpoint, name string) error {
+	ids := make([]core.BindingID, len(endpoints))
+	for i, ep := range endpoints {
+		b, err := ic.binding(ep.Component, ep.Receptacle)
+		if err != nil {
+			return err
+		}
+		ids[i] = b.ID()
+	}
+	return ic.capsule.RemoveInterceptorAll(ids, name)
+}
+
 // ---------------------------------------------------------------------------
 
 // Around is the interception hook signature, re-exported so facade users

@@ -7,12 +7,15 @@ package netkit_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
 	"testing"
+	"time"
 
 	"netkit"
+	"netkit/cf"
 	"netkit/core"
 	"netkit/packet"
 	"netkit/resources"
@@ -269,5 +272,195 @@ func TestMetaResourcesRoundTrip(t *testing.T) {
 	}
 	if got := mgrB.Tasks(); len(got) != 0 {
 		t.Fatalf("manager for closed capsule carries tasks %v", got)
+	}
+}
+
+// shardedPipeline builds a started 3-shard system "fwd" -> "sink" via
+// Blueprint.Shards and returns the system plus the ShardedCF.
+func shardedPipeline(t *testing.T) (*netkit.System, *router.ShardedCF) {
+	t.Helper()
+	ctx := context.Background()
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "cnt")
+		if err := fw.Admit(name, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sys, err := netkit.NewBlueprint("sharded").
+		Shards("fwd", 3, replica).
+		Add("sink", router.TypeDropper, nil).
+		Pipe("fwd", "sink").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close(ctx) })
+	comp, ok := sys.Capsule().Component("fwd")
+	if !ok {
+		t.Fatal("fwd missing")
+	}
+	sharded, ok := comp.(*router.ShardedCF)
+	if !ok {
+		t.Fatalf("fwd has type %T", comp)
+	}
+	return sys, sharded
+}
+
+// shardedFlowPacket builds a packet in one of several distinct flows so
+// the dispatcher exercises every shard.
+func shardedFlowPacket(flow uint32) *router.Packet {
+	raw, err := packet.BuildUDP4(
+		netip.AddrFrom4([4]byte{10, 0, byte(flow >> 8), byte(flow)}),
+		netip.MustParseAddr("10.9.9.9"), 4000, 53, 64, []byte("x"))
+	if err != nil {
+		panic(err)
+	}
+	return router.NewPacket(raw)
+}
+
+// TestMetaShardedInterceptionAggregates is the meta-space consistency
+// check for the sharded data plane: per-shard audits installed through
+// netkit.Meta on each replica's ingress binding, plus ONE aggregate audit
+// installed on all replicas with InstallAll, must satisfy
+// aggregate == sum(per-shard) == packets pushed — the round-trip proof
+// that the meta-space observes a sharded CF as one causally connected
+// component.
+func TestMetaShardedInterceptionAggregates(t *testing.T) {
+	sys, sharded := shardedPipeline(t)
+	inner := sharded.Inner()
+	im := netkit.Meta(inner).Interception()
+
+	const shards = 3
+	endpoints := make([]netkit.Endpoint, shards)
+	perShard := make([]uint64, shards)
+	var perMu sync.Mutex
+	for i := 0; i < shards; i++ {
+		endpoints[i] = netkit.Endpoint{
+			Component: router.ShardName(i, "ingress"), Receptacle: "out",
+		}
+		i := i
+		wrap := netkit.PrePost(func(op string, args []any) {
+			perMu.Lock()
+			perShard[i] += uint64(router.PacketCount(op, args))
+			perMu.Unlock()
+		}, nil)
+		if err := im.Install(endpoints[i].Component, "out", "per-shard", wrap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var agg uint64
+	var aggMu sync.Mutex
+	if err := im.InstallAll(endpoints, "aggregate", netkit.PrePost(func(op string, args []any) {
+		aggMu.Lock()
+		agg += uint64(router.PacketCount(op, args))
+		aggMu.Unlock()
+	}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		chain, err := im.Chain(endpoints[i].Component, "out")
+		if err != nil || len(chain) != 2 || chain[0] != "per-shard" || chain[1] != "aggregate" {
+			t.Fatalf("shard %d chain %v, %v", i, chain, err)
+		}
+	}
+
+	push, err := netkit.Service[router.IPacketPush](sys.Capsule(), "fwd", router.IPacketPushID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 900
+	for i := 0; i < total; i++ {
+		if err := push.Push(shardedFlowPacket(uint32(i % 64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sharded.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	perMu.Lock()
+	var sum uint64
+	busy := 0
+	for _, c := range perShard {
+		sum += c
+		if c > 0 {
+			busy++
+		}
+	}
+	perMu.Unlock()
+	aggMu.Lock()
+	aggTotal := agg
+	aggMu.Unlock()
+	if aggTotal != total || sum != total {
+		t.Fatalf("aggregate %d, per-shard sum %d, want both %d", aggTotal, sum, total)
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards saw traffic across 64 flows", busy)
+	}
+	// The CF's own shard stats agree with the meta-level audits.
+	var statSum uint64
+	for i := 0; i < shards; i++ {
+		statSum += sharded.ShardStats(i).In
+	}
+	if statSum != total {
+		t.Fatalf("ShardStats sum %d != %d", statSum, total)
+	}
+
+	// Round-trip removal: RemoveAll + per-shard Remove empty every chain.
+	if err := im.RemoveAll(endpoints, "aggregate"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		if err := im.Remove(endpoints[i].Component, "out", "per-shard"); err != nil {
+			t.Fatal(err)
+		}
+		chain, err := im.Chain(endpoints[i].Component, "out")
+		if err != nil || len(chain) != 0 {
+			t.Fatalf("shard %d chain %v after removal, %v", i, chain, err)
+		}
+	}
+}
+
+// TestMetaShardedInstallAllAtomic: InstallAll against endpoints where one
+// chain already holds the name must fail and leave every chain unchanged
+// (the all-or-nothing contract, observed through the facade).
+func TestMetaShardedInstallAllAtomic(t *testing.T) {
+	_, sharded := shardedPipeline(t)
+	im := netkit.Meta(sharded.Inner()).Interception()
+	endpoints := []netkit.Endpoint{
+		{Component: router.ShardName(0, "ingress"), Receptacle: "out"},
+		{Component: router.ShardName(1, "ingress"), Receptacle: "out"},
+		{Component: router.ShardName(2, "ingress"), Receptacle: "out"},
+	}
+	noop := netkit.PrePost(nil, nil)
+	if err := im.Install(endpoints[1].Component, "out", "clash", noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.InstallAll(endpoints, "clash", noop); !errors.Is(err, core.ErrAlreadyExists) {
+		t.Fatalf("want ErrAlreadyExists, got %v", err)
+	}
+	for i, ep := range endpoints {
+		chain, err := im.Chain(ep.Component, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if i == 1 {
+			want = 1
+		}
+		if len(chain) != want {
+			t.Fatalf("endpoint %d chain %v after failed InstallAll", i, chain)
+		}
+	}
+	bad := append(endpoints, netkit.Endpoint{Component: "nosuch", Receptacle: "out"})
+	if err := im.InstallAll(bad, "x", noop); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("unknown endpoint: %v", err)
 	}
 }

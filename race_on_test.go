@@ -1,0 +1,9 @@
+//go:build race
+
+package netkit
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Performance-asserting tests (TestE12ShardScaling) skip under
+// it: the detector's slowdown and internal synchronisation serialise the
+// shard workers, so a throughput bound would flake on correct code.
+const raceEnabled = true

@@ -1,0 +1,69 @@
+package resources
+
+import (
+	"fmt"
+
+	"netkit/internal/buffers"
+)
+
+// ShardedBufferPool partitions buffer capacity across per-shard pools so
+// the replicas of a sharded data plane never contend on one pool's hot
+// counters and free lists: each replica drains and refills only its own
+// pool, keeping buffer recycling core-local. The resources meta-model
+// still sees one budget — the per-shard live ceilings partition an overall
+// ceiling, and Stats aggregates the shards — so accounting reads exactly
+// like a single pool's.
+type ShardedBufferPool struct {
+	pools []*buffers.Pool
+}
+
+// NewShardedBufferPool creates shards independent pools with the given
+// size classes and per-class free-list depth. maxLive caps live buffers
+// across the whole set (0 = unlimited); it is partitioned evenly with the
+// remainder spread over the first shards, so the aggregate ceiling is
+// exactly maxLive.
+func NewShardedBufferPool(shards int, classes []int, depth int, maxLive int64) (*ShardedBufferPool, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("resources: sharded pool needs >=1 shard, got %d", shards)
+	}
+	s := &ShardedBufferPool{pools: make([]*buffers.Pool, shards)}
+	for i := range s.pools {
+		per := int64(0)
+		if maxLive > 0 {
+			per = maxLive / int64(shards)
+			if int64(i) < maxLive%int64(shards) {
+				per++
+			}
+			if per == 0 {
+				return nil, fmt.Errorf("resources: maxLive %d < %d shards", maxLive, shards)
+			}
+		}
+		p, err := buffers.NewPool(classes, depth, per)
+		if err != nil {
+			return nil, err
+		}
+		s.pools[i] = p
+	}
+	return s, nil
+}
+
+// Shards returns the pool count.
+func (s *ShardedBufferPool) Shards() int { return len(s.pools) }
+
+// Shard returns shard i's private pool; hand it to that shard's replica
+// (its NIC source, its packet-copy path) and to nothing else.
+func (s *ShardedBufferPool) Shard(i int) *buffers.Pool { return s.pools[i] }
+
+// Stats aggregates the per-shard counters into one pool-shaped snapshot.
+func (s *ShardedBufferPool) Stats() buffers.Stats {
+	var agg buffers.Stats
+	for _, p := range s.pools {
+		st := p.Stats()
+		agg.Live += st.Live
+		agg.Gets += st.Gets
+		agg.Puts += st.Puts
+		agg.Misses += st.Misses
+		agg.Failures += st.Failures
+	}
+	return agg
+}

@@ -45,6 +45,18 @@ func (g *Gate) Pause() { g.mu.Lock() }
 // Resume releases the gate.
 func (g *Gate) Resume() { g.mu.Unlock() }
 
+// Do runs fn on the gate's read side: it blocks while the gate is paused
+// and holds Pause off until fn returns. Service loops that are not binding
+// crossings — the ShardedCF's shard workers, custom pumps — wrap each unit
+// of work in Do so that Pause quiesces them at a unit boundary, giving
+// managed reconfiguration a moment when no packet is in flight anywhere in
+// the gated section.
+func (g *Gate) Do(fn func()) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fn()
+}
+
 // HotSwap replaces component oldName with newComp (inserted as newName)
 // without dropping packets:
 //

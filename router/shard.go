@@ -1,0 +1,642 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netkit/cf"
+	"netkit/core"
+)
+
+// This file is the sharded multi-core data plane (DESIGN.md §4.5): an
+// RSS-style dispatcher that flow-hashes incoming traffic across N
+// independent Router CF pipeline replicas, each serviced by its own
+// goroutine behind an SPSC ring of pooled batches, with a batch-aware
+// merge at egress. The reflective twist over a plain RSS fan-out is that
+// the whole arrangement remains ONE component to the meta-space:
+//
+//   - architecture: the replicas live in a cf.Composite's inner capsule,
+//     enumerable via Replicas() and the ordinary Snapshot/Subscribe paths;
+//   - interception: Intercept installs an Around on the same binding of
+//     every replica all-or-nothing (core.Capsule.AddInterceptorAll), so
+//     audits and gates never observe a subset of shards;
+//   - reconfiguration: HotSwap pauses every shard worker at a batch
+//     boundary (router.Gate) and swaps the named component in each
+//     replica with Exportable state migration, lossless under full load.
+//
+// Correctness contract, proven by the race/fuzz/stress tests in
+// shard_test.go and shard_fuzz_test.go: packets of one flow (same RSS
+// hash) are delivered downstream in arrival order, the sharded pipeline
+// delivers exactly the per-flow sequences the equivalent single pipeline
+// would, and no packet is lost across Stop or HotSwap.
+
+// TypeShardedCF is the registered component type of the sharded data
+// plane; TypeShardIngress/TypeShardEgress name its per-replica endpoints.
+const (
+	TypeShardedCF    = "netkit.router.ShardedCF"
+	TypeShardIngress = "netkit.router.ShardIngress"
+	TypeShardEgress  = "netkit.router.ShardEgress"
+)
+
+// ShardName returns the inner-capsule instance name of a replica-scoped
+// component: shard 2's "queue" is "s2/queue".
+func ShardName(shard int, name string) string {
+	return "s" + strconv.Itoa(shard) + "/" + name
+}
+
+// ReplicaFactory builds one pipeline replica inside the sharded CF's inner
+// framework. The per-shard ingress and egress are pre-admitted under
+// ShardName(shard, "ingress") / ShardName(shard, "egress"); the factory
+// admits its own components (names must be scoped with ShardName), wires
+// them, binds the tail of the pipeline to the egress, and returns the name
+// of the entry component the ingress should push into. Replicas must be
+// mutually independent: sharing one stateful component across factories
+// reintroduces exactly the cross-core contention sharding removes.
+type ReplicaFactory func(shard int, fw *cf.Framework) (entry string, err error)
+
+// ShardConfig parameterises a ShardedCF.
+type ShardConfig struct {
+	// Shards is the replica count (required, >= 1).
+	Shards int
+	// RingDepth bounds each shard's SPSC ring in batches (default 256).
+	RingDepth int
+	// Hash overrides the dispatch hash (default FlowHash). It must be a
+	// pure function of the packet's flow identity.
+	Hash func(*Packet) uint32
+	// StrictTrust enables the Router CF's out-of-process isolation rule
+	// on the inner framework.
+	StrictTrust bool
+}
+
+// shard is one replica lane: its ring, worker bookkeeping, quiescence
+// gate, and the ingress/egress endpoints.
+type shard struct {
+	ring    *spscRing
+	prodMu  sync.Mutex // serialises dispatchers so the ring stays SPSC
+	gate    Gate
+	ingress *shardIngress
+	egress  *shardEgress
+
+	inflight atomic.Int64 // packets accepted but not yet through the replica
+	done     chan struct{}
+}
+
+// ShardedCF is the sharded Router CF. It provides IPacketPush (and the
+// batched fast path) on its boundary and exposes one "out" receptacle that
+// every replica's egress merges into; the component downstream of "out" is
+// pushed concurrently by all shard workers and must be safe for concurrent
+// use (all standard components are). Build one with NewShardedCF, insert
+// it into a capsule, and Start it like any other component.
+type ShardedCF struct {
+	*cf.Composite
+	elementCounters
+	out    *core.Receptacle[IPacketPush]
+	shards []*shard
+	hash   func(*Packet) uint32
+
+	mu      sync.Mutex  // serialises Start/Stop/HotSwap
+	started atomic.Bool // read by dispatchers without taking mu
+	quit    chan struct{}
+
+	stage sync.Pool // per-dispatch [][]*Packet scratch, one slot per shard
+}
+
+// NewShardedCF builds a sharded data plane over cfg.Shards replicas, each
+// produced by build. outer supplies the component/interface registries the
+// inner capsule inherits.
+func NewShardedCF(outer *core.Capsule, cfg ShardConfig, build ReplicaFactory) (*ShardedCF, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("router: sharded CF needs >=1 shard, got %d", cfg.Shards)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("router: sharded CF needs a replica factory")
+	}
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = 256
+	}
+	if cfg.Hash == nil {
+		cfg.Hash = FlowHash
+	}
+	ctrl := &shardController{n: cfg.Shards, build: build}
+	comp, err := cf.NewComposite(TypeShardedCF, outer, Rules(cfg.StrictTrust), ctrl)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedCF{
+		Composite: comp,
+		out:       core.NewReceptacle[IPacketPush](IPacketPushID),
+		shards:    make([]*shard, cfg.Shards),
+		hash:      cfg.Hash,
+	}
+	s.stage.New = func() any { return make([][]*Packet, cfg.Shards) }
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			ring:    newSPSCRing(cfg.RingDepth),
+			ingress: newShardIngress(),
+			egress:  newShardEgress(s),
+		}
+	}
+	s.AddReceptacle("out", s.out)
+	s.Provide(IPacketPushID, s)
+	ctrl.s = s
+	// Configure() drives the controller over the inner capsule (building
+	// every replica) and then re-checks the Router CF rules recursively.
+	if err := s.Configure(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardController is the composite's managing controller: it builds the
+// replicas and annotates every constituent with its replica index so the
+// architecture meta-space can enumerate the shards.
+type shardController struct {
+	s     *ShardedCF
+	n     int
+	build ReplicaFactory
+}
+
+// Principal implements cf.Controller.
+func (c *shardController) Principal() string { return "netkit.router.sharded" }
+
+// Configure implements cf.Controller: admit ingress/egress per shard, run
+// the replica factory, wire ingress -> entry, and annotate the replica.
+func (c *shardController) Configure(inner *core.Capsule) error {
+	fw := c.s.Framework()
+	for i := 0; i < c.n; i++ {
+		sh := c.s.shards[i]
+		before := make(map[string]bool)
+		for _, name := range inner.ComponentNames() {
+			before[name] = true
+		}
+		if err := fw.Admit(ShardName(i, "ingress"), sh.ingress); err != nil {
+			return err
+		}
+		if err := fw.Admit(ShardName(i, "egress"), sh.egress); err != nil {
+			return err
+		}
+		entry, err := c.build(i, fw)
+		if err != nil {
+			return fmt.Errorf("router: sharded CF: replica %d: %w", i, err)
+		}
+		if _, err := inner.Bind(ShardName(i, "ingress"), "out", entry, IPacketPushID); err != nil {
+			return fmt.Errorf("router: sharded CF: replica %d entry: %w", i, err)
+		}
+		for _, name := range inner.ComponentNames() {
+			if before[name] {
+				continue
+			}
+			if comp, ok := inner.Component(name); ok {
+				comp.SetAnnotation(cf.AnnotReplica, strconv.Itoa(i))
+			}
+		}
+	}
+	return nil
+}
+
+// Shards returns the replica count.
+func (s *ShardedCF) Shards() int { return len(s.shards) }
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+// Start implements core.Starter: it starts the inner capsule's components
+// and then one worker goroutine per shard.
+func (s *ShardedCF) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started.Load() {
+		return nil
+	}
+	if err := s.Composite.Start(ctx); err != nil {
+		return err
+	}
+	s.quit = make(chan struct{})
+	for _, sh := range s.shards {
+		sh.done = make(chan struct{})
+		go s.worker(sh, s.quit)
+	}
+	s.started.Store(true)
+	return nil
+}
+
+// Stop implements core.Stopper: it stops accepting traffic, waits out
+// in-flight dispatchers, lets every worker drain its ring (no accepted
+// packet is abandoned), joins the workers, and stops the inner capsule.
+func (s *ShardedCF) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started.Load() {
+		return nil
+	}
+	s.started.Store(false)
+	// A dispatcher that observed started==true is inside (or about to
+	// enter) a shard's prodMu section and will complete its enqueue while
+	// the workers still consume; taking every prodMu here waits those
+	// out, so after this loop nothing new enters the rings.
+	for _, sh := range s.shards {
+		sh.prodMu.Lock()
+	}
+	close(s.quit)
+	for _, sh := range s.shards {
+		sh.prodMu.Unlock()
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	return s.Composite.Stop(ctx)
+}
+
+// worker services one shard: batches cross the replica inside the shard's
+// gate so reconfiguration can quiesce the lane at a batch boundary.
+func (s *ShardedCF) worker(sh *shard, quit <-chan struct{}) {
+	defer close(sh.done)
+	process := func(b []*Packet) {
+		sh.gate.Do(func() {
+			_ = sh.ingress.pushBatch(b)
+		})
+		sh.inflight.Add(-int64(len(b)))
+		PutBatch(b)
+	}
+	for {
+		b, ok := sh.ring.tryDequeue()
+		if !ok {
+			select {
+			case <-sh.ring.wake:
+				continue
+			case <-quit:
+				// Drain: everything enqueued before quit closed is still
+				// delivered, so Stop loses nothing.
+				for {
+					b, ok := sh.ring.tryDequeue()
+					if !ok {
+						return
+					}
+					process(b)
+				}
+			}
+		}
+		process(b)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (the RSS fast path)
+
+// Push implements IPacketPush: the packet is flow-hashed onto its shard and
+// crosses as a batch of one. Sustained traffic should arrive via PushBatch.
+func (s *ShardedCF) Push(p *Packet) error {
+	sh := s.shards[int(s.hash(p)%uint32(len(s.shards)))]
+	b := GetBatch()
+	b = append(b, p)
+	if !s.dispatch(sh, b) {
+		s.dropStopped(b)
+		return ErrStopped
+	}
+	s.in.Add(1)
+	return nil
+}
+
+// PushBatch implements IPacketPushBatch: the batch is split by flow hash
+// into per-shard sub-batches (drawn from the batch pool) which enter each
+// shard's ring as single hand-offs. Per-flow arrival order is preserved:
+// one flow hashes to one shard, sub-batches keep slice order, and rings
+// are FIFO. The incoming slice is not retained.
+func (s *ShardedCF) PushBatch(batch []*Packet) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	n := uint32(len(s.shards))
+	if n == 1 {
+		b := GetBatch()
+		b = append(b, batch...)
+		if !s.dispatch(s.shards[0], b) {
+			s.dropStopped(b)
+			return ErrStopped
+		}
+		s.in.Add(uint64(len(batch)))
+		return nil
+	}
+	stage := s.stage.Get().([][]*Packet)
+	for _, p := range batch {
+		i := int(s.hash(p) % n)
+		if stage[i] == nil {
+			stage[i] = GetBatch()
+		}
+		stage[i] = append(stage[i], p)
+	}
+	var firstErr error
+	for i, b := range stage {
+		if b == nil {
+			continue
+		}
+		stage[i] = nil
+		if !s.dispatch(s.shards[i], b) {
+			s.dropStopped(b)
+			firstErr = ErrStopped
+			continue
+		}
+		s.in.Add(uint64(len(b)))
+	}
+	s.stage.Put(stage)
+	return firstErr
+}
+
+// dispatch hands one pooled batch to a shard's ring, blocking for space
+// (back-pressure, never loss) unless the CF is stopped. Ownership of the
+// batch slice passes to the worker on success.
+func (s *ShardedCF) dispatch(sh *shard, b []*Packet) bool {
+	sh.inflight.Add(int64(len(b)))
+	sh.prodMu.Lock()
+	if !s.started.Load() {
+		sh.prodMu.Unlock()
+		sh.inflight.Add(-int64(len(b)))
+		return false
+	}
+	ok := sh.ring.enqueue(b, s.quit)
+	sh.prodMu.Unlock()
+	if !ok {
+		sh.inflight.Add(-int64(len(b)))
+	}
+	return ok
+}
+
+// dropStopped releases and accounts a batch refused by a stopped CF.
+func (s *ShardedCF) dropStopped(b []*Packet) {
+	s.dropped.Add(uint64(len(b)))
+	for _, p := range b {
+		p.Release()
+	}
+	PutBatch(b)
+}
+
+// Quiesce blocks until every packet accepted before the call has been
+// handed INTO its replica (rings empty, workers between batches), or ctx
+// expires. It does not wait for packets buffered inside replica components
+// — a replica containing a queue drained by a scheduler pump may still
+// hold packets when Quiesce returns; wait on downstream counters for full
+// drainage. Call it after producers stop pushing; with producers still
+// active the answer is stale the moment it is computed.
+func (s *ShardedCF) Quiesce(ctx context.Context) error {
+	for {
+		idle := true
+		for _, sh := range s.shards {
+			if sh.inflight.Load() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Meta-space surface
+
+// Replicas enumerates the shard constituents by replica index (see
+// cf.Composite.Replicas).
+
+// shardBindings resolves the binding rooted at (component, receptacle) in
+// every replica, in shard order. component is the unscoped name.
+func (s *ShardedCF) shardBindings(component, receptacle string) ([]core.BindingID, error) {
+	inner := s.Inner()
+	ids := make([]core.BindingID, 0, len(s.shards))
+	for i := range s.shards {
+		scoped := ShardName(i, component)
+		var found *core.Binding
+		for _, b := range inner.BindingsOf(scoped) {
+			from, recp := b.From()
+			if from == scoped && recp == receptacle {
+				found = b
+				break
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("router: sharded CF: no binding at %s.%s: %w",
+				scoped, receptacle, core.ErrNotFound)
+		}
+		ids = append(ids, found.ID())
+	}
+	return ids, nil
+}
+
+// Intercept installs a named Around on the binding rooted at (component,
+// receptacle) — unscoped names, e.g. ("ingress", "out") — of EVERY
+// replica, all-or-nothing: if any replica refuses, the interceptor is
+// rolled back off the replicas it reached and the CF is unchanged. The
+// same Around value observes every shard, so an accumulating interceptor
+// (an audit counting via PacketCount) aggregates across shards by
+// construction.
+func (s *ShardedCF) Intercept(component, receptacle, name string, around core.Around) error {
+	ids, err := s.shardBindings(component, receptacle)
+	if err != nil {
+		return err
+	}
+	return s.Inner().AddInterceptorAll(ids, core.Interceptor{Name: name, Wrap: around})
+}
+
+// Unintercept removes the named interceptor from every replica's binding
+// rooted at (component, receptacle).
+func (s *ShardedCF) Unintercept(component, receptacle, name string) error {
+	ids, err := s.shardBindings(component, receptacle)
+	if err != nil {
+		return err
+	}
+	return s.Inner().RemoveInterceptorAll(ids, name)
+}
+
+// ---------------------------------------------------------------------------
+// Managed reconfiguration
+
+// HotSwap replaces the component known (unscoped) as oldName in EVERY
+// replica with a fresh instance from mk, without losing a packet: every
+// shard worker is paused at a batch boundary (router.Gate), so no call is
+// in flight anywhere in any replica while the swaps run; each swap then
+// rebinds atomically and migrates Exportable state (router.HotSwap); the
+// workers resume. Traffic arriving during the swap queues in the shard
+// rings (back-pressure, not loss). On error some replicas may have been
+// swapped and others not — the error names the failing shard; retrying
+// with the same arguments re-attempts only the unswapped replicas' names.
+func (s *ShardedCF) HotSwap(oldName, newName string, mk func(shard int) (core.Component, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.gate.Pause()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.gate.Resume()
+		}
+	}()
+	inner := s.Inner()
+	for i := range s.shards {
+		// Idempotence across retries: a shard already carrying newName
+		// (and no oldName) was swapped by a previous partially-failed
+		// call and is skipped, so retrying with the same arguments
+		// re-attempts only the unswapped replicas.
+		_, hasOld := inner.Component(ShardName(i, oldName))
+		_, hasNew := inner.Component(ShardName(i, newName))
+		switch {
+		case !hasOld && hasNew:
+			continue
+		case !hasOld:
+			return fmt.Errorf("router: sharded CF: shard %d: %q: %w",
+				i, ShardName(i, oldName), core.ErrNotFound)
+		case hasNew:
+			// A previous swap of this shard failed after inserting the
+			// replacement but before diverting traffic (router.HotSwap's
+			// documented failure mode). Remove the abandoned remnant so
+			// the retry can re-insert cleanly.
+			if err := removeAbandoned(inner, ShardName(i, newName)); err != nil {
+				return fmt.Errorf("router: sharded CF: shard %d: stale %q: %w",
+					i, ShardName(i, newName), err)
+			}
+		}
+		repl, err := mk(i)
+		if err != nil {
+			return fmt.Errorf("router: sharded CF: shard %d replacement: %w", i, err)
+		}
+		repl.SetAnnotation(cf.AnnotReplica, strconv.Itoa(i))
+		if err := HotSwap(inner, ShardName(i, oldName), ShardName(i, newName), repl); err != nil {
+			return fmt.Errorf("router: sharded CF: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// removeAbandoned dismantles a replacement component a failed HotSwap left
+// behind with no traffic diverted to it: its outgoing bindings are unbound,
+// it is stopped if started, and removed. If any binding still targets the
+// component (traffic WAS diverted), it is left alone and an error reports
+// that the capsule needs manual repair.
+func removeAbandoned(c *core.Capsule, name string) error {
+	for _, b := range c.BindingsOf(name) {
+		if to, _ := b.To(); to == name {
+			return fmt.Errorf("router: %q still receives traffic (binding #%d): %w",
+				name, b.ID(), core.ErrAlreadyBound)
+		}
+	}
+	for _, b := range c.BindingsOf(name) {
+		if err := c.Unbind(b.ID()); err != nil {
+			return err
+		}
+	}
+	if c.Started(name) {
+		if err := c.StopComponent(context.Background(), name); err != nil {
+			return err
+		}
+	}
+	return c.Remove(name)
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+// Stats implements StatsReporter for the CF as one element: In counts
+// packets accepted by the dispatcher, Out packets merged out of the
+// egresses, Dropped/Errors aggregate the dispatcher and the endpoints.
+func (s *ShardedCF) Stats() ElementStats {
+	agg := s.snapshot()
+	for _, sh := range s.shards {
+		e := sh.egress.snapshot()
+		agg.Out += e.Out
+		agg.Dropped += e.Dropped
+		agg.Errors += e.Errors
+		agg.Dropped += sh.ingress.snapshot().Dropped
+	}
+	return agg
+}
+
+// ShardStats reports one replica lane: In/Out/Dropped/Errors across its
+// ingress and egress endpoints.
+func (s *ShardedCF) ShardStats(i int) ElementStats {
+	sh := s.shards[i]
+	in := sh.ingress.snapshot()
+	eg := sh.egress.snapshot()
+	return ElementStats{
+		In:      in.In,
+		Out:     eg.Out,
+		Dropped: in.Dropped + eg.Dropped,
+		Errors:  in.Errors + eg.Errors,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard endpoints
+
+// shardIngress is the worker-driven head of one replica: its "out"
+// receptacle is the first-class (and therefore interceptable/auditable)
+// binding into the replica's entry component.
+type shardIngress struct {
+	*core.Base
+	elementCounters
+	out *core.Receptacle[IPacketPush]
+}
+
+func newShardIngress() *shardIngress {
+	g := &shardIngress{Base: core.NewBase(TypeShardIngress)}
+	g.out = core.NewReceptacle[IPacketPush](IPacketPushID)
+	g.AddReceptacle("out", g.out)
+	return g
+}
+
+// pushBatch forwards one ring batch into the replica.
+func (g *shardIngress) pushBatch(b []*Packet) error {
+	g.in.Add(uint64(len(b)))
+	return g.forwardBatch(g.out, b)
+}
+
+// shardEgress is the tail of one replica: replicas bind their last
+// component to it, and it merges into the parent CF's shared "out"
+// receptacle. The merge is batch-aware (whole batches cross) and
+// concurrent (every shard worker pushes), relying on the downstream
+// component's own thread-safety.
+type shardEgress struct {
+	*core.Base
+	elementCounters
+	parent *ShardedCF
+}
+
+func newShardEgress(parent *ShardedCF) *shardEgress {
+	e := &shardEgress{Base: core.NewBase(TypeShardEgress), parent: parent}
+	e.Provide(IPacketPushID, e)
+	return e
+}
+
+// Push implements IPacketPush.
+func (e *shardEgress) Push(p *Packet) error {
+	e.in.Add(1)
+	return e.forward(e.parent.out, p)
+}
+
+// PushBatch implements IPacketPushBatch.
+func (e *shardEgress) PushBatch(batch []*Packet) error {
+	e.in.Add(uint64(len(batch)))
+	return e.forwardBatch(e.parent.out, batch)
+}
+
+// Stats implements StatsReporter.
+func (e *shardEgress) Stats() ElementStats { return e.snapshot() }
+
+// Stats implements StatsReporter.
+func (g *shardIngress) Stats() ElementStats { return g.snapshot() }
+
+var (
+	_ core.Starter     = (*ShardedCF)(nil)
+	_ core.Stopper     = (*ShardedCF)(nil)
+	_ IPacketPushBatch = (*ShardedCF)(nil)
+	_ IPacketPushBatch = (*shardEgress)(nil)
+	_ StatsReporter    = (*ShardedCF)(nil)
+	_ core.Component   = (*ShardedCF)(nil)
+)
