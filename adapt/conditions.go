@@ -1,0 +1,119 @@
+package adapt
+
+import "strings"
+
+// Condition combinators and the standard observations rules are built
+// from. Every helper resolves its subject in the stats tree by the same
+// slash-separated paths core.StatNode.Find uses, so a condition reads
+// exactly what `nkctl stats` shows.
+
+// GaugeAbove holds when the stat at path exceeds threshold. Missing paths
+// and stats read as "not holding" — a rule never fires on absent data.
+func GaugeAbove(path, stat string, threshold float64) Condition {
+	return func(v View) bool {
+		val, ok := v.Gauge(path, stat)
+		return ok && val > threshold
+	}
+}
+
+// GaugeBelow holds when the stat at path is under threshold.
+func GaugeBelow(path, stat string, threshold float64) Condition {
+	return func(v View) bool {
+		val, ok := v.Gauge(path, stat)
+		return ok && val < threshold
+	}
+}
+
+// RateAbove holds when a counter at path grows faster than perSec.
+func RateAbove(path, stat string, perSec float64) Condition {
+	return func(v View) bool {
+		r, ok := v.Rate(path, stat)
+		return ok && r > perSec
+	}
+}
+
+// DeltaAbove holds when a counter at path grew by more than delta over
+// the last tick — the "loss spike" trigger shape.
+func DeltaAbove(path, stat string, delta float64) Condition {
+	return func(v View) bool {
+		d, ok := v.Delta(path, stat)
+		return ok && d > delta
+	}
+}
+
+// All holds when every condition holds.
+func All(conds ...Condition) Condition {
+	return func(v View) bool {
+		for _, c := range conds {
+			if !c(v) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Any holds when at least one condition holds.
+func Any(conds ...Condition) Condition {
+	return func(v View) bool {
+		for _, c := range conds {
+			if c(v) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not inverts a condition.
+func Not(c Condition) Condition {
+	return func(v View) bool { return !c(v) }
+}
+
+// ShardSkewAbove holds when, among ALL of the named sharded CF's lanes,
+// the busiest lane's arrival delta over the last tick exceeds ratio times
+// the mean — the load-concentration signal a shard scale-up rule keys
+// on. Inactive lanes count as zero-load deliberately: traffic squeezed
+// onto 1 of N lanes reads as skew ≈ N, which is exactly the condition a
+// scale-up should fire on. Consequently a rule built on this condition
+// should carry Once (or a Cooldown plus a target that rescales to the
+// lane count that dissolves the skew) — while fewer lanes than Shards
+// are active under load, the condition keeps holding, and rescaling to
+// an unchanged target is a cheap no-op but still a logged firing. It
+// needs at least minDelta new packets across the lanes to count, so an
+// idle plane never looks skewed.
+func ShardSkewAbove(cf string, ratio, minDelta float64) Condition {
+	return func(v View) bool {
+		node, ok := v.Now.Find(cf)
+		if !ok {
+			return false
+		}
+		var deltas []float64
+		var total float64
+		for _, ch := range node.Children {
+			if !strings.HasPrefix(ch.Name, "shard") {
+				continue
+			}
+			d, ok := v.Delta(cf+"/"+ch.Name, "packets_in")
+			if !ok {
+				return false
+			}
+			deltas = append(deltas, d)
+			total += d
+		}
+		if len(deltas) < 2 || total < minDelta {
+			return false
+		}
+		mean := total / float64(len(deltas))
+		if mean <= 0 {
+			return false
+		}
+		max := deltas[0]
+		for _, d := range deltas[1:] {
+			if d > max {
+				max = d
+			}
+		}
+		return max > ratio*mean
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"netkit/adapt"
 	"netkit/cf"
 	"netkit/core"
 	"netkit/internal/appsvc"
@@ -847,4 +848,71 @@ func TestE12ShardScaling(t *testing.T) {
 	}
 	t.Fatalf("shards=4 delivered %.0f kpps, want >= 2x shards=1 (%.0f kpps) in %d attempts",
 		four, one, attempts)
+}
+
+// ---------------------------------------------------------------------------
+// E13 — closed-loop adaptation (DESIGN.md §5)
+
+// BenchmarkE13_StatsTreeSample measures the cost of one stats-tree
+// snapshot over a representative capsule — the per-tick observation price
+// of the adaptation engine.
+func BenchmarkE13_StatsTreeSample(b *testing.B) {
+	capsule := core.NewCapsule("e13-sample")
+	for i := 0; i < 8; i++ {
+		if err := capsule.Insert(fmt.Sprintf("c%d", i), router.NewCounter()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, err := router.NewFIFOQueue(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("q", q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := core.CapsuleStats(capsule)
+		if len(tree.Children) != 9 {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+// BenchmarkE13_EngineTick measures a full engine tick — snapshot plus
+// rule evaluation — for a small rule set, i.e. the steady-state overhead
+// the reflective loop adds while nothing fires.
+func BenchmarkE13_EngineTick(b *testing.B) {
+	capsule := core.NewCapsule("e13-tick")
+	q, err := router.NewFIFOQueue(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("q", q); err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("in", router.NewCounter()); err != nil {
+		b.Fatal(err)
+	}
+	rules := []adapt.Rule{
+		{Name: "r1", When: adapt.GaugeAbove("q", "queue_occupancy", 0.99)},
+		{Name: "r2", When: adapt.RateAbove("q", "packets_dropped", 1e12)},
+		{Name: "r3", When: adapt.All(
+			adapt.GaugeAbove("in", "packets_in", 1e18),
+			adapt.GaugeBelow("q", "queue_len", -1))},
+	}
+	prev := core.CapsuleStats(capsule)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := core.CapsuleStats(capsule)
+		v := adapt.View{Now: now, Prev: prev, Elapsed: time.Millisecond}
+		for _, r := range rules {
+			if r.When(v) {
+				b.Fatal("rule fired unexpectedly")
+			}
+		}
+		prev = now
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 
+	"netkit/adapt"
 	"netkit/core"
 	"netkit/router"
 )
@@ -103,6 +104,23 @@ func (b *Blueprint) Shards(name string, n int, build router.ReplicaFactory) *Blu
 			return err
 		}
 		return c.Insert(name, sc)
+	})
+}
+
+// AdaptName is the instance name Blueprint.Adapt inserts the adaptation
+// engine under.
+const AdaptName = "adapt"
+
+// Adapt declares the closed reflective loop: an adapt.Engine, inserted
+// under AdaptName, that samples the capsule's stats tree on a tick and
+// applies the given rules through the meta-space (hot-swap, rescaling,
+// interception, resource retuning). The engine is an ordinary component —
+// StartAll starts its sampling loop, the architecture meta-model
+// enumerates it, and its own tick/firing counters appear in the very
+// stats tree it watches.
+func (b *Blueprint) Adapt(opts adapt.Options, rules ...adapt.Rule) *Blueprint {
+	return b.step(fmt.Sprintf("adapt (%d rules)", len(rules)), func(c *core.Capsule) error {
+		return c.Insert(AdaptName, adapt.NewEngine(c, opts, rules...))
 	})
 }
 

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
 	"netkit"
+	"netkit/adapt"
 	"netkit/cf"
 	"netkit/core"
+	"netkit/packet"
 	"netkit/router"
 )
 
@@ -191,7 +194,7 @@ func TestBlueprintShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := sink.Stats().In; got != 40 {
+	if got := sink.ElemStats().In; got != 40 {
 		t.Fatalf("sink saw %d of 40", got)
 	}
 }
@@ -209,5 +212,71 @@ func TestBlueprintShardsFailureNamesStep(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "shards fwd x2") {
 		t.Fatalf("error does not name the shards step: %v", err)
+	}
+}
+
+// TestBlueprintAdapt proves the declarative route into the reflective
+// loop: a Blueprint declares a pipeline plus an adaptation rule, Build
+// starts the engine with everything else, and the rule reconfigures the
+// architecture with no manual meta-space call.
+func TestBlueprintAdapt(t *testing.T) {
+	fired := make(chan adapt.Firing, 4)
+	sys, err := netkit.NewBlueprint("bp-adapt").
+		Add("in", router.TypeCounter, nil).
+		Add("q", router.TypeFIFOQueue, map[string]string{"capacity": "64"}).
+		Pipe("in", "q").
+		Adapt(adapt.Options{Interval: time.Millisecond, OnFire: func(f adapt.Firing) { fired <- f }},
+			adapt.Rule{
+				Name: "swap-on-pressure",
+				When: adapt.GaugeAbove("q", "queue_occupancy", 0.5),
+				Once: true,
+				Then: adapt.Swap("q", "q2", func() (core.Component, error) {
+					return router.NewFIFOQueue(256)
+				}),
+			}).
+		Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close(context.Background()) }()
+
+	// The engine is an ordinary, meta-space-visible component.
+	if _, ok := sys.Capsule().Component(netkit.AdaptName); !ok {
+		t.Fatal("engine not inserted")
+	}
+	if !sys.Capsule().Started(netkit.AdaptName) {
+		t.Fatal("engine not started by Build")
+	}
+
+	in, err := netkit.Service[router.IPacketPush](sys.Capsule(), "in", router.IPacketPushID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := packet.BuildUDP4(netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"), 5, 6, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 48 // 75% of the small queue
+	for i := 0; i < sent; i++ {
+		if err := in.Push(router.NewPacket(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case f := <-fired:
+		if f.Err != "" {
+			t.Fatalf("rule failed: %s", f.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blueprint-declared rule never fired")
+	}
+	comp, ok := sys.Capsule().Component("q2")
+	if !ok {
+		t.Fatal("swap did not run")
+	}
+	q2 := comp.(*router.FIFOQueue)
+	if got := q2.Len(); got != sent {
+		t.Fatalf("replacement holds %d packets, want %d", got, sent)
 	}
 }

@@ -103,6 +103,28 @@ func (c *Composite) Replicas() map[string][]string {
 	return out
 }
 
+// Stats implements core.IStats by aggregating the inner constituents'
+// snapshots under core.MergeStats (counters sum, ratio gauges average),
+// so a composite reads as ONE element wherever a leaf component would —
+// the recursion rule that gives the meta-space a coherent stats tree.
+// Per-constituent detail stays reachable through core.CapsuleStats, which
+// walks Inner() instead of flattening.
+func (c *Composite) Stats() []core.Stat {
+	groups := make([][]core.Stat, 0, 8)
+	for _, name := range c.inner.ComponentNames() {
+		comp, ok := c.inner.Component(name)
+		if !ok {
+			continue
+		}
+		if s, ok := comp.(core.IStats); ok {
+			groups = append(groups, s.Stats())
+		}
+	}
+	return core.MergeStats(groups...)
+}
+
+var _ core.IStats = (*Composite)(nil)
+
 // Export re-exports an interface provided by an inner member on the
 // composite's own boundary, under the same interface ID: the mechanism by
 // which a composite presents an inner constituent's IClassifier (Figure 3

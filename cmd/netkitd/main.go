@@ -7,6 +7,12 @@
 //
 //	netkitd -config router.nk -listen 127.0.0.1:7341 \
 //	        -traffic-into cnt -pps 1000 -duration 10s
+//
+// With -adapt the daemon arms the reflective adaptation loop: every FIFO
+// queue in the configuration gains a rule that hot-swaps it for a RED
+// queue (state migrated, no packet lost) when its occupancy stays above
+// 85% — decided purely from the capsule's stats tree, the same view
+// `nkctl stats` serves.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"netkit"
+	"netkit/adapt"
 	"netkit/core"
 	"netkit/internal/control"
 	"netkit/internal/nkconfig"
@@ -44,6 +51,7 @@ func run() error {
 		seed        = flag.Uint64("seed", 1, "traffic generator seed")
 		duration    = flag.Duration("duration", 0, "run time (0 = until interrupted)")
 		strict      = flag.Bool("strict-trust", false, "enforce out-of-process isolation for untrusted components")
+		adaptLoop   = flag.Bool("adapt", false, "run the reflective adaptation loop (FIFO->RED swap on sustained queue occupancy)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -73,6 +81,58 @@ func run() error {
 	defer func() { _ = capsule.StopAll(ctx) }()
 	fmt.Printf("netkitd: %d components started from %s\n",
 		len(capsule.ComponentNames()), *configPath)
+
+	// Optional reflective loop: one rule per FIFO queue in the loaded
+	// configuration, swapping it for a RED queue (state migrated) when
+	// occupancy stays above 85% — the E13 policy, driven purely by the
+	// stats tree. Firings are logged so operators can correlate them with
+	// `nkctl stats` output.
+	if *adaptLoop {
+		var rules []adapt.Rule
+		for _, name := range capsule.ComponentNames() {
+			comp, ok := capsule.Component(name)
+			if !ok {
+				continue
+			}
+			q, ok := comp.(*router.FIFOQueue)
+			if !ok {
+				continue
+			}
+			name := name
+			capQ := q.Capacity()
+			rules = append(rules, adapt.Rule{
+				Name:    "fifo-to-red:" + name,
+				When:    adapt.GaugeAbove(name, "queue_occupancy", 0.85),
+				Sustain: 4,
+				Once:    true,
+				Then: adapt.Swap(name, name+"-red", func() (core.Component, error) {
+					return router.NewREDQueue(router.REDConfig{
+						Capacity: capQ,
+						MinTh:    float64(capQ) / 4,
+						MaxTh:    float64(capQ) * 3 / 4,
+						MaxP:     0.1,
+					})
+				}),
+			})
+		}
+		eng := adapt.NewEngine(capsule, adapt.Options{
+			Interval: 50 * time.Millisecond,
+			OnFire: func(f adapt.Firing) {
+				if f.Err != "" {
+					fmt.Printf("netkitd: adapt: rule %s failed: %s\n", f.Rule, f.Err)
+					return
+				}
+				fmt.Printf("netkitd: adapt: rule %s fired (tick %d)\n", f.Rule, f.Tick)
+			},
+		}, rules...)
+		if err := capsule.Insert("adapt", eng); err != nil {
+			return err
+		}
+		if err := capsule.StartComponent(ctx, "adapt"); err != nil {
+			return err
+		}
+		fmt.Printf("netkitd: adaptation loop armed (%d rules)\n", len(rules))
+	}
 
 	// Control plane.
 	l, err := net.Listen("tcp", *listen)

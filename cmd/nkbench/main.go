@@ -1,4 +1,4 @@
-// Command nkbench runs the NETKIT experiment suite E1–E12 (see DESIGN.md
+// Command nkbench runs the NETKIT experiment suite E1–E13 (see DESIGN.md
 // §3 for the claim-to-experiment mapping) and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -9,6 +9,7 @@
 //	nkbench -json           # machine-readable results on stdout
 //	nkbench -batch 1,8,32   # batch sizes the E11 sweep drives
 //	nkbench -shards 1,2,4   # shard counts the E12 sweep drives
+//	nkbench -adapt          # only E13, the closed-loop adaptation run
 //
 // With -json the human tables are suppressed and a single JSON document
 // is printed instead: an envelope identifying the host plus one metric
@@ -26,8 +27,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"netkit/adapt"
 	"netkit/cf"
 	"netkit/core"
 	"netkit/internal/appsvc"
@@ -44,10 +47,11 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment list (E1..E12) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
 	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts driven by E12")
+	adaptOnly := flag.Bool("adapt", false, "run only E13, the closed-loop adaptation experiment")
 	flag.Parse()
 	for _, s := range strings.Split(*batchList, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -69,12 +73,15 @@ func main() {
 		"E1": e1CallOverhead, "E2": e2Footprint, "E3": e3Forwarding,
 		"E4": e4Reconfigure, "E5": e5Classifier, "E6": e6OutOfProc,
 		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
-		"E11": e11Batched, "E12": e12Sharded,
+		"E11": e11Batched, "E12": e12Sharded, "E13": e13Adaptation,
 	}
 	var names []string
-	if *runList == "all" {
-		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
-	} else {
+	switch {
+	case *adaptOnly:
+		names = []string{"E13"}
+	case *runList == "all":
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	default:
 		names = strings.Split(*runList, ",")
 	}
 	for _, n := range names {
@@ -402,7 +409,7 @@ func e4Reconfigure() {
 	must(router.HotSwap(capsule, "mid", "mid2", router.NewCounter()))
 	swapNs := time.Since(swapStart)
 	sent := <-done
-	received := tail.Stats().In
+	received := tail.ElemStats().In
 	printf("netkit hot-swap latency       %10v\n", swapNs)
 	record("hotswap_latency", float64(swapNs.Nanoseconds()), "ns", nil)
 	printf("packets sent during swap      %10d\n", sent)
@@ -814,7 +821,19 @@ func e12Sharded() {
 			return time.Since(start)
 		}
 		drive(total / 4) // warm-up
+		before := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			before[i] = s.ShardStats(i).In
+		}
 		elapsed := drive(total)
+		// Per-shard kpps breakdown from the per-replica stats, so the
+		// -json trajectory shows how evenly RSS spread the flows.
+		for i := 0; i < n; i++ {
+			lane := float64(s.ShardStats(i).In-before[i]) / elapsed.Seconds() / 1e3
+			record("sharded_forwarding_shard", lane, "kpps", map[string]string{
+				"shards": fmt.Sprint(n), "shard": fmt.Sprint(i), "batch": "32",
+			})
+		}
 		must(capsule.StopAll(ctx))
 		kpps := float64(total) / elapsed.Seconds() / 1e3
 		points = append(points, e12Point{n: n, kpps: kpps})
@@ -836,6 +855,193 @@ func e12Sharded() {
 	printf("%-10s %14s %16s\n", "shards", "kpps", fmt.Sprintf("vs shards=%d", baseN))
 	for _, p := range points {
 		printf("%-10d %14.0f %15.2fx\n", p.n, p.kpps, p.kpps/base)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e13Adaptation() {
+	header("E13", "closed-loop adaptation: rule-driven FIFO<->RED swap from observed stats (DESIGN.md §5)")
+	capsule := core.NewCapsule("e13")
+	in := router.NewCounter()
+	must(capsule.Insert("in", in))
+	const qCap = 4096
+	fifo, err := router.NewFIFOQueue(qCap)
+	must(err)
+	must(capsule.Insert("q", fifo))
+	sched, err := router.NewLinkScheduler(router.PolicyRR)
+	must(err)
+	must(sched.AddInput("in0", 1500, 0))
+	must(capsule.Insert("sched", sched))
+	egress := router.NewCounter()
+	must(capsule.Insert("egress", egress))
+	must(capsule.Insert("drop", router.NewDropper()))
+	_, err = capsule.Bind("in", "out", "q", router.IPacketPushID)
+	must(err)
+	_, err = capsule.Bind("sched", "in0", "q", router.IPacketPullID)
+	must(err)
+	_, err = capsule.Bind("sched", "out", "egress", router.IPacketPushID)
+	must(err)
+	_, err = capsule.Bind("egress", "out", "drop", router.IPacketPushID)
+	must(err)
+
+	// Current queue, for the driver's own occupancy view. The engine uses
+	// only the stats tree; this mirror is bench instrumentation.
+	type lenQueue interface{ Len() int }
+	type queueRef struct{ q lenQueue }
+	var curQ atomic.Value // queueRef
+	curQ.Store(queueRef{fifo})
+
+	// RED thresholds sit above the swap trigger so the experiment stays
+	// drop-free and loss accounting is exact.
+	mkRED := func() (core.Component, error) {
+		q, err := router.NewREDQueue(router.REDConfig{
+			Capacity: qCap, MinTh: qCap * 7 / 8, MaxTh: qCap*15/16 + 1, MaxP: 0.05,
+		})
+		if err == nil {
+			curQ.Store(queueRef{q})
+		}
+		return q, err
+	}
+	mkFIFO := func() (core.Component, error) {
+		q, err := router.NewFIFOQueue(qCap)
+		if err == nil {
+			curQ.Store(queueRef{q})
+		}
+		return q, err
+	}
+
+	firings := make(chan adapt.Firing, 8)
+	eng := adapt.NewEngine(capsule,
+		adapt.Options{Interval: time.Millisecond, OnFire: func(f adapt.Firing) { firings <- f }},
+		adapt.Rule{
+			Name:    "fifo-to-red",
+			When:    adapt.GaugeAbove("q", "queue_occupancy", 0.6),
+			Sustain: 2,
+			Once:    true,
+			Then:    adapt.Swap("q", "q-red", mkRED),
+		},
+		adapt.Rule{
+			Name:    "red-to-fifo",
+			When:    adapt.GaugeBelow("q-red", "queue_occupancy", 0.1),
+			Sustain: 3,
+			Once:    true,
+			Then:    adapt.Swap("q-red", "q", mkFIFO),
+		})
+	must(capsule.Insert("adapt", eng))
+	ctx := context.Background()
+	must(capsule.StartComponent(ctx, "adapt"))
+	defer func() { _ = capsule.Close(ctx) }()
+
+	gen, err := trace.NewGenerator(trace.Config{Seed: 13, Flows: 64, UDPShare: 100})
+	must(err)
+	nextBatch := func(n int) []*router.Packet {
+		out := make([]*router.Packet, n)
+		for i := range out {
+			raw, err := gen.Next() // Zipf flow choice, IMIX sizes
+			must(err)
+			out[i] = router.NewPacket(raw)
+		}
+		return out
+	}
+
+	waitFiring := func(rule string) adapt.Firing {
+		for {
+			select {
+			case f := <-firings:
+				if f.Err != "" {
+					panic(fmt.Sprintf("E13: rule %s failed: %s", f.Rule, f.Err))
+				}
+				if f.Rule == rule {
+					return f
+				}
+			case <-time.After(30 * time.Second):
+				panic("E13: adaptation did not fire")
+			}
+		}
+	}
+
+	occupancy := func() float64 {
+		return float64(curQ.Load().(queueRef).q.Len()) / float64(qCap)
+	}
+
+	// Phase 1 — overload: injection outruns the drain, occupancy climbs,
+	// the engine swaps FIFO -> RED. Reaction time is measured from the
+	// moment the driver first sees the trigger level to the firing.
+	var injected uint64
+	start := time.Now()
+	var overloadAt time.Time
+	fired1 := make(chan adapt.Firing, 1)
+	go func() { fired1 <- waitFiring("fifo-to-red") }()
+	var f1 adapt.Firing
+phase1:
+	for {
+		for _, p := range nextBatch(48) {
+			_ = in.Push(p)
+		}
+		injected += 48
+		sched.RunOnce(16)
+		if overloadAt.IsZero() && occupancy() > 0.6 {
+			overloadAt = time.Now()
+		}
+		select {
+		case f1 = <-fired1:
+			break phase1
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	react1 := f1.At.Sub(overloadAt)
+	if react1 < 0 {
+		react1 = 0
+	}
+
+	// Phase 2 — relief: the drain outruns injection, occupancy falls, the
+	// engine swaps RED -> FIFO (migrating the backlog back).
+	fired2 := make(chan adapt.Firing, 1)
+	go func() { fired2 <- waitFiring("red-to-fifo") }()
+	var reliefAt time.Time
+	var f2 adapt.Firing
+phase2:
+	for {
+		sched.RunOnce(256)
+		if reliefAt.IsZero() && occupancy() < 0.1 {
+			reliefAt = time.Now()
+		}
+		select {
+		case f2 = <-fired2:
+			break phase2
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	react2 := f2.At.Sub(reliefAt)
+	if react2 < 0 {
+		react2 = 0
+	}
+
+	// Drain the remainder and settle the books.
+	for occupancy() > 0 {
+		if sched.RunOnce(256) == 0 {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	delivered := egress.ElemStats().In
+	lost := injected - delivered
+	kpps := float64(delivered) / elapsed.Seconds() / 1e3
+
+	printf("reaction fifo->red            %10v\n", react1)
+	record("adapt_reaction", float64(react1.Nanoseconds()), "ns", map[string]string{"swap": "fifo-to-red"})
+	printf("reaction red->fifo            %10v\n", react2)
+	record("adapt_reaction", float64(react2.Nanoseconds()), "ns", map[string]string{"swap": "red-to-fifo"})
+	printf("throughput across both swaps  %10.0f kpps\n", kpps)
+	record("adapt_throughput", kpps, "kpps", nil)
+	printf("packets injected/delivered    %10d / %d (lost %d)\n", injected, delivered, lost)
+	record("adapt_packets_lost", float64(lost), "packets", nil)
+	printf("firings: %d (engine ticks %d)\n", eng.Firings(), eng.Ticks())
+	if lost != 0 {
+		panic(fmt.Sprintf("E13: lost %d packets across adaptation", lost))
 	}
 }
 

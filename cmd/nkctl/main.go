@@ -6,7 +6,8 @@
 //
 //	nkctl [-addr host:port] graph
 //	nkctl validate | constraints | dropped
-//	nkctl stats <component>
+//	nkctl stats [component]                      # uniform stats tree, JSON
+//	nkctl watch [component] [samples] [interval] # sampled series, JSON
 //	nkctl members
 //	nkctl types
 //	nkctl ifaces
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -163,16 +165,49 @@ func run() error {
 		}
 		return nil
 	case "stats":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: nkctl stats <component>")
+		if len(args) > 2 {
+			return fmt.Errorf("usage: nkctl stats [component]")
+		}
+		req := &control.Request{Op: "stats"}
+		if len(args) == 2 {
+			req.Name = args[1]
 		}
 		var sd control.StatsData
-		if err := client.Do(&control.Request{Op: "stats", Name: args[1]}, &sd); err != nil {
+		if err := client.Do(req, &sd); err != nil {
 			return err
 		}
-		fmt.Printf("%s (%s): in=%d out=%d dropped=%d errors=%d\n",
-			sd.Name, sd.Type, sd.Stats.In, sd.Stats.Out, sd.Stats.Dropped, sd.Stats.Errors)
-		return nil
+		return printJSON(sd.Tree)
+	case "watch":
+		// nkctl watch [component] [samples] [interval-ms]: server-side
+		// sampled series of the stats tree, printed as one JSON array.
+		req := &control.Request{Op: "watch", Samples: 5, IntervalMS: 200}
+		rest := args[1:]
+		if len(rest) > 0 {
+			if _, err := strconv.Atoi(rest[0]); err != nil {
+				req.Name = rest[0]
+				rest = rest[1:]
+			}
+		}
+		if len(rest) > 0 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("bad sample count %q: %w", rest[0], err)
+			}
+			req.Samples = v
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("bad interval %q: %w", rest[0], err)
+			}
+			req.IntervalMS = v
+		}
+		var samples []control.WatchSample
+		if err := client.Do(req, &samples); err != nil {
+			return err
+		}
+		return printJSON(samples)
 	case "filter":
 		if len(args) < 4 || len(args) > 5 {
 			return fmt.Errorf("usage: nkctl filter <classifier> <spec> <output> [priority]")
@@ -225,6 +260,14 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// printJSON writes v to stdout as indented JSON: the machine-readable
+// mirror of the stats meta-view, consumable by dashboards and scripts.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func printGraph(g *core.Graph) {

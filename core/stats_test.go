@@ -1,0 +1,140 @@
+package core
+
+import "testing"
+
+// statComp is a minimal component with the IStats capability.
+type statComp struct {
+	*Base
+	stats []Stat
+}
+
+func newStatComp(typeName string, stats ...Stat) *statComp {
+	return &statComp{Base: NewBase(typeName), stats: stats}
+}
+
+func (s *statComp) Stats() []Stat { return s.stats }
+
+// nestComp is a composite-shaped component exposing an inner capsule.
+type nestComp struct {
+	*Base
+	inner *Capsule
+}
+
+func (n *nestComp) Inner() *Capsule { return n.inner }
+
+// shapedComp shapes its own subtree via IStatsTree.
+type shapedComp struct {
+	*Base
+}
+
+func (s *shapedComp) StatsTree() StatNode {
+	return StatNode{
+		Stats:    []Stat{C("total", "packets", 7)},
+		Children: []StatNode{{Name: "lane0", Stats: []Stat{C("total", "packets", 7)}}},
+	}
+}
+
+func TestStatNodeFind(t *testing.T) {
+	tree := StatNode{
+		Name: "root",
+		Children: []StatNode{
+			{Name: "a", Stats: []Stat{C("x", "u", 1)}},
+			{Name: "s0/queue", Stats: []Stat{C("x", "u", 2)}, Children: []StatNode{
+				{Name: "deep", Stats: []Stat{C("x", "u", 3)}},
+			}},
+		},
+	}
+	if n, ok := tree.Find("a"); !ok {
+		t.Fatal("a not found")
+	} else if s, _ := n.Stat("x"); s.Value != 1 {
+		t.Fatalf("a.x = %v", s.Value)
+	}
+	// Component names containing slashes resolve as one segment.
+	if n, ok := tree.Find("s0/queue"); !ok {
+		t.Fatal("s0/queue not found")
+	} else if s, _ := n.Stat("x"); s.Value != 2 {
+		t.Fatalf("s0/queue.x = %v", s.Value)
+	}
+	// ... and still recurse past the slashed segment.
+	if n, ok := tree.Find("s0/queue/deep"); !ok {
+		t.Fatal("s0/queue/deep not found")
+	} else if s, _ := n.Stat("x"); s.Value != 3 {
+		t.Fatalf("deep.x = %v", s.Value)
+	}
+	if _, ok := tree.Find("ghost"); ok {
+		t.Fatal("ghost found")
+	}
+	if _, ok := tree.Find("s0/queue/ghost"); ok {
+		t.Fatal("nested ghost found")
+	}
+	if n, ok := tree.Find(""); !ok || n.Name != "root" {
+		t.Fatal("empty path should resolve to the node itself")
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := []Stat{C("packets_in", "packets", 10), G("queue_occupancy", "ratio", 0.2)}
+	b := []Stat{C("packets_in", "packets", 5), G("queue_occupancy", "ratio", 0.6)}
+	merged := MergeStats(a, b)
+	byName := map[string]Stat{}
+	for _, s := range merged {
+		byName[s.Name] = s
+	}
+	if got := byName["packets_in"].Value; got != 15 {
+		t.Fatalf("counters should sum: %v", got)
+	}
+	if got := byName["queue_occupancy"].Value; got != 0.4 {
+		t.Fatalf("ratio gauges should average: %v", got)
+	}
+	// Determinism: sorted by name.
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Name > merged[i].Name {
+			t.Fatalf("unsorted merge: %+v", merged)
+		}
+	}
+}
+
+func TestCapsuleStatsWalksComposites(t *testing.T) {
+	outer := NewCapsule("outer")
+	if err := outer.Insert("leaf", newStatComp("t.leaf", C("n", "u", 1))); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewCapsule("inner")
+	if err := inner.Insert("child", newStatComp("t.child", C("n", "u", 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Insert("nest", &nestComp{Base: NewBase("t.nest"), inner: inner}); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Insert("shaped", &shapedComp{Base: NewBase("t.shaped")}); err != nil {
+		t.Fatal(err)
+	}
+	// A component without IStats appears with no stats but stays in the
+	// tree (shape is structural, telemetry is a capability).
+	if err := outer.Insert("mute", NewBase("t.mute")); err != nil {
+		t.Fatal(err)
+	}
+
+	tree := CapsuleStats(outer)
+	if tree.Name != "outer" || len(tree.Children) != 4 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if n, ok := tree.Find("nest/child"); !ok {
+		t.Fatal("composite child not walked")
+	} else if s, _ := n.Stat("n"); s.Value != 2 {
+		t.Fatalf("nest/child.n = %v", s.Value)
+	}
+	if n, ok := tree.Find("shaped"); !ok || n.Type != "t.shaped" {
+		t.Fatal("shaped subtree missing or untyped")
+	} else if _, ok := n.Stat("total"); !ok {
+		t.Fatal("shaped stats lost")
+	}
+	if n, ok := tree.Find("shaped/lane0"); !ok {
+		t.Fatal("shaped lane missing")
+	} else if s, _ := n.Stat("total"); s.Value != 7 {
+		t.Fatalf("lane total = %v", s.Value)
+	}
+	if n, ok := tree.Find("mute"); !ok || len(n.Stats) != 0 {
+		t.Fatal("capability-less component mishandled")
+	}
+}

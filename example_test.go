@@ -47,7 +47,7 @@ func ExampleBlueprint() {
 		panic(err)
 	}
 	in, _ := netkit.Service[*router.Counter](sys.Capsule(), "in", router.IPacketPushID)
-	fmt.Println("forwarded:", in.Stats().Out)
+	fmt.Println("forwarded:", in.ElemStats().Out)
 	// Output: forwarded: 3
 }
 

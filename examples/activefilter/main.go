@@ -99,6 +99,6 @@ func run() error {
 		mediaStats.Hits, mediaStats.Drops)
 	fmt.Printf("dscp-dns VM:  %d hits, %d packets EF-marked, %d faults\n",
 		dnsStats.Hits, marked, dnsStats.Faults)
-	fmt.Printf("egress total: %d packets\n", egress.Stats().In)
+	fmt.Printf("egress total: %d packets\n", egress.ElemStats().In)
 	return nil
 }

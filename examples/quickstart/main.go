@@ -62,7 +62,7 @@ func main() {
 
 	egress, err := netkit.Service[*router.Counter](sys.Capsule(), "egress", router.IPacketPushID)
 	must(err)
-	fmt.Printf("egress saw %d packets\n", egress.Stats().In)
+	fmt.Printf("egress saw %d packets\n", egress.ElemStats().In)
 }
 
 func must(err error) {

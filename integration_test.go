@@ -217,7 +217,7 @@ func TestReconfigureUnderLoadEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	sent := <-done
-	if got := tail.Stats().In; got != uint64(sent) {
+	if got := tail.ElemStats().In; got != uint64(sent) {
 		t.Fatalf("lost %d packets across swap", uint64(sent)-got)
 	}
 	if err := capsule.Snapshot().Validate(); err != nil {

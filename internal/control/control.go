@@ -18,6 +18,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"netkit"
 	"netkit/cf"
@@ -53,6 +54,10 @@ type Request struct {
 	Component  string `json:"component,omitempty"`
 	Receptacle string `json:"receptacle,omitempty"`
 	Iface      string `json:"iface,omitempty"`
+
+	// Watch parameters: sample count and inter-sample interval.
+	Samples    int `json:"samples,omitempty"`
+	IntervalMS int `json:"interval_ms,omitempty"`
 }
 
 // IfaceData is the payload of "iface": one interface descriptor.
@@ -80,11 +85,16 @@ type Response struct {
 	Data  json.RawMessage `json:"data,omitempty"`
 }
 
-// StatsData is the payload of "stats".
+// StatsData is the payload of "stats": the uniform stats tree — the whole
+// capsule when no name was given, one component's subtree otherwise.
 type StatsData struct {
-	Name  string              `json:"name"`
-	Type  string              `json:"type"`
-	Stats router.ElementStats `json:"stats"`
+	Tree core.StatNode `json:"tree"`
+}
+
+// WatchSample is one element of the "watch" payload.
+type WatchSample struct {
+	ElapsedMS int64         `json:"elapsed_ms"`
+	Tree      core.StatNode `json:"tree"`
 }
 
 // Server exposes one framework — and its capsule's meta-space — over a
@@ -238,15 +248,13 @@ func (s *Server) dispatch(req *Request) (any, error) {
 	case "members":
 		return s.fw.Members(), nil
 	case "stats":
-		comp, ok := capsule.Component(req.Name)
-		if !ok {
-			return nil, fmt.Errorf("control: %q: %w", req.Name, core.ErrNotFound)
+		tree, err := s.statsTree(req.Name)
+		if err != nil {
+			return nil, err
 		}
-		sd := StatsData{Name: req.Name, Type: comp.TypeName()}
-		if sr, ok := comp.(router.StatsReporter); ok {
-			sd.Stats = sr.Stats()
-		}
-		return sd, nil
+		return StatsData{Tree: tree}, nil
+	case "watch":
+		return s.watch(req)
 	case "swap":
 		if req.Name == "" || req.New == "" || req.Type == "" {
 			return nil, fmt.Errorf("control: swap needs name/new/type: %w", ErrBadRequest)
@@ -281,6 +289,51 @@ func (s *Server) dispatch(req *Request) (any, error) {
 	default:
 		return nil, fmt.Errorf("control: op %q: %w", req.Op, ErrBadRequest)
 	}
+}
+
+// statsTree resolves the "stats"/"watch" subject: the capsule-wide tree
+// when name is empty, one component's subtree otherwise — both through
+// the stats meta-view, so nkctl sees exactly what the adaptation engine
+// samples.
+func (s *Server) statsTree(name string) (core.StatNode, error) {
+	if name == "" {
+		return s.meta.Stats().Tree(), nil
+	}
+	return s.meta.Stats().Component(name)
+}
+
+// watch samples the stats tree Samples times, IntervalMS apart, and
+// returns the whole series in one response (the protocol is strictly
+// request/response; streaming watches belong to a client-side loop).
+// Bounds keep a typo from pinning a connection.
+func (s *Server) watch(req *Request) (any, error) {
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 2
+	}
+	if samples > 100 {
+		return nil, fmt.Errorf("control: watch samples %d > 100: %w", samples, ErrBadRequest)
+	}
+	interval := time.Duration(req.IntervalMS) * time.Millisecond
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if d := time.Duration(samples) * interval; d > 30*time.Second {
+		return nil, fmt.Errorf("control: watch span %v > 30s: %w", d, ErrBadRequest)
+	}
+	start := time.Now()
+	out := make([]WatchSample, 0, samples)
+	for i := 0; i < samples; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		tree, err := s.statsTree(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WatchSample{ElapsedMS: time.Since(start).Milliseconds(), Tree: tree})
+	}
+	return out, nil
 }
 
 // auditName is the interceptor name used by remotely installed audits.

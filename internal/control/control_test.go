@@ -102,11 +102,35 @@ func TestStats(t *testing.T) {
 	if err := client.Do(&Request{Op: "stats", Name: "cnt"}, &sd); err != nil {
 		t.Fatal(err)
 	}
-	if sd.Stats.In != 1 {
+	if in, ok := sd.Tree.Stat("packets_in"); !ok || in.Value != 1 {
 		t.Fatalf("stats = %+v", sd)
+	}
+	// The capsule-wide form returns one child per component.
+	var full StatsData
+	if err := client.Do(&Request{Op: "stats"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := full.Tree.Find("cnt"); !ok {
+		t.Fatalf("no cnt node in full tree: %+v", full.Tree)
+	} else if in, ok := n.Stat("packets_in"); !ok || in.Value != 1 {
+		t.Fatalf("cnt node = %+v", n)
 	}
 	if err := client.Do(&Request{Op: "stats", Name: "ghost"}, nil); !errors.Is(err, ErrRemote) {
 		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	// Watch returns a sampled series of the same tree.
+	var samples []WatchSample
+	if err := client.Do(&Request{Op: "watch", Name: "cnt", Samples: 3, IntervalMS: 1}, &samples); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("watch returned %d samples, want 3", len(samples))
+	}
+	if in, ok := samples[2].Tree.Stat("packets_in"); !ok || in.Value != 1 {
+		t.Fatalf("watch sample = %+v", samples[2])
+	}
+	if err := client.Do(&Request{Op: "watch", Samples: 500}, nil); !errors.Is(err, ErrRemote) {
+		t.Fatalf("unbounded watch accepted: %v", err)
 	}
 }
 

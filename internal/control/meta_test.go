@@ -284,3 +284,124 @@ func TestMetaShardedAuditVerbs(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsTreeShardedCapsule is the control-protocol half of the
+// reflective loop's observation surface: for a capsule containing a
+// sharded CF, the parameterless "stats" verb (what `nkctl stats` sends)
+// returns the full aggregated tree — the CF's merged element stats at
+// its node, one lane child per replica whose arrival counters sum to
+// the dispatched total, and the replicas' inner constituents under the
+// lanes.
+func TestStatsTreeShardedCapsule(t *testing.T) {
+	outer := core.NewCapsule("sharded-stats")
+	fw, err := router.NewFramework(outer, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	replica := func(shard int, rfw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "cnt")
+		if err := rfw.Admit(name, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if _, err := rfw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sharded, err := router.NewShardedCF(outer, router.ShardConfig{Shards: shards}, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Admit("fwd", sharded); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Admit("sink", router.NewDropper()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.ConnectPush(outer, "fwd", "out", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := outer.StartAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = outer.StopAll(ctx) })
+
+	const total = 480
+	batch := make([]*router.Packet, 0, 16)
+	for i := 0; i < total; i++ {
+		raw, err := packet.BuildUDP4(
+			netip.AddrFrom4([4]byte{10, 2, 0, byte(i % 24)}),
+			netip.MustParseAddr("10.0.0.9"), 7000, 53, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, router.NewPacket(raw))
+		if len(batch) == 16 {
+			if err := sharded.PushBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sharded.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(fw)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = srv.Close()
+	})
+
+	var sd StatsData
+	if err := client.Do(&Request{Op: "stats"}, &sd); err != nil {
+		t.Fatal(err)
+	}
+	fwd, ok := sd.Tree.Find("fwd")
+	if !ok {
+		t.Fatalf("no fwd node in tree: %+v", sd.Tree)
+	}
+	if in, ok := fwd.Stat("packets_in"); !ok || in.Value != total {
+		t.Fatalf("fwd packets_in = %+v", fwd.Stats)
+	}
+	if out, ok := fwd.Stat("packets_out"); !ok || out.Value != total {
+		t.Fatalf("fwd packets_out = %+v", fwd.Stats)
+	}
+	if len(fwd.Children) != shards {
+		t.Fatalf("fwd has %d lanes, want %d", len(fwd.Children), shards)
+	}
+	var laneSum float64
+	for _, lane := range fwd.Children {
+		in, ok := lane.Stat("packets_in")
+		if !ok {
+			t.Fatalf("lane %s lacks packets_in", lane.Name)
+		}
+		laneSum += in.Value
+		if len(lane.Children) == 0 {
+			t.Fatalf("lane %s has no inner constituents", lane.Name)
+		}
+	}
+	if laneSum != total {
+		t.Fatalf("lane sum %v != dispatched %d", laneSum, total)
+	}
+	// The sink's uniform stats ride the same tree.
+	if sink, ok := sd.Tree.Find("sink"); !ok {
+		t.Fatal("no sink node")
+	} else if in, ok := sink.Stat("packets_in"); !ok || in.Value != total {
+		t.Fatalf("sink packets_in = %+v", sink.Stats)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netkit/core"
 )
 
 // Sentinel errors.
@@ -150,6 +152,20 @@ type NICStats struct {
 	RxFrames, TxFrames uint64
 	RxDrops, TxDrops   uint64
 	RxBytes, TxBytes   uint64
+}
+
+// List converts the snapshot into the uniform core.Stat representation,
+// so stratum-1 device counters flow into the same stats tree as the
+// component counters above them.
+func (st NICStats) List() []core.Stat {
+	return []core.Stat{
+		core.C("nic_rx_frames", "frames", st.RxFrames),
+		core.C("nic_tx_frames", "frames", st.TxFrames),
+		core.C("nic_rx_drops", "frames", st.RxDrops),
+		core.C("nic_tx_drops", "frames", st.TxDrops),
+		core.C("nic_rx_bytes", "bytes", st.RxBytes),
+		core.C("nic_tx_bytes", "bytes", st.TxBytes),
+	}
 }
 
 // Stats returns the device counters.
@@ -298,6 +314,16 @@ func (k *KernelChannel) Close() {
 // Stats reports (passed, dropped) frames.
 func (k *KernelChannel) Stats() (passed, dropped uint64) {
 	return k.passed.Load(), k.drops.Load()
+}
+
+// StatList reports the channel counters in the uniform core.Stat
+// representation (see NICStats.List).
+func (k *KernelChannel) StatList() []core.Stat {
+	return []core.Stat{
+		core.C("kchan_passed", "frames", k.passed.Load()),
+		core.C("kchan_drops", "frames", k.drops.Load()),
+		core.G("kchan_len", "frames", float64(len(k.q))),
+	}
 }
 
 // Len reports queued frames.

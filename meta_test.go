@@ -228,7 +228,7 @@ func TestMetaInterceptionUnderTraffic(t *testing.T) {
 	}
 	// Atomic reroute: every packet pushed was delivered downstream.
 	bStats, _ := netkit.Service[*router.Counter](capsule, "b", router.IPacketPushID)
-	if got := bStats.Stats().In; got != total+cycles {
+	if got := bStats.ElemStats().In; got != total+cycles {
 		t.Fatalf("downstream saw %d packets, want %d (lost during reroute)", got, total+cycles)
 	}
 }
@@ -462,5 +462,122 @@ func TestMetaShardedInstallAllAtomic(t *testing.T) {
 	bad := append(endpoints, netkit.Endpoint{Component: "nosuch", Receptacle: "out"})
 	if err := im.InstallAll(bad, "x", noop); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("unknown endpoint: %v", err)
+	}
+}
+
+// TestStatsMetaTree exercises the stats meta-view over a sharded capsule:
+// the full tree resolves per-replica lanes, component addressing works,
+// and Watch delivers successive snapshots.
+func TestStatsMetaTree(t *testing.T) {
+	capsule := core.NewCapsule("statsmeta")
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "cnt")
+		if err := fw.Admit(name, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sharded, err := router.NewShardedCF(capsule, router.ShardConfig{Shards: 2}, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("fwd", sharded); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("sink", router.NewDropper()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capsule.Bind("fwd", "out", "sink", router.IPacketPushID); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := capsule.StartAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = capsule.Close(ctx) }()
+
+	const total = 96
+	for i := 0; i < total; i++ {
+		b, err := packet.BuildUDP4(netip.MustParseAddr("10.0.0.7"),
+			netip.MustParseAddr("10.8.0.9"), uint16(1000+i%8), 99, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Push(router.NewPacket(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sharded.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sm := netkit.Meta(capsule).Stats()
+	tree := sm.Tree()
+	fwd, ok := tree.Find("fwd")
+	if !ok {
+		t.Fatalf("no fwd in tree: %+v", tree)
+	}
+	if in, ok := fwd.Stat("packets_in"); !ok || in.Value != total {
+		t.Fatalf("fwd packets_in = %+v", fwd.Stats)
+	}
+	// Per-replica lanes are addressable, and their arrivals sum to the
+	// dispatcher's count.
+	var laneSum float64
+	for i := 0; i < 2; i++ {
+		lane, ok := tree.Find(fmt.Sprintf("fwd/shard%d", i))
+		if !ok {
+			t.Fatalf("lane %d missing", i)
+		}
+		in, ok := lane.Stat("packets_in")
+		if !ok {
+			t.Fatalf("lane %d has no packets_in", i)
+		}
+		laneSum += in.Value
+		// The replica's inner constituents hang off the lane.
+		if _, ok := tree.Find(fmt.Sprintf("fwd/shard%d/s%d/cnt", i, i)); !ok {
+			t.Fatalf("lane %d constituents missing", i)
+		}
+	}
+	if laneSum != total {
+		t.Fatalf("lane sum %v != %d", laneSum, total)
+	}
+	// Component addressing matches the tree's subtree.
+	node, err := sm.Component("fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Children) != 2 {
+		t.Fatalf("fwd subtree has %d lanes", len(node.Children))
+	}
+	if _, err := sm.Component("ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("ghost lookup: %v", err)
+	}
+	// Merged aggregation follows the composite rule.
+	merged := sm.Merged()
+	found := false
+	for _, s := range merged {
+		if s.Name == "packets_in" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merged stats lack packets_in: %+v", merged)
+	}
+	// Watch streams snapshots until cancelled.
+	wctx, wcancel := context.WithCancel(ctx)
+	ch := sm.Watch(wctx, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, ok := <-ch; !ok {
+			t.Fatal("watch closed early")
+		}
+	}
+	wcancel()
+	for range ch {
 	}
 }

@@ -70,6 +70,35 @@ func (b *TokenBucket) Allow(n int) bool {
 	return false
 }
 
+// SetRate retunes the fill rate (bytes/sec) of a live bucket: the
+// resources meta-model's adaptation knob. Accumulated tokens are settled
+// at the old rate first, so the change takes effect from now, not
+// retroactively.
+func (b *TokenBucket) SetRate(rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("resources: token bucket rate %f", rate)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	b.rate = rate
+	return nil
+}
+
+// Rate reports the configured fill rate (bytes/sec).
+func (b *TokenBucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// Burst reports the configured burst ceiling (bytes).
+func (b *TokenBucket) Burst() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.burst
+}
+
 // Tokens reports the current token level (after refill).
 func (b *TokenBucket) Tokens() float64 {
 	b.mu.Lock()

@@ -307,7 +307,7 @@ func TestClassifierBatchEquivalence(t *testing.T) {
 		t.Fatalf("output b diverged: per-packet %v vs batch %v",
 			dstPorts(bPer.pkts), dstPorts(gotB))
 	}
-	per, bat := clsPer.Stats(), clsBat.Stats()
+	per, bat := clsPer.ElemStats(), clsBat.ElemStats()
 	if per.Dropped != bat.Dropped || per.In != bat.In {
 		t.Fatalf("stats diverged: %+v vs %+v", per, bat)
 	}
@@ -325,7 +325,7 @@ func TestFIFOQueueBatchOverflow(t *testing.T) {
 	if q.Len() != 4 {
 		t.Fatalf("queued %d, want 4", q.Len())
 	}
-	if st := q.Stats(); st.Dropped != 2 || st.In != 6 {
+	if st := q.ElemStats(); st.Dropped != 2 || st.In != 6 {
 		t.Fatalf("stats = %+v, want 2 dropped of 6", st)
 	}
 	got := q.PullBatch(nil, 10)

@@ -268,7 +268,7 @@ func TestHotSwapLossless(t *testing.T) {
 		t.Fatal("replacement missing")
 	}
 	// The replacement carries (most of) the traffic that flowed after the swap.
-	if replacement.Stats().In == 0 && mid.Stats().In == 0 {
+	if replacement.ElemStats().In == 0 && mid.ElemStats().In == 0 {
 		t.Fatal("no traffic accounted anywhere")
 	}
 	if err := c.Snapshot().Validate(); err != nil {
@@ -434,7 +434,7 @@ func TestNICSourceToSinkPipeline(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if src.Stats().In != n || snk.Stats().Out != uint64(n) {
+	if src.ElemStats().In != n || snk.ElemStats().Out != uint64(n) {
 		t.Fatalf("src=%+v snk=%+v", src.Stats(), snk.Stats())
 	}
 }
@@ -468,7 +468,7 @@ func TestNICSourcePooledBuffers(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.After(time.Second)
-	for d.Stats().Dropped < 1 {
+	for d.ElemStats().Dropped < 1 {
 		select {
 		case <-deadline:
 			t.Fatal("packet never delivered")
@@ -563,8 +563,8 @@ func TestTokenShaperPolices(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if out.count() != 2 || sh.Stats().Dropped != 1 {
-		t.Fatalf("conformed=%d dropped=%d", out.count(), sh.Stats().Dropped)
+	if out.count() != 2 || sh.ElemStats().Dropped != 1 {
+		t.Fatalf("conformed=%d dropped=%d", out.count(), sh.ElemStats().Dropped)
 	}
 	now = now.Add(time.Second) // refill
 	if err := sh.Push(NewPacket(append([]byte(nil), small...))); err != nil {

@@ -166,8 +166,14 @@ func (c *Classifier) PushBatch(batch []*Packet) error {
 	})
 }
 
-// Stats implements StatsReporter.
-func (c *Classifier) Stats() ElementStats { return c.snapshot() }
+// Stats implements core.IStats, adding the output-set and filter-table
+// sizes so the control plane sees classification capacity, not just flow.
+func (c *Classifier) Stats() []core.Stat {
+	snap := c.snap.Load()
+	return append(c.statList(),
+		core.G("classifier_outputs", "outputs", float64(len(snap.outs))),
+		core.G("classifier_filters", "filters", float64(len(c.table.Rules()))))
+}
 
 func init() {
 	core.Components.MustRegister(TypeClassifier, func(cfg map[string]string) (core.Component, error) {

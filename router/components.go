@@ -48,9 +48,31 @@ func (e *elementCounters) snapshot() ElementStats {
 	}
 }
 
-// StatsReporter is implemented by all standard components.
+// ElemStats returns the typed counter snapshot, promoted to every
+// component that embeds elementCounters. It is the struct-shaped
+// convenience alongside the uniform core.IStats capability.
+func (e *elementCounters) ElemStats() ElementStats { return e.snapshot() }
+
+// statList is the shared-counter part of the uniform core.IStats snapshot.
+func (e *elementCounters) statList() []core.Stat {
+	return []core.Stat{
+		core.C("packets_in", "packets", e.in.Load()),
+		core.C("packets_out", "packets", e.out.Load()),
+		core.C("packets_dropped", "packets", e.dropped.Load()),
+		core.C("errors", "errors", e.errs.Load()),
+	}
+}
+
+// Stats implements core.IStats with the shared counter set; components
+// with additional observables shadow this method and append to statList.
+func (e *elementCounters) Stats() []core.Stat { return e.statList() }
+
+// StatsReporter is implemented by all standard components: the typed
+// ElementStats accessor, retained alongside the uniform telemetry
+// capability core.IStats (Stats() []core.Stat) that every standard
+// component also implements.
 type StatsReporter interface {
-	Stats() ElementStats
+	ElemStats() ElementStats
 }
 
 // forward pushes p to the receptacle target, accounting the outcome; a
@@ -109,8 +131,10 @@ func (c *Counter) PushBatch(batch []*Packet) error {
 	return c.forwardBatch(c.out, batch)
 }
 
-// Stats implements StatsReporter.
-func (c *Counter) Stats() ElementStats { return c.snapshot() }
+// Stats implements core.IStats, adding the byte count.
+func (c *Counter) Stats() []core.Stat {
+	return append(c.statList(), core.C("bytes_in", "bytes", c.bytes.Load()))
+}
 
 // Bytes returns the cumulative byte count.
 func (c *Counter) Bytes() uint64 { return c.bytes.Load() }
@@ -148,9 +172,6 @@ func (d *Dropper) PushBatch(batch []*Packet) error {
 	}
 	return nil
 }
-
-// Stats implements StatsReporter.
-func (d *Dropper) Stats() ElementStats { return d.snapshot() }
 
 // ---------------------------------------------------------------------------
 // Tee
@@ -219,9 +240,6 @@ func (t *Tee) Push(p *Packet) error {
 	return firstErr
 }
 
-// Stats implements StatsReporter.
-func (t *Tee) Stats() ElementStats { return t.snapshot() }
-
 // ---------------------------------------------------------------------------
 // Protocol recogniser
 
@@ -278,9 +296,6 @@ func (r *ProtoRecogn) PushBatch(batch []*Packet) error {
 	r.in.Add(uint64(len(batch)))
 	return r.splitRuns(batch, r.output)
 }
-
-// Stats implements StatsReporter.
-func (r *ProtoRecogn) Stats() ElementStats { return r.snapshot() }
 
 // ---------------------------------------------------------------------------
 // IPv4 header processor
@@ -348,8 +363,12 @@ func (h *IPv4Proc) PushBatch(batch []*Packet) error {
 	})
 }
 
-// Stats implements StatsReporter.
-func (h *IPv4Proc) Stats() ElementStats { return h.snapshot() }
+// Stats implements core.IStats, adding the specialised drop causes.
+func (h *IPv4Proc) Stats() []core.Stat {
+	return append(h.statList(),
+		core.C("ttl_drops", "packets", h.ttlDrops.Load()),
+		core.C("checksum_drops", "packets", h.csDrops.Load()))
+}
 
 // TTLDrops returns packets dropped for TTL expiry.
 func (h *IPv4Proc) TTLDrops() uint64 { return h.ttlDrops.Load() }
@@ -401,8 +420,10 @@ func (h *IPv6Proc) PushBatch(batch []*Packet) error {
 	})
 }
 
-// Stats implements StatsReporter.
-func (h *IPv6Proc) Stats() ElementStats { return h.snapshot() }
+// Stats implements core.IStats, adding the specialised drop cause.
+func (h *IPv6Proc) Stats() []core.Stat {
+	return append(h.statList(), core.C("hop_drops", "packets", h.hopDrops.Load()))
+}
 
 // HopDrops returns packets dropped for hop-limit expiry.
 func (h *IPv6Proc) HopDrops() uint64 { return h.hopDrops.Load() }
@@ -447,9 +468,6 @@ func (v *ChecksumValidator) PushBatch(batch []*Packet) error {
 		return packet.Version(p.Data) != 4 || packet.ValidateIPv4Checksum(p.Data) == nil
 	})
 }
-
-// Stats implements StatsReporter.
-func (v *ChecksumValidator) Stats() ElementStats { return v.snapshot() }
 
 // ---------------------------------------------------------------------------
 // Factories

@@ -38,7 +38,7 @@ func ExampleForwardBatch() {
 	}
 	router.PutBatch(batch) // packets were handed off; recycle the slice
 
-	st := cnt.Stats()
+	st := cnt.ElemStats()
 	fmt.Printf("in=%d out=%d\n", st.In, st.Out)
 	// Output: in=4 out=4
 }

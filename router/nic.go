@@ -138,8 +138,11 @@ func (s *NICSource) wrap(batch []*Packet, frame []byte) []*Packet {
 	return append(batch, p)
 }
 
-// Stats implements StatsReporter.
-func (s *NICSource) Stats() ElementStats { return s.snapshot() }
+// Stats implements core.IStats, folding in the wrapped device's stratum-1
+// counters.
+func (s *NICSource) Stats() []core.Stat {
+	return append(s.statList(), s.nic.Stats().List()...)
+}
 
 // ---------------------------------------------------------------------------
 // NICSink
@@ -199,8 +202,11 @@ func (s *NICSink) PushBatch(batch []*Packet) error {
 	return nil
 }
 
-// Stats implements StatsReporter.
-func (s *NICSink) Stats() ElementStats { return s.snapshot() }
+// Stats implements core.IStats, folding in the wrapped device's stratum-1
+// counters.
+func (s *NICSink) Stats() []core.Stat {
+	return append(s.statList(), s.nic.Stats().List()...)
+}
 
 // ---------------------------------------------------------------------------
 // KernelSource
@@ -309,8 +315,10 @@ func (k *KernelSource) Stop(context.Context) error {
 	return nil
 }
 
-// Stats implements StatsReporter.
-func (k *KernelSource) Stats() ElementStats { return k.snapshot() }
+// Stats implements core.IStats, folding in the kernel channel's counters.
+func (k *KernelSource) Stats() []core.Stat {
+	return append(k.statList(), k.ch.StatList()...)
+}
 
 var (
 	_ core.Starter = (*NICSource)(nil)

@@ -140,8 +140,16 @@ func (q *FIFOQueue) Len() int {
 // Capacity reports the configured limit.
 func (q *FIFOQueue) Capacity() int { return len(q.ring) }
 
-// Stats implements StatsReporter.
-func (q *FIFOQueue) Stats() ElementStats { return q.snapshot() }
+// Stats implements core.IStats, adding the depth and occupancy gauges the
+// adaptation engine's queue rules watch.
+func (q *FIFOQueue) Stats() []core.Stat {
+	depth := q.Len()
+	capacity := len(q.ring)
+	return append(q.statList(),
+		core.G("queue_len", "packets", float64(depth)),
+		core.G("queue_cap", "packets", float64(capacity)),
+		core.G("queue_occupancy", "ratio", float64(depth)/float64(capacity)))
+}
 
 // ---------------------------------------------------------------------------
 // RED queue
@@ -350,8 +358,21 @@ func (q *REDQueue) EarlyDrops() uint64 { return q.earlyDrops.Load() }
 // ForcedDrops returns drops taken at or beyond the hard threshold.
 func (q *REDQueue) ForcedDrops() uint64 { return q.forcedDrops.Load() }
 
-// Stats implements StatsReporter.
-func (q *REDQueue) Stats() ElementStats { return q.snapshot() }
+// Stats implements core.IStats, adding depth/occupancy gauges, the EWMA
+// length RED decides on, and the early/forced drop split.
+func (q *REDQueue) Stats() []core.Stat {
+	q.mu.Lock()
+	depth, avg := q.size, q.avg
+	q.mu.Unlock()
+	capacity := len(q.ring)
+	return append(q.statList(),
+		core.G("queue_len", "packets", float64(depth)),
+		core.G("queue_cap", "packets", float64(capacity)),
+		core.G("queue_occupancy", "ratio", float64(depth)/float64(capacity)),
+		core.G("queue_avg_len", "packets", avg),
+		core.C("early_drops", "packets", q.earlyDrops.Load()),
+		core.C("forced_drops", "packets", q.forcedDrops.Load()))
+}
 
 func init() {
 	core.Components.MustRegister(TypeFIFOQueue, func(cfg map[string]string) (core.Component, error) {

@@ -93,10 +93,10 @@ func TestQuickPipelineConservation(t *testing.T) {
 		dropped := uint64(0)
 		for _, e := range chain {
 			if sr, ok := e.comp.(StatsReporter); ok {
-				dropped += sr.Stats().Dropped
+				dropped += sr.ElemStats().Dropped
 			}
 		}
-		return tail.Stats().In+dropped == uint64(total)
+		return tail.ElemStats().In+dropped == uint64(total)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestQuickHotSwapConserves(t *testing.T) {
 			return false
 		}
 		sent := <-done
-		if tail.Stats().In != uint64(sent) {
+		if tail.ElemStats().In != uint64(sent) {
 			return false
 		}
 		return capsule.Snapshot().Validate() == nil

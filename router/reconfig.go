@@ -147,9 +147,12 @@ func HotSwap(c *core.Capsule, oldName, newName string, newComp core.Component) e
 	return c.Remove(oldName)
 }
 
-// FIFOQueue state migration -------------------------------------------------
+// Queue state migration ------------------------------------------------------
 
-// fifoState is the exported form of a FIFOQueue's buffered packets.
+// fifoState is the exported form of a queue's buffered packets. FIFOQueue
+// and REDQueue both speak it, so hot-swap migrates state in either
+// direction — the FIFO↔RED substitution the adaptation engine performs
+// when sustained occupancy calls for (or no longer needs) early dropping.
 type fifoState struct {
 	packets []*Packet
 }
@@ -182,3 +185,52 @@ func (q *FIFOQueue) ImportState(state any) error {
 }
 
 var _ Exportable = (*FIFOQueue)(nil)
+
+// ExportState implements Exportable: it drains the RED queue.
+func (q *REDQueue) ExportState() any {
+	var ps []*Packet
+	for {
+		p, err := q.Pull()
+		if err != nil {
+			break
+		}
+		ps = append(ps, p)
+	}
+	return &fifoState{packets: ps}
+}
+
+// ImportState implements Exportable. Migrated packets were already
+// admitted by the predecessor queue, so they bypass RED's admission test
+// and enqueue directly; only a genuinely full ring drops (counted as a
+// forced drop), exactly as the per-packet path would at capacity. The
+// EWMA is seeded to the imported backlog, so a queue swapped in *because*
+// of congestion starts early-dropping immediately instead of spending
+// ~1/weight arrivals warming up from zero.
+func (q *REDQueue) ImportState(state any) error {
+	st, ok := state.(*fifoState)
+	if !ok {
+		return fmt.Errorf("router: red import: bad state %T", state)
+	}
+	for _, p := range st.packets {
+		q.in.Add(1)
+		q.mu.Lock()
+		if q.size == len(q.ring) {
+			q.mu.Unlock()
+			q.forcedDrops.Add(1)
+			q.dropped.Add(1)
+			p.Release()
+			continue
+		}
+		q.ring[(q.head+q.size)%len(q.ring)] = p
+		q.size++
+		q.mu.Unlock()
+	}
+	q.mu.Lock()
+	if avg := float64(q.size); q.avg < avg {
+		q.avg = avg
+	}
+	q.mu.Unlock()
+	return nil
+}
+
+var _ Exportable = (*REDQueue)(nil)

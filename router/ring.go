@@ -32,6 +32,11 @@ type spscRing struct {
 
 	wake  chan struct{} // producer -> consumer: ring became non-empty
 	space chan struct{} // consumer -> producer: ring gained capacity
+
+	// stalls counts enqueues that found the ring full and had to park —
+	// the back-pressure signal the stats tree exposes per lane, and the
+	// load indicator shard-scaling adaptation rules key on.
+	stalls atomic.Uint64
 }
 
 // newSPSCRing creates a ring with capacity rounded up to a power of two
@@ -61,8 +66,10 @@ func (r *spscRing) tryEnqueue(b []*Packet) bool {
 }
 
 // enqueue blocks until b is accepted or quit closes (returning false with
-// b not enqueued). Producer side only.
+// b not enqueued). Producer side only. A full ring counts one stall per
+// enqueue call, however many wait rounds it takes.
 func (r *spscRing) enqueue(b []*Packet, quit <-chan struct{}) bool {
+	stalled := false
 	for {
 		if r.tryEnqueue(b) {
 			select {
@@ -70,6 +77,10 @@ func (r *spscRing) enqueue(b []*Packet, quit <-chan struct{}) bool {
 			default:
 			}
 			return true
+		}
+		if !stalled {
+			stalled = true
+			r.stalls.Add(1)
 		}
 		select {
 		case <-r.space:

@@ -134,7 +134,7 @@ func TestCounterForwards(t *testing.T) {
 	if s.count() != 1 {
 		t.Fatal("not forwarded")
 	}
-	st := cnt.Stats()
+	st := cnt.ElemStats()
 	if st.In != 1 || st.Out != 1 || st.Dropped != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -148,7 +148,7 @@ func TestCounterUnboundDrops(t *testing.T) {
 	if err := cnt.Push(udpPkt(t, 1, 64)); err != nil {
 		t.Fatal(err)
 	}
-	if st := cnt.Stats(); st.Dropped != 1 {
+	if st := cnt.ElemStats(); st.Dropped != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -166,7 +166,7 @@ func TestDropperAbsorbs(t *testing.T) {
 	if pool.Stats().Live != 0 {
 		t.Fatal("dropper leaked pooled buffer")
 	}
-	if st := d.Stats(); st.Dropped != 1 {
+	if st := d.ElemStats(); st.Dropped != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -399,8 +399,8 @@ func TestChecksumValidator(t *testing.T) {
 	if s.count() != 2 {
 		t.Fatalf("forwarded = %d, want 2", s.count())
 	}
-	if v.Stats().Dropped != 1 {
-		t.Fatalf("dropped = %d", v.Stats().Dropped)
+	if v.ElemStats().Dropped != 1 {
+		t.Fatalf("dropped = %d", v.ElemStats().Dropped)
 	}
 }
 
@@ -456,8 +456,8 @@ func TestClassifierUnmatchedWithoutDefaultDrops(t *testing.T) {
 	if err := cls.Push(udpPkt(t, 1, 64)); err != nil {
 		t.Fatal(err)
 	}
-	if cls.Stats().Dropped != 1 {
-		t.Fatalf("dropped = %d", cls.Stats().Dropped)
+	if cls.ElemStats().Dropped != 1 {
+		t.Fatalf("dropped = %d", cls.ElemStats().Dropped)
 	}
 }
 
@@ -542,8 +542,8 @@ func TestFIFOQueuePushPull(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if q.Len() != 2 || q.Stats().Dropped != 1 {
-		t.Fatalf("len=%d dropped=%d", q.Len(), q.Stats().Dropped)
+	if q.Len() != 2 || q.ElemStats().Dropped != 1 {
+		t.Fatalf("len=%d dropped=%d", q.Len(), q.ElemStats().Dropped)
 	}
 	got, err := q.Pull()
 	if err != nil || got != p1 {

@@ -326,8 +326,13 @@ func (s *LinkScheduler) Stop(context.Context) error {
 	return nil
 }
 
-// Stats implements StatsReporter.
-func (s *LinkScheduler) Stats() ElementStats { return s.snapshot() }
+// Stats implements core.IStats, adding the input-set size.
+func (s *LinkScheduler) Stats() []core.Stat {
+	s.mu.Lock()
+	inputs := len(s.inputs)
+	s.mu.Unlock()
+	return append(s.statList(), core.G("sched_inputs", "inputs", float64(inputs)))
+}
 
 var (
 	_ core.Starter = (*LinkScheduler)(nil)

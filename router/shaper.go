@@ -56,11 +56,28 @@ func (s *TokenShaper) PushBatch(batch []*Packet) error {
 	})
 }
 
-// Stats implements StatsReporter.
-func (s *TokenShaper) Stats() ElementStats { return s.snapshot() }
+// Stats implements core.IStats, adding the bucket's decision counters and
+// the configured rate/burst gauges (the knobs the resources meta-model —
+// and therefore the adaptation engine — retunes).
+func (s *TokenShaper) Stats() []core.Stat {
+	allowed, denied := s.bucket.Stats()
+	return append(s.statList(),
+		core.C("shaper_allowed", "packets", allowed),
+		core.C("shaper_denied", "packets", denied),
+		core.G("shaper_rate", "bytes/sec", s.bucket.Rate()),
+		core.G("shaper_burst", "bytes", s.bucket.Burst()))
+}
 
 // BucketStats reports (allowed, denied) decisions.
 func (s *TokenShaper) BucketStats() (allowed, denied uint64) { return s.bucket.Stats() }
+
+// SetRate retunes the shaper's fill rate through the resources meta-model
+// (the bucket is the meta-model's bandwidth resource); it is the action
+// surface adapt rules use to adapt policing to measured drops.
+func (s *TokenShaper) SetRate(rate float64) error { return s.bucket.SetRate(rate) }
+
+// Rate reports the configured fill rate in bytes/sec.
+func (s *TokenShaper) Rate() float64 { return s.bucket.Rate() }
 
 func init() {
 	core.Components.MustRegister(TypeTokenShaper, func(cfg map[string]string) (core.Component, error) {

@@ -60,8 +60,13 @@ type ReplicaFactory func(shard int, fw *cf.Framework) (entry string, err error)
 
 // ShardConfig parameterises a ShardedCF.
 type ShardConfig struct {
-	// Shards is the replica count (required, >= 1).
+	// Shards is the replica count (required, >= 1). Every replica is
+	// built up front; ActiveShards selects how many the dispatcher
+	// spreads flows over.
 	Shards int
+	// ActiveShards is the initial number of lanes receiving traffic
+	// (default Shards). SetActiveShards rescales it at run time.
+	ActiveShards int
 	// RingDepth bounds each shard's SPSC ring in batches (default 256).
 	RingDepth int
 	// Hash overrides the dispatch hash (default FlowHash). It must be a
@@ -98,9 +103,18 @@ type ShardedCF struct {
 	shards []*shard
 	hash   func(*Packet) uint32
 
-	mu      sync.Mutex  // serialises Start/Stop/HotSwap
+	mu      sync.Mutex  // serialises Start/Stop/HotSwap/SetActiveShards
 	started atomic.Bool // read by dispatchers without taking mu
 	quit    chan struct{}
+
+	// active is the lane count the dispatcher spreads flows over
+	// (1..len(shards)). Rescaling is fenced without any cross-shard
+	// shared write on the fast path: a dispatcher snapshots active,
+	// splits by it, and re-validates the snapshot under the target
+	// shard's prodMu (which SetActiveShards holds for every lane while
+	// it drains and switches) — a stale snapshot retries with the new
+	// modulus, after the rescale has drained every old-modulus packet.
+	active atomic.Int32
 
 	stage sync.Pool // per-dispatch [][]*Packet scratch, one slot per shard
 }
@@ -140,6 +154,11 @@ func NewShardedCF(outer *core.Capsule, cfg ShardConfig, build ReplicaFactory) (*
 			egress:  newShardEgress(s),
 		}
 	}
+	if cfg.ActiveShards <= 0 || cfg.ActiveShards > cfg.Shards {
+		cfg.ActiveShards = cfg.Shards
+	}
+	s.active.Store(int32(cfg.ActiveShards))
+	s.SetAnnotation(AnnotActiveShards, strconv.Itoa(cfg.ActiveShards))
 	s.AddReceptacle("out", s.out)
 	s.Provide(IPacketPushID, s)
 	ctrl.s = s
@@ -198,8 +217,60 @@ func (c *shardController) Configure(inner *core.Capsule) error {
 	return nil
 }
 
+// AnnotActiveShards is the annotation through which the architecture
+// meta-model sees (and rescaling updates) the active lane count.
+const AnnotActiveShards = "netkit.shards.active"
+
 // Shards returns the replica count.
 func (s *ShardedCF) Shards() int { return len(s.shards) }
+
+// ActiveShards returns how many lanes the dispatcher currently spreads
+// flows over.
+func (s *ShardedCF) ActiveShards() int { return int(s.active.Load()) }
+
+// SetActiveShards rescales the dispatcher to n lanes (clamped to
+// [1, Shards]) without losing a packet or breaking per-flow ordering:
+// intake is fenced off by taking every lane's producer lock (traffic
+// back-pressures at the boundary), every already-accepted packet drains
+// through its replica, and only then does the modulus change — so no
+// flow has packets in two lanes at once. The change is recorded on the
+// AnnotActiveShards annotation, keeping the architecture meta-model's
+// view causally connected. ctx bounds the drain wait. Rescaling to the
+// current lane count is a cheap no-op (adaptation rules may re-fire
+// with an unchanged target).
+func (s *ShardedCF) SetActiveShards(ctx context.Context, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(s.shards) {
+		n = len(s.shards)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(s.active.Load()) == n {
+		return nil
+	}
+	// Take every producer lock: dispatchers already past their staleness
+	// check finish enqueueing first; everyone else blocks (or retries
+	// with the new modulus once we release).
+	for _, sh := range s.shards {
+		sh.prodMu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.prodMu.Unlock()
+		}
+	}()
+	// With intake fenced the workers drain what was already accepted.
+	if s.started.Load() {
+		if err := s.Quiesce(ctx); err != nil {
+			return fmt.Errorf("router: sharded CF: rescale drain: %w", err)
+		}
+	}
+	s.active.Store(int32(n))
+	s.SetAnnotation(AnnotActiveShards, strconv.Itoa(n))
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Lifecycle
@@ -290,15 +361,24 @@ func (s *ShardedCF) worker(sh *shard, quit <-chan struct{}) {
 // Push implements IPacketPush: the packet is flow-hashed onto its shard and
 // crosses as a batch of one. Sustained traffic should arrive via PushBatch.
 func (s *ShardedCF) Push(p *Packet) error {
-	sh := s.shards[int(s.hash(p)%uint32(len(s.shards)))]
-	b := GetBatch()
-	b = append(b, p)
-	if !s.dispatch(sh, b) {
-		s.dropStopped(b)
-		return ErrStopped
+	for {
+		a := s.active.Load()
+		sh := s.shards[int(s.hash(p)%uint32(a))]
+		b := GetBatch()
+		b = append(b, p)
+		switch s.dispatch(sh, b, a) {
+		case dispOK:
+			s.in.Add(1)
+			return nil
+		case dispStale:
+			// Rescaled between the snapshot and the lane lock; nothing
+			// was enqueued — retry under the new modulus.
+			PutBatch(b)
+		default:
+			s.dropStopped(b)
+			return ErrStopped
+		}
 	}
-	s.in.Add(1)
-	return nil
 }
 
 // PushBatch implements IPacketPushBatch: the batch is split by flow hash
@@ -306,63 +386,125 @@ func (s *ShardedCF) Push(p *Packet) error {
 // shard's ring as single hand-offs. Per-flow arrival order is preserved:
 // one flow hashes to one shard, sub-batches keep slice order, and rings
 // are FIFO. The incoming slice is not retained.
+//
+// A concurrent lane rescale is detected per dispatch (dispStale) and the
+// not-yet-dispatched remainder is re-split under the new modulus. That
+// re-split is order-safe: every packet enqueued under the old modulus
+// was fully drained through its replica before SetActiveShards published
+// the new one, and a flow's packets are all in one (re-split) lane.
 func (s *ShardedCF) PushBatch(batch []*Packet) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	n := uint32(len(s.shards))
-	if n == 1 {
-		b := GetBatch()
-		b = append(b, batch...)
-		if !s.dispatch(s.shards[0], b) {
-			s.dropStopped(b)
-			return ErrStopped
-		}
-		s.in.Add(uint64(len(batch)))
-		return nil
-	}
-	stage := s.stage.Get().([][]*Packet)
-	for _, p := range batch {
-		i := int(s.hash(p) % n)
-		if stage[i] == nil {
-			stage[i] = GetBatch()
-		}
-		stage[i] = append(stage[i], p)
-	}
 	var firstErr error
-	for i, b := range stage {
-		if b == nil {
-			continue
+	remaining := batch
+	pooled := false // remaining came from the batch pool (retry rounds)
+	release := func() {
+		if pooled {
+			PutBatch(remaining)
 		}
-		stage[i] = nil
-		if !s.dispatch(s.shards[i], b) {
-			s.dropStopped(b)
-			firstErr = ErrStopped
-			continue
-		}
-		s.in.Add(uint64(len(b)))
 	}
-	s.stage.Put(stage)
-	return firstErr
+	for {
+		n := uint32(s.active.Load())
+		if n == 1 {
+			b := GetBatch()
+			b = append(b, remaining...)
+			switch s.dispatch(s.shards[0], b, 1) {
+			case dispOK:
+				s.in.Add(uint64(len(b)))
+				release()
+				return firstErr
+			case dispStale:
+				PutBatch(b)
+				continue
+			default:
+				s.dropStopped(b)
+				release()
+				if firstErr == nil {
+					firstErr = ErrStopped
+				}
+				return firstErr
+			}
+		}
+		stage := s.stage.Get().([][]*Packet)
+		for _, p := range remaining {
+			i := int(s.hash(p) % n)
+			if stage[i] == nil {
+				stage[i] = GetBatch()
+			}
+			stage[i] = append(stage[i], p)
+		}
+		release()
+		var retry []*Packet
+		for i, b := range stage {
+			if b == nil {
+				continue
+			}
+			stage[i] = nil
+			if retry != nil {
+				// Already saw a stale lane this round: stage the rest
+				// for the re-split instead of dispatching on the old
+				// modulus.
+				retry = append(retry, b...)
+				PutBatch(b)
+				continue
+			}
+			switch s.dispatch(s.shards[i], b, int32(n)) {
+			case dispOK:
+				s.in.Add(uint64(len(b)))
+			case dispStale:
+				retry = append(GetBatch(), b...)
+				PutBatch(b)
+			default:
+				s.dropStopped(b)
+				if firstErr == nil {
+					firstErr = ErrStopped
+				}
+			}
+		}
+		s.stage.Put(stage)
+		if retry == nil {
+			return firstErr
+		}
+		remaining, pooled = retry, true
+	}
 }
 
+// dispResult is the outcome of one lane dispatch.
+type dispResult int
+
+const (
+	dispOK      dispResult = iota // enqueued; ownership passed to the worker
+	dispStopped                   // CF stopped; batch not enqueued
+	dispStale                     // lane count changed since the snapshot; retry
+)
+
 // dispatch hands one pooled batch to a shard's ring, blocking for space
-// (back-pressure, never loss) unless the CF is stopped. Ownership of the
-// batch slice passes to the worker on success.
-func (s *ShardedCF) dispatch(sh *shard, b []*Packet) bool {
-	sh.inflight.Add(int64(len(b)))
+// (back-pressure, never loss) unless the CF is stopped. seenActive is the
+// lane-count snapshot the caller hashed under; it is re-validated under
+// the lane's producer lock so a concurrent rescale (which holds every
+// producer lock while it drains) can never interleave with an
+// old-modulus enqueue. Ownership of the batch slice passes to the worker
+// only on dispOK. The inflight increment happens inside the lock, so a
+// producer parked on a rescale's fence is not counted as in flight.
+func (s *ShardedCF) dispatch(sh *shard, b []*Packet, seenActive int32) dispResult {
 	sh.prodMu.Lock()
 	if !s.started.Load() {
 		sh.prodMu.Unlock()
-		sh.inflight.Add(-int64(len(b)))
-		return false
+		return dispStopped
 	}
+	if s.active.Load() != seenActive {
+		sh.prodMu.Unlock()
+		return dispStale
+	}
+	sh.inflight.Add(int64(len(b)))
 	ok := sh.ring.enqueue(b, s.quit)
 	sh.prodMu.Unlock()
 	if !ok {
 		sh.inflight.Add(-int64(len(b)))
+		return dispStopped
 	}
-	return ok
+	return dispOK
 }
 
 // dropStopped releases and accounts a batch refused by a stopped CF.
@@ -543,10 +685,10 @@ func removeAbandoned(c *core.Capsule, name string) error {
 // ---------------------------------------------------------------------------
 // Stats
 
-// Stats implements StatsReporter for the CF as one element: In counts
-// packets accepted by the dispatcher, Out packets merged out of the
-// egresses, Dropped/Errors aggregate the dispatcher and the endpoints.
-func (s *ShardedCF) Stats() ElementStats {
+// ElemStats reports the CF as one element: In counts packets accepted by
+// the dispatcher, Out packets merged out of the egresses, Dropped/Errors
+// aggregate the dispatcher and the endpoints.
+func (s *ShardedCF) ElemStats() ElementStats {
 	agg := s.snapshot()
 	for _, sh := range s.shards {
 		e := sh.egress.snapshot()
@@ -570,6 +712,65 @@ func (s *ShardedCF) ShardStats(i int) ElementStats {
 		Dropped: in.Dropped + eg.Dropped,
 		Errors:  in.Errors + eg.Errors,
 	}
+}
+
+// Stats implements core.IStats for the CF as one element (merged across
+// the dispatcher and every lane endpoint), plus the lane-count gauges.
+// Defined explicitly: the embedded cf.Composite and elementCounters both
+// carry a Stats method, and the merged element view is the right one.
+func (s *ShardedCF) Stats() []core.Stat {
+	st := s.ElemStats()
+	return []core.Stat{
+		core.C("packets_in", "packets", st.In),
+		core.C("packets_out", "packets", st.Out),
+		core.C("packets_dropped", "packets", st.Dropped),
+		core.C("errors", "errors", st.Errors),
+		core.G("shards", "lanes", float64(len(s.shards))),
+		core.G("shards_active", "lanes", float64(s.active.Load())),
+	}
+}
+
+// laneStats is one replica lane's uniform snapshot: its element counters
+// plus the SPSC ring's depth and back-pressure stalls.
+func (s *ShardedCF) laneStats(i int) []core.Stat {
+	sh := s.shards[i]
+	st := s.ShardStats(i)
+	return []core.Stat{
+		core.C("packets_in", "packets", st.In),
+		core.C("packets_out", "packets", st.Out),
+		core.C("packets_dropped", "packets", st.Dropped),
+		core.C("errors", "errors", st.Errors),
+		core.G("ring_batches", "batches", float64(sh.ring.len())),
+		core.C("ring_stalls", "stalls", sh.ring.stalls.Load()),
+		core.G("inflight", "packets", float64(sh.inflight.Load())),
+	}
+}
+
+// StatsTree implements core.IStatsTree: the CF's own merged stats at the
+// root, one "shard<i>" child per replica lane carrying the lane counters
+// and ring gauges, and under each lane the replica's inner constituents
+// (grouped by their cf.AnnotReplica annotation). This is how a sharded
+// data plane stays ONE component to the meta-space while the stats
+// capability still resolves per-replica detail.
+func (s *ShardedCF) StatsTree() core.StatNode {
+	node := core.StatNode{Type: s.TypeName(), Stats: s.Stats()}
+	inner := s.Inner()
+	replicas := s.Replicas()
+	for i := range s.shards {
+		lane := core.StatNode{
+			Name:  "shard" + strconv.Itoa(i),
+			Stats: s.laneStats(i),
+		}
+		for _, name := range replicas[strconv.Itoa(i)] {
+			comp, ok := inner.Component(name)
+			if !ok {
+				continue
+			}
+			lane.Children = append(lane.Children, core.ComponentStats(name, comp))
+		}
+		node.Children = append(node.Children, lane)
+	}
+	return node
 }
 
 // ---------------------------------------------------------------------------
@@ -626,17 +827,13 @@ func (e *shardEgress) PushBatch(batch []*Packet) error {
 	return e.forwardBatch(e.parent.out, batch)
 }
 
-// Stats implements StatsReporter.
-func (e *shardEgress) Stats() ElementStats { return e.snapshot() }
-
-// Stats implements StatsReporter.
-func (g *shardIngress) Stats() ElementStats { return g.snapshot() }
-
 var (
 	_ core.Starter     = (*ShardedCF)(nil)
 	_ core.Stopper     = (*ShardedCF)(nil)
 	_ IPacketPushBatch = (*ShardedCF)(nil)
 	_ IPacketPushBatch = (*shardEgress)(nil)
 	_ StatsReporter    = (*ShardedCF)(nil)
+	_ core.IStats      = (*ShardedCF)(nil)
+	_ core.IStatsTree  = (*ShardedCF)(nil)
 	_ core.Component   = (*ShardedCF)(nil)
 )

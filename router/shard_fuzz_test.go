@@ -231,6 +231,35 @@ func FuzzBatchEquivalence(f *testing.F) {
 			t.Fatalf("sharded delivered %d, single delivered %d",
 				shardedSink.total(), refSink.total())
 		}
+
+		// Stats conservation over the uniform IStats surface: the sum of
+		// the per-replica lane arrival counters equals the merged egress
+		// count — no packet is double-counted or lost between the
+		// dispatcher's lanes and the merge.
+		tree := sharded.StatsTree()
+		var laneIn, laneOut float64
+		lanes := 0
+		for _, ch := range tree.Children {
+			in, ok1 := ch.Stat("packets_in")
+			out, ok2 := ch.Stat("packets_out")
+			if !ok1 || !ok2 {
+				t.Fatalf("lane %s lacks packet counters: %+v", ch.Name, ch.Stats)
+			}
+			laneIn += in.Value
+			laneOut += out.Value
+			lanes++
+		}
+		if lanes != shards {
+			t.Fatalf("stats tree has %d lanes, want %d", lanes, shards)
+		}
+		merged := sharded.ElemStats()
+		if uint64(laneIn) != merged.In || uint64(laneOut) != merged.Out {
+			t.Fatalf("lane sums in=%v out=%v, merged in=%d out=%d",
+				laneIn, laneOut, merged.In, merged.Out)
+		}
+		if merged.Out != uint64(total) || merged.Dropped != 0 {
+			t.Fatalf("merged egress %d (dropped %d), want %d", merged.Out, merged.Dropped, total)
+		}
 		shardedSink.mu.Lock()
 		refSink.mu.Lock()
 		defer shardedSink.mu.Unlock()

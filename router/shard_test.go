@@ -227,7 +227,7 @@ func TestShardedCFDeliversAllPerFlowInOrder(t *testing.T) {
 	}
 	sink.perFlowInOrder(t)
 
-	stats := s.Stats()
+	stats := s.ElemStats()
 	if stats.In != uint64(total) || stats.Out != uint64(total) || stats.Dropped != 0 {
 		t.Fatalf("aggregate stats %+v, want in=out=%d", stats, total)
 	}
@@ -320,7 +320,7 @@ func TestShardedCFStopDrainsThenRefuses(t *testing.T) {
 	if err := s.Push(mkFlowPacket(t, 1, 0)); !errors.Is(err, ErrStopped) {
 		t.Fatalf("push after stop: %v", err)
 	}
-	if s.Stats().Dropped != 1 {
+	if s.ElemStats().Dropped != 1 {
 		t.Fatalf("refused packet not counted: %+v", s.Stats())
 	}
 	// Restart: the CF accepts traffic again.
@@ -557,7 +557,7 @@ func TestShardedCFHotSwapLosslessUnderLoad(t *testing.T) {
 
 	// Audit-count conservation: dispatcher in == sum of shard ins == sink
 	// deliveries, and nothing dropped anywhere in the sharded CF.
-	stats := s.Stats()
+	stats := s.ElemStats()
 	if stats.In != uint64(total) || stats.Dropped != 0 || stats.Errors != 0 {
 		t.Fatalf("aggregate stats %+v, want in=%d dropped=0", stats, total)
 	}
@@ -897,4 +897,102 @@ func TestShardedCFHotSwapRetryAfterInsertFailure(t *testing.T) {
 	quiesce(t, s)
 	waitSinkTotal(t, sink, n)
 	sink.perFlowInOrder(t)
+}
+
+// ---- active-lane rescaling -------------------------------------------------
+
+// TestSetActiveShardsRescaleUnderTraffic drives continuous multi-flow
+// traffic through a 4-lane CF while repeatedly rescaling the dispatcher
+// 1 -> 4 -> 2 -> 4 lanes. The contract matches HotSwap's: zero loss
+// (back-pressure during the drain window, never drops) and per-flow
+// order preserved across every rescale, because a rescale only commits
+// once every accepted packet has drained through its old lane.
+func TestSetActiveShardsRescaleUnderTraffic(t *testing.T) {
+	_, s, sink := buildShardedActive(t, 4, 1, counterReplica)
+	if got := s.ActiveShards(); got != 1 {
+		t.Fatalf("initial active = %d, want 1", got)
+	}
+
+	const flows = 16
+	const perFlow = 800
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seqs := make([]uint32, flows)
+		for round := 0; round < perFlow; round++ {
+			batch := GetBatch()
+			for f := 0; f < flows; f++ {
+				batch = append(batch, mkFlowPacket(t, uint32(f), seqs[f]))
+				seqs[f]++
+			}
+			if err := s.PushBatch(batch); err != nil {
+				t.Error(err)
+			}
+			PutBatch(batch)
+		}
+	}()
+	for _, target := range []int{4, 2, 4} {
+		time.Sleep(2 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := s.SetActiveShards(ctx, target); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		if got := s.ActiveShards(); got != target {
+			t.Fatalf("active = %d, want %d", got, target)
+		}
+	}
+	<-done
+	quiesce(t, s)
+
+	const total = flows * perFlow
+	waitSinkTotal(t, sink, total)
+	sink.perFlowInOrder(t)
+	if st := s.ElemStats(); st.In != total || st.Out != total || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want in=out=%d dropped=0", st, total)
+	}
+	// The annotation tracks the final lane count for the meta-space.
+	if v := s.Annotations()[AnnotActiveShards]; v != "4" {
+		t.Fatalf("annotation %q, want 4", v)
+	}
+	// Clamping: out-of-range targets saturate instead of failing.
+	ctx := context.Background()
+	if err := s.SetActiveShards(ctx, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveShards(); got != 4 {
+		t.Fatalf("clamped high = %d, want 4", got)
+	}
+	if err := s.SetActiveShards(ctx, -3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveShards(); got != 1 {
+		t.Fatalf("clamped low = %d, want 1", got)
+	}
+}
+
+// buildShardedActive is buildSharded with an explicit initial active-lane
+// count.
+func buildShardedActive(t *testing.T, n, active int, build ReplicaFactory) (*core.Capsule, *ShardedCF, *recordingSink) {
+	t.Helper()
+	capsule := core.NewCapsule("shardtest")
+	s, err := NewShardedCF(capsule, ShardConfig{Shards: n, ActiveShards: active}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newRecordingSink()
+	if err := capsule.Insert("sharded", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectPush(capsule, "sharded", "out", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.StartAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = capsule.StopAll(context.Background()) })
+	return capsule, s, sink
 }

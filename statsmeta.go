@@ -1,0 +1,82 @@
+// statsmeta.go is the telemetry view of the unified meta-space: the
+// capsule-wide stats tree built from the uniform core.IStats capability.
+// It is the "inspect" half of the reflective loop — the adapt package's
+// engine samples the same tree to decide when to reconfigure the running
+// data plane through the other meta-models.
+
+package netkit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netkit/core"
+)
+
+// Stats returns the stats meta-view: snapshots and sampled watches of the
+// capsule-wide telemetry tree.
+func (m *MetaSpace) Stats() *StatsMeta {
+	return &StatsMeta{capsule: m.capsule}
+}
+
+// StatsMeta exposes one capsule's stats tree.
+type StatsMeta struct {
+	capsule *core.Capsule
+}
+
+// Tree snapshots the capsule-wide stats tree: one child per component,
+// recursing through composites (a sharded CF contributes per-replica lane
+// nodes). Cheap — atomic loads throughout — so it is safe to call on a
+// sampling tick while traffic runs.
+func (sm *StatsMeta) Tree() core.StatNode {
+	return core.CapsuleStats(sm.capsule)
+}
+
+// Component snapshots one component's subtree, addressed by instance name.
+func (sm *StatsMeta) Component(name string) (core.StatNode, error) {
+	comp, ok := sm.capsule.Component(name)
+	if !ok {
+		return core.StatNode{}, fmt.Errorf("netkit: component %q: %w", name, core.ErrNotFound)
+	}
+	return core.ComponentStats(name, comp), nil
+}
+
+// Merged aggregates the whole tree to one stat list under the composite
+// aggregation rule (counters sum, ratio gauges average).
+func (sm *StatsMeta) Merged() []core.Stat {
+	tree := sm.Tree()
+	groups := make([][]core.Stat, 0, len(tree.Children))
+	for _, ch := range tree.Children {
+		groups = append(groups, ch.Stats)
+	}
+	return core.MergeStats(groups...)
+}
+
+// Watch samples the stats tree every interval and delivers snapshots on
+// the returned channel until ctx is cancelled; the channel closes when
+// the watch ends. The first sample is immediate.
+func (sm *StatsMeta) Watch(ctx context.Context, interval time.Duration) <-chan core.StatNode {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	out := make(chan core.StatNode, 1)
+	go func() {
+		defer close(out)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case out <- sm.Tree():
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
