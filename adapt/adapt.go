@@ -79,6 +79,48 @@ func (v View) Rate(path, stat string) (float64, bool) {
 	return d / v.Elapsed.Seconds(), true
 }
 
+// Quantile resolves the q-quantile of a histogram stat at path in the
+// current snapshot — the cumulative, since-start distribution.
+func (v View) Quantile(path, stat string, q float64) (float64, bool) {
+	n, ok := v.Now.Find(path)
+	if !ok {
+		return 0, false
+	}
+	s, ok := n.Stat(stat)
+	if !ok || s.Kind != core.KindHistogram || s.Hist == nil || s.Hist.Count == 0 {
+		return 0, false
+	}
+	return s.Hist.Quantile(q), true
+}
+
+// WindowQuantile resolves the q-quantile of a histogram stat over the last
+// tick only: the bucket-wise difference of the current and previous
+// cumulative snapshots (core.HistSnapshot.Sub). This is the SLO view — a
+// latency regression shows up here within one tick, where the cumulative
+// quantile would stay diluted by history. The first tick, a missing stat,
+// and an empty window all report false.
+func (v View) WindowQuantile(path, stat string, q float64) (float64, bool) {
+	n, ok := v.Now.Find(path)
+	if !ok {
+		return 0, false
+	}
+	s, ok := n.Stat(stat)
+	if !ok || s.Kind != core.KindHistogram || s.Hist == nil {
+		return 0, false
+	}
+	var prev *core.HistSnapshot
+	if pn, ok := v.Prev.Find(path); ok {
+		if ps, ok := pn.Stat(stat); ok {
+			prev = ps.Hist
+		}
+	}
+	w := s.Hist.Sub(prev)
+	if w == nil || w.Count == 0 {
+		return 0, false
+	}
+	return w.Quantile(q), true
+}
+
 // Condition decides, from one View, whether a rule wants to fire.
 // Conditions must be pure observations: no meta-space mutation.
 type Condition func(View) bool

@@ -614,3 +614,223 @@ func TestEngineMechanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// delayStage is a pass-through pipeline stage that sleeps per packet — the
+// latency fault the P99 SLO loop detects and removes.
+type delayStage struct {
+	*core.Base
+	out   *core.Receptacle[router.IPacketPush]
+	delay time.Duration
+}
+
+func newDelayStage(d time.Duration) *delayStage {
+	s := &delayStage{Base: core.NewBase("test.delayStage"), delay: d}
+	s.out = core.NewReceptacle[router.IPacketPush](router.IPacketPushID)
+	s.AddReceptacle("out", s.out)
+	s.Provide(router.IPacketPushID, s)
+	return s
+}
+
+func (s *delayStage) Push(p *router.Packet) error {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	dst, ok := s.out.Get()
+	if !ok {
+		p.Release()
+		return core.ErrNotBound
+	}
+	return dst.Push(p)
+}
+
+func (s *delayStage) PushBatch(batch []*router.Packet) error {
+	if s.delay > 0 {
+		time.Sleep(s.delay * time.Duration(len(batch)))
+	}
+	dst, ok := s.out.Get()
+	if !ok {
+		for _, p := range batch {
+			p.Release()
+		}
+		return core.ErrNotBound
+	}
+	return router.ForwardBatch(dst, batch)
+}
+
+// TestViewQuantileHelpers pins the windowed-vs-cumulative semantics the
+// SLO conditions rely on: a small latency regression is invisible to the
+// cumulative quantile (diluted by history) but trips the windowed one
+// immediately.
+func TestViewQuantileHelpers(t *testing.T) {
+	const fast, slow = uint64(50_000), uint64(20_000_000) // 50µs vs 20ms
+	h := core.NewHistogram()
+	for i := 0; i < 10_000; i++ {
+		h.Record(fast)
+	}
+	prev := core.StatNode{Children: []core.StatNode{{
+		Name: "fwd", Stats: []core.Stat{core.H(router.StatLatency, "ns", h.Snapshot())},
+	}}}
+	for i := 0; i < 50; i++ { // regression: 50 slow packets, 0.5% of total
+		h.Record(slow)
+	}
+	now := core.StatNode{Children: []core.StatNode{{
+		Name: "fwd", Stats: []core.Stat{core.H(router.StatLatency, "ns", h.Snapshot())},
+	}}}
+	v := View{Now: now, Prev: prev, Elapsed: time.Second}
+
+	if q, ok := v.Quantile("fwd", router.StatLatency, 0.99); !ok || q > float64(fast)*1.1 {
+		t.Fatalf("cumulative p99 %v/%v should still read fast", q, ok)
+	}
+	if q, ok := v.WindowQuantile("fwd", router.StatLatency, 0.99); !ok || q < float64(slow)*0.9 {
+		t.Fatalf("windowed p99 %v/%v should read the regression", q, ok)
+	}
+	if QuantileAbove("fwd", router.StatLatency, 0.99, float64(time.Millisecond))(v) {
+		t.Fatal("cumulative condition must not see a 0.5%% regression yet")
+	}
+	if !P99Above("fwd", time.Millisecond)(v) {
+		t.Fatal("windowed P99Above must see the regression")
+	}
+	// Absent data reads as "not holding", like every other condition.
+	if P99Above("nope", time.Millisecond)(v) {
+		t.Fatal("missing path must not hold")
+	}
+	if _, ok := v.WindowQuantile("fwd", "packets_in", 0.99); ok {
+		t.Fatal("non-histogram stat must not answer quantiles")
+	}
+	// Empty window (no new observations) reads false too.
+	same := View{Now: now, Prev: now, Elapsed: time.Second}
+	if _, ok := same.WindowQuantile("fwd", router.StatLatency, 0.99); ok {
+		t.Fatal("empty window must not answer")
+	}
+}
+
+// TestClosedLoopP99HotSwap is the acceptance scenario for the tail-latency
+// half of the SLO loop: a sharded plane whose replicas contain a slow
+// stage; the engine — watching only the windowed p99 of the plane's
+// latency histogram stat — detects the SLO breach and hot-swaps the stage
+// in every replica through the architecture meta-model. The windowed p99
+// then recovers below the threshold, demonstrating the loop closes.
+func TestClosedLoopP99HotSwap(t *testing.T) {
+	const lanes = 2
+	const slo = 2 * time.Millisecond
+	capsule := core.NewCapsule("slo")
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		name := router.ShardName(shard, "stage")
+		if err := fw.Admit(name, newDelayStage(5*time.Millisecond)); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(name, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+	sharded, err := router.NewShardedCF(capsule,
+		router.ShardConfig{Shards: lanes, LatencyHistogram: true}, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("fwd", sharded); err != nil {
+		t.Fatal(err)
+	}
+	sink := newSeqSink()
+	if err := capsule.Insert("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capsule.Bind("fwd", "out", "sink", router.IPacketPushID); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := make(chan Firing, 8)
+	eng := NewEngine(capsule,
+		Options{Interval: 2 * time.Millisecond, OnFire: func(f Firing) { fired <- f }},
+		Rule{
+			Name:    "p99-slo",
+			When:    P99Above("fwd", slo),
+			Sustain: 2,
+			Once:    true,
+			Then: ShardSwap("fwd", "stage", "stage2", func(int) (core.Component, error) {
+				return newDelayStage(0), nil
+			}),
+		})
+	if err := capsule.Insert("adapt", eng); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := capsule.StartAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = capsule.Close(ctx) }()
+
+	// Pre-built frames so the pump goroutine never touches testing.T.
+	const flows = 16
+	frames := make([][]byte, flows)
+	for f := range frames {
+		frames[f] = mkUDP(t, uint16(f), 0)
+	}
+	var sent atomic.Uint64
+	pump := func(stop <-chan struct{}) {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sharded.Push(router.NewPacket(frames[i%flows]))
+			sent.Add(1)
+			i++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	stopSlow := make(chan struct{})
+	go pump(stopSlow)
+	waitFiring(t, fired, "p99-slo", 15*time.Second)
+	close(stopSlow)
+
+	// The architecture changed in every replica: stage -> stage2.
+	inner := sharded.Inner()
+	for i := 0; i < lanes; i++ {
+		if _, ok := inner.Component(router.ShardName(i, "stage")); ok {
+			t.Fatalf("shard %d still carries the slow stage", i)
+		}
+		if _, ok := inner.Component(router.ShardName(i, "stage2")); !ok {
+			t.Fatalf("shard %d missing the replacement stage", i)
+		}
+	}
+
+	// Drain the slow-era backlog (old Born stamps would pollute the
+	// recovery window), then measure a fresh window over the fast plane.
+	latHist := func() *core.HistSnapshot {
+		for _, s := range sharded.Stats() {
+			if s.Name == router.StatLatency {
+				return s.Hist
+			}
+		}
+		t.Fatal("no latency stat on the sharded CF")
+		return nil
+	}
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sharded.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+	base := latHist()
+	stopFast := make(chan struct{})
+	go pump(stopFast)
+	time.Sleep(100 * time.Millisecond)
+	close(stopFast)
+	if err := sharded.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+	window := latHist().Sub(base)
+	if window.Count == 0 {
+		t.Fatal("recovery window recorded nothing")
+	}
+	if p99 := window.Quantile(0.99); p99 >= float64(slo) {
+		t.Fatalf("post-swap windowed p99 = %vns, SLO %v not recovered", p99, slo)
+	}
+	if got := eng.History(); len(got) != 1 {
+		t.Fatalf("history = %+v, want exactly one firing", got)
+	}
+}

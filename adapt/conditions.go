@@ -1,6 +1,11 @@
 package adapt
 
-import "strings"
+import (
+	"strings"
+	"time"
+
+	"netkit/router"
+)
 
 // Condition combinators and the standard observations rules are built
 // from. Every helper resolves its subject in the stats tree by the same
@@ -38,6 +43,31 @@ func DeltaAbove(path, stat string, delta float64) Condition {
 	return func(v View) bool {
 		d, ok := v.Delta(path, stat)
 		return ok && d > delta
+	}
+}
+
+// QuantileAbove holds when the q-quantile of the histogram stat at path —
+// cumulative since start — exceeds threshold. For SLO rules prefer
+// P99Above: a cumulative quantile answers "how has the system done so
+// far", which both lags regressions and never un-holds after one.
+func QuantileAbove(path, stat string, q, threshold float64) Condition {
+	return func(v View) bool {
+		val, ok := v.Quantile(path, stat, q)
+		return ok && val > threshold
+	}
+}
+
+// P99Above is the standard tail-latency SLO trigger: it holds when the
+// 99th percentile of the router.StatLatency histogram at path, measured
+// over the LAST TICK ONLY (windowed via core.HistSnapshot.Sub), exceeds
+// threshold. Pair it with Sustain to ride out one-tick spikes and with a
+// reconfiguration action (shard rescale, hot-swap to a cheaper stage) to
+// close the loop; the windowed reading then recovers as soon as the
+// reconfigured plane's tail does, so the rule also un-holds by itself.
+func P99Above(path string, threshold time.Duration) Condition {
+	return func(v View) bool {
+		val, ok := v.WindowQuantile(path, router.StatLatency, 0.99)
+		return ok && val > float64(threshold)
 	}
 }
 

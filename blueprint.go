@@ -98,8 +98,16 @@ func (b *Blueprint) Connect(from, receptacle, to string) *Blueprint {
 // where the replicas merge, so it composes with Pipe like any single-lane
 // component: NewBlueprint("r").Shards("fwd", 4, replica).Pipe("fwd", "sink").
 func (b *Blueprint) Shards(name string, n int, build router.ReplicaFactory) *Blueprint {
-	return b.step(fmt.Sprintf("shards %s x%d", name, n), func(c *core.Capsule) error {
-		sc, err := router.NewShardedCF(c, router.ShardConfig{Shards: n}, build)
+	return b.ShardsCfg(name, router.ShardConfig{Shards: n}, build)
+}
+
+// ShardsCfg is Shards with the full router.ShardConfig exposed — ring
+// depth, initial active lanes, a custom dispatch hash, or the per-lane
+// latency histograms (ShardConfig.LatencyHistogram) that load harnesses
+// and tail-latency SLO rules read.
+func (b *Blueprint) ShardsCfg(name string, cfg router.ShardConfig, build router.ReplicaFactory) *Blueprint {
+	return b.step(fmt.Sprintf("shards %s x%d", name, cfg.Shards), func(c *core.Capsule) error {
+		sc, err := router.NewShardedCF(c, cfg, build)
 		if err != nil {
 			return err
 		}

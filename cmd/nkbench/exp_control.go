@@ -1,0 +1,382 @@
+// Control-plane experiments: reconfiguration, coordination, adaptation.
+// E4 lossless hot-swap, E7 IXP1200 placement, E8 reservation signaling,
+// E9 virtual-network spawning, E13 closed-loop adaptation.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"netkit/adapt"
+	"netkit/core"
+	"netkit/internal/baseline"
+	"netkit/internal/coord"
+	"netkit/internal/ixp"
+	"netkit/internal/netsim"
+	"netkit/internal/trace"
+	"netkit/router"
+)
+
+func e4Reconfigure() {
+	header("E4", "run-time reconfiguration: lossless hot-swap vs Click rebuild")
+	capsule := core.NewCapsule("e4")
+	head := router.NewCounter()
+	mid := router.NewCounter()
+	tail := router.NewCounter()
+	must(capsule.Insert("head", head))
+	must(capsule.Insert("mid", mid))
+	must(capsule.Insert("tail", tail))
+	_, err := router.ConnectPush(capsule, "head", "out", "mid")
+	must(err)
+	_, err = router.ConnectPush(capsule, "mid", "out", "tail")
+	must(err)
+
+	const total = 100_000
+	done := make(chan int)
+	go func() {
+		sent := 0
+		for i := 0; i < total; i++ {
+			if head.Push(mustPacket(1)) == nil {
+				sent++
+			}
+		}
+		done <- sent
+	}()
+	swapStart := time.Now()
+	must(router.HotSwap(capsule, "mid", "mid2", router.NewCounter()))
+	swapNs := time.Since(swapStart)
+	sent := <-done
+	received := tail.ElemStats().In
+	printf("netkit hot-swap latency       %10v\n", swapNs)
+	record("hotswap_latency", float64(swapNs.Nanoseconds()), "ns", nil)
+	printf("packets sent during swap      %10d\n", sent)
+	record("packets_sent", float64(sent), "packets", nil)
+	printf("packets received              %10d (lost %d)\n", received, uint64(sent)-received)
+	record("packets_lost", float64(uint64(sent)-received), "packets", nil)
+
+	// Click: reconfiguration is a rebuild; anything queued is abandoned.
+	var c1, c2 uint64
+	click := baseline.NewClickRouter()
+	must(click.Add(baseline.CountPkts(&c1)))
+	must(click.Build())
+	rebuildStart := time.Now()
+	click2, err := click.Reconfigure(0, baseline.CountPkts(&c2))
+	must(err)
+	rebuildNs := time.Since(rebuildStart)
+	_ = click2
+	printf("click rebuild latency         %10v (state lost by construction)\n", rebuildNs)
+	record("click_rebuild_latency", float64(rebuildNs.Nanoseconds()), "ns", nil)
+}
+
+// ---------------------------------------------------------------------------
+
+func e7Placement() {
+	header("E7", "IXP1200 placement meta-model: strategy and engine-count sweeps")
+	pipe := ixp.StandardPipeline()
+	chip := ixp.DefaultIXP1200()
+	strategies := []struct {
+		name string
+		mk   func() ixp.Assignment
+	}{
+		{"all-on-strongarm", func() ixp.Assignment { return ixp.PlaceAllControl(pipe) }},
+		{"round-robin", func() ixp.Assignment { return ixp.PlaceRoundRobin(chip, pipe) }},
+		{"greedy", func() ixp.Assignment { return ixp.PlaceGreedy(chip, pipe) }},
+	}
+	for _, s := range strategies {
+		rep, err := ixp.Evaluate(chip, pipe, s.mk())
+		must(err)
+		printf("%-20s %12.0f kpps   bottleneck %s\n",
+			s.name, rep.ThroughputPPS/1e3, rep.Bottleneck)
+		record("placement", rep.ThroughputPPS/1e3, "kpps",
+			map[string]string{"strategy": s.name, "bottleneck": fmt.Sprint(rep.Bottleneck)})
+	}
+	// Rebalance from a bad start.
+	bad := make(ixp.Assignment)
+	for _, st := range pipe {
+		bad[st.Name] = ixp.Target{Engine: 0}
+	}
+	mgr, err := ixp.NewManager(chip, pipe, bad)
+	must(err)
+	before, err := mgr.Evaluate()
+	must(err)
+	moves, err := mgr.Rebalance(16)
+	must(err)
+	after, err := mgr.Evaluate()
+	must(err)
+	printf("%-20s %12.0f -> %.0f kpps in %d migrations\n",
+		"manager rebalance", before.ThroughputPPS/1e3, after.ThroughputPPS/1e3, moves)
+	record("rebalance_after", after.ThroughputPPS/1e3, "kpps",
+		map[string]string{"migrations": fmt.Sprint(moves)})
+
+	printf("%-8s %14s\n", "engines", "greedy kpps")
+	for engines := 1; engines <= 6; engines++ {
+		c := chip
+		c.Engines = engines
+		rep, err := ixp.Evaluate(c, pipe, ixp.PlaceGreedy(c, pipe))
+		must(err)
+		printf("%-8d %14.0f\n", engines, rep.ThroughputPPS/1e3)
+		record("placement_greedy_sweep", rep.ThroughputPPS/1e3, "kpps",
+			map[string]string{"engines": fmt.Sprint(engines)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e8Signaling() {
+	header("E8", "RSVP-like reservation setup latency vs path length")
+	printf("%-8s %16s\n", "hops", "setup latency")
+	for _, hops := range []int{1, 2, 4, 8} {
+		w := netsim.NewNetwork()
+		names, err := netsim.Line(w, "r", hops+1, netsim.LinkConfig{})
+		must(err)
+		agents := make([]*coord.Agent, len(names))
+		for i, name := range names {
+			node, err := w.Node(name)
+			must(err)
+			caps := map[string]int64{}
+			for _, nb := range node.Neighbors() {
+				caps[nb] = 1 << 30
+			}
+			agents[i] = coord.NewAgent(node, coord.AgentConfig{Capacity: caps})
+		}
+		const rounds = 200
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			must(agents[0].Reserve(fmt.Sprintf("s%d", i), names, 100, 5*time.Second))
+		}
+		per := time.Since(start) / rounds
+		w.Stop()
+		printf("%-8d %16v\n", hops, per)
+		record("reservation_setup", float64(per.Nanoseconds()), "ns",
+			map[string]string{"hops": fmt.Sprint(hops)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e9Spawn() {
+	header("E9", "Genesis-like spawning: child virtual network instantiation time vs size")
+	printf("%-8s %16s\n", "members", "spawn time")
+	for _, members := range []int{3, 6, 12, 24} {
+		w := netsim.NewNetwork()
+		names, err := netsim.Line(w, "p", members, netsim.LinkConfig{})
+		must(err)
+		spawners := make([]*coord.Spawner, members)
+		for i, name := range names {
+			node, err := w.Node(name)
+			must(err)
+			spawners[i] = coord.NewSpawner(node)
+		}
+		adj := map[string][]string{}
+		for i := range names {
+			if i > 0 {
+				adj[names[i]] = append(adj[names[i]], names[i-1])
+			}
+			if i < len(names)-1 {
+				adj[names[i]] = append(adj[names[i]], names[i+1])
+			}
+		}
+		const rounds = 50
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			name := fmt.Sprintf("vnet%d", i)
+			must(spawners[0].Spawn(w, coord.SpawnSpec{
+				Name: name, Members: names, Adj: adj, Timeout: 5 * time.Second,
+			}))
+		}
+		per := time.Since(start) / rounds
+		w.Stop()
+		printf("%-8d %16v\n", members, per)
+		record("vnet_spawn", float64(per.Nanoseconds()), "ns",
+			map[string]string{"members": fmt.Sprint(members)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e13Adaptation() {
+	header("E13", "closed-loop adaptation: rule-driven FIFO<->RED swap from observed stats (DESIGN.md §5)")
+	capsule := core.NewCapsule("e13")
+	in := router.NewCounter()
+	must(capsule.Insert("in", in))
+	const qCap = 4096
+	fifo, err := router.NewFIFOQueue(qCap)
+	must(err)
+	must(capsule.Insert("q", fifo))
+	sched, err := router.NewLinkScheduler(router.PolicyRR)
+	must(err)
+	must(sched.AddInput("in0", 1500, 0))
+	must(capsule.Insert("sched", sched))
+	egress := router.NewCounter()
+	must(capsule.Insert("egress", egress))
+	must(capsule.Insert("drop", router.NewDropper()))
+	_, err = capsule.Bind("in", "out", "q", router.IPacketPushID)
+	must(err)
+	_, err = capsule.Bind("sched", "in0", "q", router.IPacketPullID)
+	must(err)
+	_, err = capsule.Bind("sched", "out", "egress", router.IPacketPushID)
+	must(err)
+	_, err = capsule.Bind("egress", "out", "drop", router.IPacketPushID)
+	must(err)
+
+	// Current queue, for the driver's own occupancy view. The engine uses
+	// only the stats tree; this mirror is bench instrumentation.
+	type lenQueue interface{ Len() int }
+	type queueRef struct{ q lenQueue }
+	var curQ atomic.Value // queueRef
+	curQ.Store(queueRef{fifo})
+
+	// RED thresholds sit above the swap trigger so the experiment stays
+	// drop-free and loss accounting is exact.
+	mkRED := func() (core.Component, error) {
+		q, err := router.NewREDQueue(router.REDConfig{
+			Capacity: qCap, MinTh: qCap * 7 / 8, MaxTh: qCap*15/16 + 1, MaxP: 0.05,
+		})
+		if err == nil {
+			curQ.Store(queueRef{q})
+		}
+		return q, err
+	}
+	mkFIFO := func() (core.Component, error) {
+		q, err := router.NewFIFOQueue(qCap)
+		if err == nil {
+			curQ.Store(queueRef{q})
+		}
+		return q, err
+	}
+
+	firings := make(chan adapt.Firing, 8)
+	eng := adapt.NewEngine(capsule,
+		adapt.Options{Interval: time.Millisecond, OnFire: func(f adapt.Firing) { firings <- f }},
+		adapt.Rule{
+			Name:    "fifo-to-red",
+			When:    adapt.GaugeAbove("q", "queue_occupancy", 0.6),
+			Sustain: 2,
+			Once:    true,
+			Then:    adapt.Swap("q", "q-red", mkRED),
+		},
+		adapt.Rule{
+			Name:    "red-to-fifo",
+			When:    adapt.GaugeBelow("q-red", "queue_occupancy", 0.1),
+			Sustain: 3,
+			Once:    true,
+			Then:    adapt.Swap("q-red", "q", mkFIFO),
+		})
+	must(capsule.Insert("adapt", eng))
+	ctx := context.Background()
+	must(capsule.StartComponent(ctx, "adapt"))
+	defer func() { _ = capsule.Close(ctx) }()
+
+	gen, err := trace.NewGenerator(trace.Config{Seed: 13, Flows: 64, UDPShare: 100})
+	must(err)
+	nextBatch := func(n int) []*router.Packet {
+		out := make([]*router.Packet, n)
+		for i := range out {
+			raw, err := gen.Next() // Zipf flow choice, IMIX sizes
+			must(err)
+			out[i] = router.NewPacket(raw)
+		}
+		return out
+	}
+
+	waitFiring := func(rule string) adapt.Firing {
+		for {
+			select {
+			case f := <-firings:
+				if f.Err != "" {
+					panic(fmt.Sprintf("E13: rule %s failed: %s", f.Rule, f.Err))
+				}
+				if f.Rule == rule {
+					return f
+				}
+			case <-time.After(30 * time.Second):
+				panic("E13: adaptation did not fire")
+			}
+		}
+	}
+
+	occupancy := func() float64 {
+		return float64(curQ.Load().(queueRef).q.Len()) / float64(qCap)
+	}
+
+	// Phase 1 — overload: injection outruns the drain, occupancy climbs,
+	// the engine swaps FIFO -> RED. Reaction time is measured from the
+	// moment the driver first sees the trigger level to the firing.
+	var injected uint64
+	start := time.Now()
+	var overloadAt time.Time
+	fired1 := make(chan adapt.Firing, 1)
+	go func() { fired1 <- waitFiring("fifo-to-red") }()
+	var f1 adapt.Firing
+phase1:
+	for {
+		for _, p := range nextBatch(48) {
+			_ = in.Push(p)
+		}
+		injected += 48
+		sched.RunOnce(16)
+		if overloadAt.IsZero() && occupancy() > 0.6 {
+			overloadAt = time.Now()
+		}
+		select {
+		case f1 = <-fired1:
+			break phase1
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	react1 := f1.At.Sub(overloadAt)
+	if react1 < 0 {
+		react1 = 0
+	}
+
+	// Phase 2 — relief: the drain outruns injection, occupancy falls, the
+	// engine swaps RED -> FIFO (migrating the backlog back).
+	fired2 := make(chan adapt.Firing, 1)
+	go func() { fired2 <- waitFiring("red-to-fifo") }()
+	var reliefAt time.Time
+	var f2 adapt.Firing
+phase2:
+	for {
+		sched.RunOnce(256)
+		if reliefAt.IsZero() && occupancy() < 0.1 {
+			reliefAt = time.Now()
+		}
+		select {
+		case f2 = <-fired2:
+			break phase2
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	react2 := f2.At.Sub(reliefAt)
+	if react2 < 0 {
+		react2 = 0
+	}
+
+	// Drain the remainder and settle the books.
+	for occupancy() > 0 {
+		if sched.RunOnce(256) == 0 {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	delivered := egress.ElemStats().In
+	lost := injected - delivered
+	kpps := float64(delivered) / elapsed.Seconds() / 1e3
+
+	printf("reaction fifo->red            %10v\n", react1)
+	record("adapt_reaction", float64(react1.Nanoseconds()), "ns", map[string]string{"swap": "fifo-to-red"})
+	printf("reaction red->fifo            %10v\n", react2)
+	record("adapt_reaction", float64(react2.Nanoseconds()), "ns", map[string]string{"swap": "red-to-fifo"})
+	printf("throughput across both swaps  %10.0f kpps\n", kpps)
+	record("adapt_throughput", kpps, "kpps", nil)
+	printf("packets injected/delivered    %10d / %d (lost %d)\n", injected, delivered, lost)
+	record("adapt_packets_lost", float64(lost), "packets", nil)
+	printf("firings: %d (engine ticks %d)\n", eng.Firings(), eng.Ticks())
+	if lost != 0 {
+		panic(fmt.Sprintf("E13: lost %d packets across adaptation", lost))
+	}
+}

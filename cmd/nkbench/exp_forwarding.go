@@ -1,0 +1,286 @@
+// Forwarding-throughput experiments: the data-plane fast path.
+// E3 Router CF vs static baselines, E11 batched fast path, E12 sharded
+// multi-core scale-out.
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"netkit/cf"
+	"netkit/core"
+	"netkit/internal/baseline"
+	"netkit/internal/trace"
+	"netkit/router"
+)
+
+func e3Forwarding() {
+	header("E3", "forwarding throughput: Router CF vs Click-like static vs monolith")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 3, Flows: 32, UDPShare: 100})
+	must(err)
+	const nPkts = 200_000
+	master := make([][]byte, nPkts)
+	for i := range master {
+		master[i], err = gen.NextFixed(64)
+		must(err)
+	}
+	// Fresh copies per system per run: every packet is processed exactly
+	// once from its pristine state, so TTL mutation cannot leak between
+	// runs.
+	freshRaw := func() [][]byte {
+		out := make([][]byte, len(master))
+		for i, p := range master {
+			out[i] = append([]byte(nil), p...)
+		}
+		return out
+	}
+	// Every system performs the same per-packet function: one IPv4 TTL
+	// decrement (with incremental checksum) plus k counting stages.
+	printf("%-10s %14s %14s %14s\n", "chain", "netkit kpps", "click kpps", "monolith kpps")
+	for _, chainLen := range []int{1, 2, 4, 8} {
+		// NETKIT: IPv4Proc then a chain of counters ending in a dropper.
+		capsule := core.NewCapsule("e3")
+		v4 := router.NewIPv4Proc(false)
+		must(capsule.Insert("v4", v4))
+		first := router.IPacketPush(v4)
+		prev := "v4"
+		for i := 0; i < chainLen; i++ {
+			name := fmt.Sprintf("c%d", i)
+			cnt := router.NewCounter()
+			must(capsule.Insert(name, cnt))
+			_, err := router.ConnectPush(capsule, prev, "out", name)
+			must(err)
+			prev = name
+		}
+		must(capsule.Insert("drop", router.NewDropper()))
+		_, err := router.ConnectPush(capsule, prev, "out", "drop")
+		must(err)
+		// Packets are wrapped once at ingress (the NIC source's job), so
+		// wrapping happens outside the timed loop.
+		nkPkts := make([]*router.Packet, nPkts)
+		for i, raw := range freshRaw() {
+			nkPkts[i] = router.NewPacket(raw)
+		}
+		runtime.GC()
+		start := time.Now()
+		for _, p := range nkPkts {
+			_ = first.Push(p)
+		}
+		nkKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		// Click-like: same chain statically composed.
+		click := baseline.NewClickRouter()
+		must(click.Add(baseline.DecTTL()))
+		counters := make([]uint64, chainLen)
+		for i := 0; i < chainLen; i++ {
+			must(click.Add(baseline.CountPkts(&counters[i])))
+		}
+		must(click.Build())
+		clickPkts := freshRaw()
+		runtime.GC()
+		start = time.Now()
+		for _, raw := range clickPkts {
+			_, _ = click.Run(raw)
+		}
+		clickKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		// Monolith: hand-fused decrement+count, by construction flat in k.
+		mono := baseline.NewMonolith(false)
+		monoPkts := freshRaw()
+		runtime.GC()
+		start = time.Now()
+		for _, raw := range monoPkts {
+			_ = mono.Run(raw)
+		}
+		monoKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		printf("%-10d %14.0f %14.0f %14.0f\n", chainLen, nkKpps, clickKpps, monoKpps)
+		chain := map[string]string{"chain": fmt.Sprint(chainLen)}
+		record("forwarding_netkit", nkKpps, "kpps", chain)
+		record("forwarding_click", clickKpps, "kpps", chain)
+		record("forwarding_monolith", monoKpps, "kpps", chain)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e11Batched() {
+	header("E11", "batched fast path: PushBatch amortises the binding crossing (DESIGN.md §4)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 7, Flows: 32, UDPShare: 100})
+	must(err)
+	const nPkts = 200_000
+
+	// The forwarding function under test: IPv4 TTL decrement plus two
+	// counting stages ending in a dropper (the E3 netkit chain).
+	build := func() router.IPacketPush {
+		c := core.NewCapsule("e11")
+		v4 := router.NewIPv4Proc(false)
+		must(c.Insert("v4", v4))
+		prev := "v4"
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("c%d", i)
+			must(c.Insert(name, router.NewCounter()))
+			_, err := router.ConnectPush(c, prev, "out", name)
+			must(err)
+			prev = name
+		}
+		must(c.Insert("drop", router.NewDropper()))
+		_, err := router.ConnectPush(c, prev, "out", "drop")
+		must(err)
+		return v4
+	}
+	master := make([][]byte, nPkts)
+	for i := range master {
+		master[i], err = gen.NextFixed(64)
+		must(err)
+	}
+	wrap := func() []*router.Packet {
+		out := make([]*router.Packet, len(master))
+		for i, raw := range master {
+			out[i] = router.NewPacket(append([]byte(nil), raw...))
+		}
+		return out
+	}
+
+	first := build()
+	pkts := wrap()
+	runtime.GC()
+	start := time.Now()
+	for _, p := range pkts {
+		_ = first.Push(p)
+	}
+	perKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+	printf("%-14s %14.0f kpps  (x%.2f)\n", "per-packet", perKpps, 1.0)
+	record("batch_forwarding", perKpps, "kpps", map[string]string{"batch": "per-packet"})
+
+	for _, k := range batchSizes {
+		first := build()
+		pkts := wrap()
+		runtime.GC()
+		start := time.Now()
+		for lo := 0; lo < len(pkts); lo += k {
+			hi := lo + k
+			if hi > len(pkts) {
+				hi = len(pkts)
+			}
+			_ = router.ForwardBatch(first, pkts[lo:hi])
+		}
+		kpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+		printf("batch=%-8d %14.0f kpps  (x%.2f)\n", k, kpps, kpps/perKpps)
+		record("batch_forwarding", kpps, "kpps", map[string]string{"batch": fmt.Sprint(k)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e12Sharded() {
+	header("E12", "sharded multi-core scale-out: RSS flow dispatch over parallel Router CF replicas (DESIGN.md §4.5)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 12, Flows: 64, UDPShare: 100})
+	must(err)
+	const nPool = 1024
+	pkts := make([]*router.Packet, nPool)
+	for i := range pkts {
+		raw, err := gen.NextFixed(64)
+		must(err)
+		pkts[i] = router.NewPacket(raw)
+	}
+	// Per-shard replica: two checksum validations plus a counter — enough
+	// read-only per-packet work for parallel replicas to matter.
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		names := []string{
+			router.ShardName(shard, "val1"),
+			router.ShardName(shard, "val2"),
+			router.ShardName(shard, "cnt"),
+		}
+		comps := []core.Component{
+			router.NewChecksumValidator(), router.NewChecksumValidator(), router.NewCounter(),
+		}
+		for i, n := range names {
+			if err := fw.Admit(n, comps[i]); err != nil {
+				return "", err
+			}
+		}
+		chain := append(names, router.ShardName(shard, "egress"))
+		for i := 0; i+1 < len(chain); i++ {
+			if _, err := fw.Capsule().Bind(chain[i], "out", chain[i+1], router.IPacketPushID); err != nil {
+				return "", err
+			}
+		}
+		return names[0], nil
+	}
+	const total = 200_000
+	printf("host CPUs: %d (near-linear scaling needs >= the shard count)\n", runtime.NumCPU())
+	type e12Point struct {
+		n    int
+		kpps float64
+	}
+	var points []e12Point
+	for _, n := range shardCounts {
+		capsule := core.NewCapsule("e12")
+		s, err := router.NewShardedCF(capsule, router.ShardConfig{Shards: n}, replica)
+		must(err)
+		must(capsule.Insert("fwd", s))
+		must(capsule.Insert("drop", router.NewDropper()))
+		_, err = router.ConnectPush(capsule, "fwd", "out", "drop")
+		must(err)
+		ctx := context.Background()
+		must(capsule.StartAll(ctx))
+		drive := func(count int) time.Duration {
+			start := time.Now()
+			sent := 0
+			for sent < count {
+				lo := sent % nPool
+				hi := lo + 32
+				if hi > nPool {
+					hi = nPool
+				}
+				if hi-lo > count-sent {
+					hi = lo + (count - sent)
+				}
+				must(s.PushBatch(pkts[lo:hi]))
+				sent += hi - lo
+			}
+			qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			must(s.Quiesce(qctx))
+			return time.Since(start)
+		}
+		drive(total / 4) // warm-up
+		before := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			before[i] = s.ShardStats(i).In
+		}
+		elapsed := drive(total)
+		// Per-shard kpps breakdown from the per-replica stats, so the
+		// -json trajectory shows how evenly RSS spread the flows.
+		for i := 0; i < n; i++ {
+			lane := float64(s.ShardStats(i).In-before[i]) / elapsed.Seconds() / 1e3
+			record("sharded_forwarding_shard", lane, "kpps", map[string]string{
+				"shards": fmt.Sprint(n), "shard": fmt.Sprint(i), "batch": "32",
+			})
+		}
+		must(capsule.StopAll(ctx))
+		kpps := float64(total) / elapsed.Seconds() / 1e3
+		points = append(points, e12Point{n: n, kpps: kpps})
+		record("sharded_forwarding", kpps, "kpps", map[string]string{
+			"shards": fmt.Sprint(n), "batch": "32", "cpus": fmt.Sprint(runtime.NumCPU()),
+		})
+	}
+	// The speedup column is anchored to the shards=1 point regardless of
+	// sweep order (falling back to the first point when 1 isn't swept),
+	// so "x at 4 shards" always means "vs one shard".
+	base := points[0].kpps
+	baseN := points[0].n
+	for _, p := range points {
+		if p.n == 1 {
+			base, baseN = p.kpps, 1
+			break
+		}
+	}
+	printf("%-10s %14s %16s\n", "shards", "kpps", fmt.Sprintf("vs shards=%d", baseN))
+	for _, p := range points {
+		printf("%-10d %14.0f %15.2fx\n", p.n, p.kpps, p.kpps/base)
+	}
+}

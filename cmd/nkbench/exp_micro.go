@@ -1,0 +1,249 @@
+// Microbenchmark experiments: per-call overheads and footprints.
+// E1 call overhead, E2 memory footprint, E5 classification cost,
+// E6 out-of-process bindings, E10 buffer management and schedulers.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"netkit/core"
+	"netkit/internal/appsvc"
+	"netkit/internal/buffers"
+	"netkit/internal/filter"
+	"netkit/internal/ipc"
+	"netkit/internal/trace"
+	"netkit/resources"
+	"netkit/router"
+)
+
+func e1CallOverhead() {
+	header("E1", "cross-component call overhead: fused bindings vs interception chains")
+	const iters = 2_000_000
+	sinkComp := router.NewDropper()
+	pkt := mustPacket(53)
+
+	// Direct function call baseline.
+	directNs := measure(iters, func() { _ = sinkComp.Push(pkt) })
+
+	// Receptacle-mediated (fused) call.
+	capsule := core.NewCapsule("e1")
+	cnt := router.NewCounter()
+	must(capsule.Insert("cnt", cnt))
+	must(capsule.Insert("drop", router.NewDropper()))
+	b, err := router.ConnectPush(capsule, "cnt", "out", "drop")
+	must(err)
+	fusedNs := measure(iters, func() { _ = cnt.Push(pkt) })
+
+	printf("%-28s %10.1f ns/op  (x%.2f)\n", "direct method call", directNs, 1.0)
+	record("direct_call", directNs, "ns/op", nil)
+	printf("%-28s %10.1f ns/op  (x%.2f)\n", "fused binding (receptacle)", fusedNs, fusedNs/directNs)
+	record("fused_binding", fusedNs, "ns/op", nil)
+	for _, k := range []int{1, 2, 4, 8} {
+		for b.Interceptors() != nil && len(b.Interceptors()) > 0 {
+			must(b.RemoveInterceptor(b.Interceptors()[0]))
+		}
+		for i := 0; i < k; i++ {
+			must(b.AddInterceptor(core.Interceptor{
+				Name: fmt.Sprintf("noop%d", i),
+				Wrap: core.PrePost(nil, nil),
+			}))
+		}
+		ns := measure(iters/4, func() { _ = cnt.Push(pkt) })
+		printf("binding + %d interceptor(s)   %10.1f ns/op  (x%.2f)\n", k, ns, ns/directNs)
+		record("intercepted_binding", ns, "ns/op", map[string]string{"interceptors": fmt.Sprint(k)})
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e2Footprint() {
+	header("E2", "bespoke configurations minimise memory footprint (cf. 18KB WinCE OpenCOM)")
+	configs := []struct {
+		name  string
+		build func() any
+	}{
+		{"empty capsule", func() any { return core.NewCapsule("empty") }},
+		{"minimal forwarder (3 comps)", func() any {
+			c := core.NewCapsule("min")
+			must(c.Insert("cnt", router.NewCounter()))
+			must(c.Insert("v4", router.NewIPv4Proc(false)))
+			must(c.Insert("drop", router.NewDropper()))
+			_, err := router.ConnectPush(c, "cnt", "out", "v4")
+			must(err)
+			_, err = router.ConnectPush(c, "v4", "out", "drop")
+			must(err)
+			return c
+		}},
+		{"figure-3 composite", func() any {
+			c := core.NewCapsule("f3")
+			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
+			must(err)
+			must(c.Insert("gw", comp))
+			return c
+		}},
+		{"figure-3 + classifier + EE", func() any {
+			c := core.NewCapsule("full")
+			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
+			must(err)
+			must(c.Insert("gw", comp))
+			cls, err := router.NewClassifier("fast", "default")
+			must(err)
+			must(c.Insert("cls", cls))
+			must(c.Insert("ee", appsvc.NewExecEnv()))
+			return c
+		}},
+	}
+	for _, cfg := range configs {
+		bytes := heapDelta(cfg.build)
+		printf("%-32s %10.1f KiB\n", cfg.name, float64(bytes)/1024)
+		record("footprint", float64(bytes)/1024, "KiB", map[string]string{"config": cfg.name})
+	}
+}
+
+// heapDelta measures the live-heap growth caused by build (median of 5).
+func heapDelta(build func() any) uint64 {
+	samples := make([]uint64, 0, 5)
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		obj := build()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc > before.HeapAlloc {
+			samples = append(samples, after.HeapAlloc-before.HeapAlloc)
+		} else {
+			samples = append(samples, 0)
+		}
+		runtime.KeepAlive(obj)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
+}
+
+// ---------------------------------------------------------------------------
+
+func e5Classifier() {
+	header("E5", "register_filter classification cost vs table size (VM vs closure matcher)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 5, Flows: 256, UDPShare: 100})
+	must(err)
+	views := make([]filter.View, 4096)
+	for i := range views {
+		raw, err := gen.Next()
+		must(err)
+		views[i] = filter.Extract(raw)
+	}
+	printf("%-8s %16s %16s\n", "rules", "vm ns/lookup", "closure ns/lookup")
+	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
+		specs := make([]string, n)
+		for i := range specs {
+			specs[i] = fmt.Sprintf("udp and dst port %d", 20000+i) // never match: worst case
+		}
+		progs := make([]*filter.Program, n)
+		closures := make([]filter.Matcher, n)
+		for i, s := range specs {
+			progs[i], err = filter.CompileToProgram(s)
+			must(err)
+			closures[i], err = filter.Compile(s)
+			must(err)
+		}
+		iters := 200_000 / n
+		if iters < 200 {
+			iters = 200
+		}
+		vmNs := measure(iters, func() {
+			v := &views[0]
+			for _, p := range progs {
+				if p.Match(v) {
+					break
+				}
+			}
+		})
+		clNs := measure(iters, func() {
+			v := &views[0]
+			for _, c := range closures {
+				if c.Match(v) {
+					break
+				}
+			}
+		})
+		printf("%-8d %16.1f %16.1f\n", n, vmNs, clNs)
+		rules := map[string]string{"rules": fmt.Sprint(n)}
+		record("classify_vm", vmNs, "ns/lookup", rules)
+		record("classify_closure", clNs, "ns/lookup", rules)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e6OutOfProc() {
+	header("E6", "in-process vs out-of-process (isolated) bindings; crash containment")
+	reg := core.NewComponentRegistry()
+	reg.MustRegister(router.TypeCounter, func(map[string]string) (core.Component, error) {
+		return router.NewCounter(), nil
+	})
+
+	inProc := router.NewCounter()
+	pkt := mustPacket(1)
+	inNs := measure(1_000_000, func() { _ = inProc.Push(pkt) })
+
+	client, _, cleanup := ipc.HostPair(reg)
+	defer cleanup()
+	rc, err := client.Instantiate("cnt", router.TypeCounter, nil)
+	must(err)
+	raw := append([]byte(nil), pkt.Data...)
+	outNs := measure(5_000, func() { _ = rc.Push(router.NewPacket(raw)) })
+
+	printf("in-process push               %10.1f ns/op\n", inNs)
+	record("inproc_push", inNs, "ns/op", nil)
+	printf("out-of-process push           %10.1f ns/op  (x%.0f)\n", outNs, outNs/inNs)
+	record("outproc_push", outNs, "ns/op", nil)
+	printf("crash containment             verified by internal/ipc tests (panic -> error, host survives)\n")
+}
+
+// ---------------------------------------------------------------------------
+
+func e10Resources() {
+	header("E10", "buffer-management CF and pluggable schedulers")
+	pool := buffers.MustNewPool(buffers.DefaultClasses, 256, 0)
+	pooledNs := measure(1_000_000, func() {
+		b, err := pool.Get(1500)
+		if err == nil {
+			_ = b.Release()
+		}
+	})
+	// The raw allocation must escape, as packet buffers do in practice.
+	rawNs := measure(1_000_000, func() {
+		allocSink = make([]byte, 1500)
+	})
+	printf("pooled buffer get/release     %10.1f ns/op\n", pooledNs)
+	record("buffer_pooled", pooledNs, "ns/op", nil)
+	printf("heap make([]byte, 1500)       %10.1f ns/op\n", rawNs)
+	record("buffer_heap", rawNs, "ns/op", nil)
+
+	// WFQ service proportions under 3:1 weights.
+	mgr := resources.NewManager()
+	heavy, err := mgr.CreateTask(resources.TaskSpec{Name: "heavy", Weight: 3})
+	must(err)
+	light, err := mgr.CreateTask(resources.TaskSpec{Name: "light", Weight: 1})
+	must(err)
+	sched := resources.NewWFQScheduler()
+	for i := 0; i < 4000; i++ {
+		sched.Push(&resources.WorkItem{Task: heavy, Run: func() {}})
+		sched.Push(&resources.WorkItem{Task: light, Run: func() {}})
+	}
+	served := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		it := sched.Pop()
+		served[it.Task.Name()]++
+	}
+	printf("wfq service at weights 3:1    heavy=%d light=%d (ratio %.2f)\n",
+		served["heavy"], served["light"], float64(served["heavy"])/float64(served["light"]))
+	record("wfq_ratio", float64(served["heavy"])/float64(served["light"]), "ratio",
+		map[string]string{"weights": "3:1"})
+}
+
+// allocSink defeats escape analysis in E10's raw-allocation baseline.
+var allocSink []byte

@@ -11,44 +11,34 @@
 //	nkbench -shards 1,2,4   # shard counts the E12 sweep drives
 //	nkbench -adapt          # only E13, the closed-loop adaptation run
 //
-// With -json the human tables are suppressed and a single JSON document
-// is printed instead: an envelope identifying the host plus one metric
+// With -json the human tables are suppressed and the uniform result
+// document shared with the nkload harness (nkload/results, suite
+// "nkbench") is printed instead: one result per experiment, one metric
 // record per measured value, so experiment trajectories can be tracked
-// across commits by tooling.
+// across commits — and gated — by the same tooling that consumes nkload
+// baselines.
+//
+// The experiment implementations live beside this file: exp_micro.go
+// (E1/E2/E5/E6/E10), exp_forwarding.go (E3/E11/E12), exp_control.go
+// (E4/E7/E8/E9/E13); report.go is the shared reporting layer.
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
-	"time"
+)
 
-	"netkit/adapt"
-	"netkit/cf"
-	"netkit/core"
-	"netkit/internal/appsvc"
-	"netkit/internal/baseline"
-	"netkit/internal/buffers"
-	"netkit/internal/coord"
-	"netkit/internal/filter"
-	"netkit/internal/ipc"
-	"netkit/internal/ixp"
-	"netkit/internal/netsim"
-	"netkit/internal/trace"
-	"netkit/resources"
-	"netkit/router"
+var (
+	batchSizes  []int // -batch flag; E11's sweep
+	shardCounts []int // -shards flag; E12's sweep
 )
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13) or 'all'")
-	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	flag.BoolVar(&jsonOut, "json", false, "emit the uniform result document instead of tables")
 	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
 	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts driven by E12")
 	adaptOnly := flag.Bool("adapt", false, "run only E13, the closed-loop adaptation experiment")
@@ -95,958 +85,12 @@ func main() {
 		printf("\n")
 	}
 	if jsonOut {
-		doc := jsonDoc{
-			Version:   1,
-			Timestamp: time.Now().UTC().Format(time.RFC3339),
-			Go:        runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			CPUs:      runtime.NumCPU(),
-			Metrics:   metrics,
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+		if err := emitJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "nkbench:", err)
 			os.Exit(1)
 		}
 	}
 }
-
-// Metric is one measured value in -json output.
-type Metric struct {
-	Experiment string            `json:"experiment"`
-	Name       string            `json:"name"`
-	Value      float64           `json:"value"`
-	Unit       string            `json:"unit"`
-	Labels     map[string]string `json:"labels,omitempty"`
-}
-
-// jsonDoc is the -json envelope.
-type jsonDoc struct {
-	Version   int      `json:"version"`
-	Timestamp string   `json:"timestamp"`
-	Go        string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Metrics   []Metric `json:"metrics"`
-}
-
-var (
-	jsonOut     bool
-	curExp      string
-	metrics     []Metric
-	batchSizes  []int // -batch flag; E11's sweep
-	shardCounts []int // -shards flag; E12's sweep
-)
-
-// printf writes a human-readable table line, suppressed under -json.
-func printf(format string, a ...any) {
-	if !jsonOut {
-		fmt.Printf(format, a...)
-	}
-}
-
-// record appends one structured metric under the current experiment.
-func record(name string, value float64, unit string, labels map[string]string) {
-	metrics = append(metrics, Metric{
-		Experiment: curExp, Name: name, Value: value, Unit: unit, Labels: labels,
-	})
-}
-
-func header(id, claim string) {
-	curExp = id
-	printf("=== %s — %s\n", id, claim)
-}
-
-// measure runs fn n times and returns ns/op.
-func measure(n int, fn func()) float64 {
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		fn()
-	}
-	return float64(time.Since(start).Nanoseconds()) / float64(n)
-}
-
-func mustPacket(dstPort uint16) *router.Packet {
-	gen, err := trace.NewGenerator(trace.Config{Seed: 11, Flows: 1, UDPShare: 100})
-	if err != nil {
-		panic(err)
-	}
-	raw, err := gen.NextFixed(64)
-	if err != nil {
-		panic(err)
-	}
-	return router.NewPacket(raw)
-}
-
-// ---------------------------------------------------------------------------
-
-func e1CallOverhead() {
-	header("E1", "cross-component call overhead: fused bindings vs interception chains")
-	const iters = 2_000_000
-	sinkComp := router.NewDropper()
-	pkt := mustPacket(53)
-
-	// Direct function call baseline.
-	directNs := measure(iters, func() { _ = sinkComp.Push(pkt) })
-
-	// Receptacle-mediated (fused) call.
-	capsule := core.NewCapsule("e1")
-	cnt := router.NewCounter()
-	must(capsule.Insert("cnt", cnt))
-	must(capsule.Insert("drop", router.NewDropper()))
-	b, err := router.ConnectPush(capsule, "cnt", "out", "drop")
-	must(err)
-	fusedNs := measure(iters, func() { _ = cnt.Push(pkt) })
-
-	printf("%-28s %10.1f ns/op  (x%.2f)\n", "direct method call", directNs, 1.0)
-	record("direct_call", directNs, "ns/op", nil)
-	printf("%-28s %10.1f ns/op  (x%.2f)\n", "fused binding (receptacle)", fusedNs, fusedNs/directNs)
-	record("fused_binding", fusedNs, "ns/op", nil)
-	for _, k := range []int{1, 2, 4, 8} {
-		for b.Interceptors() != nil && len(b.Interceptors()) > 0 {
-			must(b.RemoveInterceptor(b.Interceptors()[0]))
-		}
-		for i := 0; i < k; i++ {
-			must(b.AddInterceptor(core.Interceptor{
-				Name: fmt.Sprintf("noop%d", i),
-				Wrap: core.PrePost(nil, nil),
-			}))
-		}
-		ns := measure(iters/4, func() { _ = cnt.Push(pkt) })
-		printf("binding + %d interceptor(s)   %10.1f ns/op  (x%.2f)\n", k, ns, ns/directNs)
-		record("intercepted_binding", ns, "ns/op", map[string]string{"interceptors": fmt.Sprint(k)})
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e2Footprint() {
-	header("E2", "bespoke configurations minimise memory footprint (cf. 18KB WinCE OpenCOM)")
-	configs := []struct {
-		name  string
-		build func() any
-	}{
-		{"empty capsule", func() any { return core.NewCapsule("empty") }},
-		{"minimal forwarder (3 comps)", func() any {
-			c := core.NewCapsule("min")
-			must(c.Insert("cnt", router.NewCounter()))
-			must(c.Insert("v4", router.NewIPv4Proc(false)))
-			must(c.Insert("drop", router.NewDropper()))
-			_, err := router.ConnectPush(c, "cnt", "out", "v4")
-			must(err)
-			_, err = router.ConnectPush(c, "v4", "out", "drop")
-			must(err)
-			return c
-		}},
-		{"figure-3 composite", func() any {
-			c := core.NewCapsule("f3")
-			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
-			must(err)
-			must(c.Insert("gw", comp))
-			return c
-		}},
-		{"figure-3 + classifier + EE", func() any {
-			c := core.NewCapsule("full")
-			comp, err := router.NewFigure3Composite(c, router.Figure3Config{})
-			must(err)
-			must(c.Insert("gw", comp))
-			cls, err := router.NewClassifier("fast", "default")
-			must(err)
-			must(c.Insert("cls", cls))
-			must(c.Insert("ee", appsvc.NewExecEnv()))
-			return c
-		}},
-	}
-	for _, cfg := range configs {
-		bytes := heapDelta(cfg.build)
-		printf("%-32s %10.1f KiB\n", cfg.name, float64(bytes)/1024)
-		record("footprint", float64(bytes)/1024, "KiB", map[string]string{"config": cfg.name})
-	}
-}
-
-// heapDelta measures the live-heap growth caused by build (median of 5).
-func heapDelta(build func() any) uint64 {
-	samples := make([]uint64, 0, 5)
-	for i := 0; i < 5; i++ {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		obj := build()
-		runtime.GC()
-		runtime.ReadMemStats(&after)
-		if after.HeapAlloc > before.HeapAlloc {
-			samples = append(samples, after.HeapAlloc-before.HeapAlloc)
-		} else {
-			samples = append(samples, 0)
-		}
-		runtime.KeepAlive(obj)
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	return samples[len(samples)/2]
-}
-
-// ---------------------------------------------------------------------------
-
-func e3Forwarding() {
-	header("E3", "forwarding throughput: Router CF vs Click-like static vs monolith")
-	gen, err := trace.NewGenerator(trace.Config{Seed: 3, Flows: 32, UDPShare: 100})
-	must(err)
-	const nPkts = 200_000
-	master := make([][]byte, nPkts)
-	for i := range master {
-		master[i], err = gen.NextFixed(64)
-		must(err)
-	}
-	// Fresh copies per system per run: every packet is processed exactly
-	// once from its pristine state, so TTL mutation cannot leak between
-	// runs.
-	freshRaw := func() [][]byte {
-		out := make([][]byte, len(master))
-		for i, p := range master {
-			out[i] = append([]byte(nil), p...)
-		}
-		return out
-	}
-	// Every system performs the same per-packet function: one IPv4 TTL
-	// decrement (with incremental checksum) plus k counting stages.
-	printf("%-10s %14s %14s %14s\n", "chain", "netkit kpps", "click kpps", "monolith kpps")
-	for _, chainLen := range []int{1, 2, 4, 8} {
-		// NETKIT: IPv4Proc then a chain of counters ending in a dropper.
-		capsule := core.NewCapsule("e3")
-		v4 := router.NewIPv4Proc(false)
-		must(capsule.Insert("v4", v4))
-		first := router.IPacketPush(v4)
-		prev := "v4"
-		for i := 0; i < chainLen; i++ {
-			name := fmt.Sprintf("c%d", i)
-			cnt := router.NewCounter()
-			must(capsule.Insert(name, cnt))
-			_, err := router.ConnectPush(capsule, prev, "out", name)
-			must(err)
-			prev = name
-		}
-		must(capsule.Insert("drop", router.NewDropper()))
-		_, err := router.ConnectPush(capsule, prev, "out", "drop")
-		must(err)
-		// Packets are wrapped once at ingress (the NIC source's job), so
-		// wrapping happens outside the timed loop.
-		nkPkts := make([]*router.Packet, nPkts)
-		for i, raw := range freshRaw() {
-			nkPkts[i] = router.NewPacket(raw)
-		}
-		runtime.GC()
-		start := time.Now()
-		for _, p := range nkPkts {
-			_ = first.Push(p)
-		}
-		nkKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
-
-		// Click-like: same chain statically composed.
-		click := baseline.NewClickRouter()
-		must(click.Add(baseline.DecTTL()))
-		counters := make([]uint64, chainLen)
-		for i := 0; i < chainLen; i++ {
-			must(click.Add(baseline.CountPkts(&counters[i])))
-		}
-		must(click.Build())
-		clickPkts := freshRaw()
-		runtime.GC()
-		start = time.Now()
-		for _, raw := range clickPkts {
-			_, _ = click.Run(raw)
-		}
-		clickKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
-
-		// Monolith: hand-fused decrement+count, by construction flat in k.
-		mono := baseline.NewMonolith(false)
-		monoPkts := freshRaw()
-		runtime.GC()
-		start = time.Now()
-		for _, raw := range monoPkts {
-			_ = mono.Run(raw)
-		}
-		monoKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
-
-		printf("%-10d %14.0f %14.0f %14.0f\n", chainLen, nkKpps, clickKpps, monoKpps)
-		chain := map[string]string{"chain": fmt.Sprint(chainLen)}
-		record("forwarding_netkit", nkKpps, "kpps", chain)
-		record("forwarding_click", clickKpps, "kpps", chain)
-		record("forwarding_monolith", monoKpps, "kpps", chain)
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e4Reconfigure() {
-	header("E4", "run-time reconfiguration: lossless hot-swap vs Click rebuild")
-	capsule := core.NewCapsule("e4")
-	head := router.NewCounter()
-	mid := router.NewCounter()
-	tail := router.NewCounter()
-	must(capsule.Insert("head", head))
-	must(capsule.Insert("mid", mid))
-	must(capsule.Insert("tail", tail))
-	_, err := router.ConnectPush(capsule, "head", "out", "mid")
-	must(err)
-	_, err = router.ConnectPush(capsule, "mid", "out", "tail")
-	must(err)
-
-	const total = 100_000
-	done := make(chan int)
-	go func() {
-		sent := 0
-		for i := 0; i < total; i++ {
-			if head.Push(mustPacket(1)) == nil {
-				sent++
-			}
-		}
-		done <- sent
-	}()
-	swapStart := time.Now()
-	must(router.HotSwap(capsule, "mid", "mid2", router.NewCounter()))
-	swapNs := time.Since(swapStart)
-	sent := <-done
-	received := tail.ElemStats().In
-	printf("netkit hot-swap latency       %10v\n", swapNs)
-	record("hotswap_latency", float64(swapNs.Nanoseconds()), "ns", nil)
-	printf("packets sent during swap      %10d\n", sent)
-	record("packets_sent", float64(sent), "packets", nil)
-	printf("packets received              %10d (lost %d)\n", received, uint64(sent)-received)
-	record("packets_lost", float64(uint64(sent)-received), "packets", nil)
-
-	// Click: reconfiguration is a rebuild; anything queued is abandoned.
-	var c1, c2 uint64
-	click := baseline.NewClickRouter()
-	must(click.Add(baseline.CountPkts(&c1)))
-	must(click.Build())
-	rebuildStart := time.Now()
-	click2, err := click.Reconfigure(0, baseline.CountPkts(&c2))
-	must(err)
-	rebuildNs := time.Since(rebuildStart)
-	_ = click2
-	printf("click rebuild latency         %10v (state lost by construction)\n", rebuildNs)
-	record("click_rebuild_latency", float64(rebuildNs.Nanoseconds()), "ns", nil)
-}
-
-// ---------------------------------------------------------------------------
-
-func e5Classifier() {
-	header("E5", "register_filter classification cost vs table size (VM vs closure matcher)")
-	gen, err := trace.NewGenerator(trace.Config{Seed: 5, Flows: 256, UDPShare: 100})
-	must(err)
-	views := make([]filter.View, 4096)
-	for i := range views {
-		raw, err := gen.Next()
-		must(err)
-		views[i] = filter.Extract(raw)
-	}
-	printf("%-8s %16s %16s\n", "rules", "vm ns/lookup", "closure ns/lookup")
-	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
-		specs := make([]string, n)
-		for i := range specs {
-			specs[i] = fmt.Sprintf("udp and dst port %d", 20000+i) // never match: worst case
-		}
-		progs := make([]*filter.Program, n)
-		closures := make([]filter.Matcher, n)
-		for i, s := range specs {
-			progs[i], err = filter.CompileToProgram(s)
-			must(err)
-			closures[i], err = filter.Compile(s)
-			must(err)
-		}
-		iters := 200_000 / n
-		if iters < 200 {
-			iters = 200
-		}
-		vmNs := measure(iters, func() {
-			v := &views[0]
-			for _, p := range progs {
-				if p.Match(v) {
-					break
-				}
-			}
-		})
-		clNs := measure(iters, func() {
-			v := &views[0]
-			for _, c := range closures {
-				if c.Match(v) {
-					break
-				}
-			}
-		})
-		printf("%-8d %16.1f %16.1f\n", n, vmNs, clNs)
-		rules := map[string]string{"rules": fmt.Sprint(n)}
-		record("classify_vm", vmNs, "ns/lookup", rules)
-		record("classify_closure", clNs, "ns/lookup", rules)
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e6OutOfProc() {
-	header("E6", "in-process vs out-of-process (isolated) bindings; crash containment")
-	reg := core.NewComponentRegistry()
-	reg.MustRegister(router.TypeCounter, func(map[string]string) (core.Component, error) {
-		return router.NewCounter(), nil
-	})
-
-	inProc := router.NewCounter()
-	pkt := mustPacket(1)
-	inNs := measure(1_000_000, func() { _ = inProc.Push(pkt) })
-
-	client, _, cleanup := ipc.HostPair(reg)
-	defer cleanup()
-	rc, err := client.Instantiate("cnt", router.TypeCounter, nil)
-	must(err)
-	raw := append([]byte(nil), pkt.Data...)
-	outNs := measure(5_000, func() { _ = rc.Push(router.NewPacket(raw)) })
-
-	printf("in-process push               %10.1f ns/op\n", inNs)
-	record("inproc_push", inNs, "ns/op", nil)
-	printf("out-of-process push           %10.1f ns/op  (x%.0f)\n", outNs, outNs/inNs)
-	record("outproc_push", outNs, "ns/op", nil)
-	printf("crash containment             verified by internal/ipc tests (panic -> error, host survives)\n")
-}
-
-// ---------------------------------------------------------------------------
-
-func e7Placement() {
-	header("E7", "IXP1200 placement meta-model: strategy and engine-count sweeps")
-	pipe := ixp.StandardPipeline()
-	chip := ixp.DefaultIXP1200()
-	strategies := []struct {
-		name string
-		mk   func() ixp.Assignment
-	}{
-		{"all-on-strongarm", func() ixp.Assignment { return ixp.PlaceAllControl(pipe) }},
-		{"round-robin", func() ixp.Assignment { return ixp.PlaceRoundRobin(chip, pipe) }},
-		{"greedy", func() ixp.Assignment { return ixp.PlaceGreedy(chip, pipe) }},
-	}
-	for _, s := range strategies {
-		rep, err := ixp.Evaluate(chip, pipe, s.mk())
-		must(err)
-		printf("%-20s %12.0f kpps   bottleneck %s\n",
-			s.name, rep.ThroughputPPS/1e3, rep.Bottleneck)
-		record("placement", rep.ThroughputPPS/1e3, "kpps",
-			map[string]string{"strategy": s.name, "bottleneck": fmt.Sprint(rep.Bottleneck)})
-	}
-	// Rebalance from a bad start.
-	bad := make(ixp.Assignment)
-	for _, st := range pipe {
-		bad[st.Name] = ixp.Target{Engine: 0}
-	}
-	mgr, err := ixp.NewManager(chip, pipe, bad)
-	must(err)
-	before, err := mgr.Evaluate()
-	must(err)
-	moves, err := mgr.Rebalance(16)
-	must(err)
-	after, err := mgr.Evaluate()
-	must(err)
-	printf("%-20s %12.0f -> %.0f kpps in %d migrations\n",
-		"manager rebalance", before.ThroughputPPS/1e3, after.ThroughputPPS/1e3, moves)
-	record("rebalance_after", after.ThroughputPPS/1e3, "kpps",
-		map[string]string{"migrations": fmt.Sprint(moves)})
-
-	printf("%-8s %14s\n", "engines", "greedy kpps")
-	for engines := 1; engines <= 6; engines++ {
-		c := chip
-		c.Engines = engines
-		rep, err := ixp.Evaluate(c, pipe, ixp.PlaceGreedy(c, pipe))
-		must(err)
-		printf("%-8d %14.0f\n", engines, rep.ThroughputPPS/1e3)
-		record("placement_greedy_sweep", rep.ThroughputPPS/1e3, "kpps",
-			map[string]string{"engines": fmt.Sprint(engines)})
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e8Signaling() {
-	header("E8", "RSVP-like reservation setup latency vs path length")
-	printf("%-8s %16s\n", "hops", "setup latency")
-	for _, hops := range []int{1, 2, 4, 8} {
-		w := netsim.NewNetwork()
-		names, err := netsim.Line(w, "r", hops+1, netsim.LinkConfig{})
-		must(err)
-		agents := make([]*coord.Agent, len(names))
-		for i, name := range names {
-			node, err := w.Node(name)
-			must(err)
-			caps := map[string]int64{}
-			for _, nb := range node.Neighbors() {
-				caps[nb] = 1 << 30
-			}
-			agents[i] = coord.NewAgent(node, coord.AgentConfig{Capacity: caps})
-		}
-		const rounds = 200
-		start := time.Now()
-		for i := 0; i < rounds; i++ {
-			must(agents[0].Reserve(fmt.Sprintf("s%d", i), names, 100, 5*time.Second))
-		}
-		per := time.Since(start) / rounds
-		w.Stop()
-		printf("%-8d %16v\n", hops, per)
-		record("reservation_setup", float64(per.Nanoseconds()), "ns",
-			map[string]string{"hops": fmt.Sprint(hops)})
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e9Spawn() {
-	header("E9", "Genesis-like spawning: child virtual network instantiation time vs size")
-	printf("%-8s %16s\n", "members", "spawn time")
-	for _, members := range []int{3, 6, 12, 24} {
-		w := netsim.NewNetwork()
-		names, err := netsim.Line(w, "p", members, netsim.LinkConfig{})
-		must(err)
-		spawners := make([]*coord.Spawner, members)
-		for i, name := range names {
-			node, err := w.Node(name)
-			must(err)
-			spawners[i] = coord.NewSpawner(node)
-		}
-		adj := map[string][]string{}
-		for i := range names {
-			if i > 0 {
-				adj[names[i]] = append(adj[names[i]], names[i-1])
-			}
-			if i < len(names)-1 {
-				adj[names[i]] = append(adj[names[i]], names[i+1])
-			}
-		}
-		const rounds = 50
-		start := time.Now()
-		for i := 0; i < rounds; i++ {
-			name := fmt.Sprintf("vnet%d", i)
-			must(spawners[0].Spawn(w, coord.SpawnSpec{
-				Name: name, Members: names, Adj: adj, Timeout: 5 * time.Second,
-			}))
-		}
-		per := time.Since(start) / rounds
-		w.Stop()
-		printf("%-8d %16v\n", members, per)
-		record("vnet_spawn", float64(per.Nanoseconds()), "ns",
-			map[string]string{"members": fmt.Sprint(members)})
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e10Resources() {
-	header("E10", "buffer-management CF and pluggable schedulers")
-	pool := buffers.MustNewPool(buffers.DefaultClasses, 256, 0)
-	pooledNs := measure(1_000_000, func() {
-		b, err := pool.Get(1500)
-		if err == nil {
-			_ = b.Release()
-		}
-	})
-	// The raw allocation must escape, as packet buffers do in practice.
-	rawNs := measure(1_000_000, func() {
-		allocSink = make([]byte, 1500)
-	})
-	printf("pooled buffer get/release     %10.1f ns/op\n", pooledNs)
-	record("buffer_pooled", pooledNs, "ns/op", nil)
-	printf("heap make([]byte, 1500)       %10.1f ns/op\n", rawNs)
-	record("buffer_heap", rawNs, "ns/op", nil)
-
-	// WFQ service proportions under 3:1 weights.
-	mgr := resources.NewManager()
-	heavy, err := mgr.CreateTask(resources.TaskSpec{Name: "heavy", Weight: 3})
-	must(err)
-	light, err := mgr.CreateTask(resources.TaskSpec{Name: "light", Weight: 1})
-	must(err)
-	sched := resources.NewWFQScheduler()
-	for i := 0; i < 4000; i++ {
-		sched.Push(&resources.WorkItem{Task: heavy, Run: func() {}})
-		sched.Push(&resources.WorkItem{Task: light, Run: func() {}})
-	}
-	served := map[string]int{}
-	for i := 0; i < 4000; i++ {
-		it := sched.Pop()
-		served[it.Task.Name()]++
-	}
-	printf("wfq service at weights 3:1    heavy=%d light=%d (ratio %.2f)\n",
-		served["heavy"], served["light"], float64(served["heavy"])/float64(served["light"]))
-	record("wfq_ratio", float64(served["heavy"])/float64(served["light"]), "ratio",
-		map[string]string{"weights": "3:1"})
-}
-
-// ---------------------------------------------------------------------------
-
-func e11Batched() {
-	header("E11", "batched fast path: PushBatch amortises the binding crossing (DESIGN.md §4)")
-	gen, err := trace.NewGenerator(trace.Config{Seed: 7, Flows: 32, UDPShare: 100})
-	must(err)
-	const nPkts = 200_000
-
-	// The forwarding function under test: IPv4 TTL decrement plus two
-	// counting stages ending in a dropper (the E3 netkit chain).
-	build := func() router.IPacketPush {
-		c := core.NewCapsule("e11")
-		v4 := router.NewIPv4Proc(false)
-		must(c.Insert("v4", v4))
-		prev := "v4"
-		for i := 0; i < 2; i++ {
-			name := fmt.Sprintf("c%d", i)
-			must(c.Insert(name, router.NewCounter()))
-			_, err := router.ConnectPush(c, prev, "out", name)
-			must(err)
-			prev = name
-		}
-		must(c.Insert("drop", router.NewDropper()))
-		_, err := router.ConnectPush(c, prev, "out", "drop")
-		must(err)
-		return v4
-	}
-	master := make([][]byte, nPkts)
-	for i := range master {
-		master[i], err = gen.NextFixed(64)
-		must(err)
-	}
-	wrap := func() []*router.Packet {
-		out := make([]*router.Packet, len(master))
-		for i, raw := range master {
-			out[i] = router.NewPacket(append([]byte(nil), raw...))
-		}
-		return out
-	}
-
-	first := build()
-	pkts := wrap()
-	runtime.GC()
-	start := time.Now()
-	for _, p := range pkts {
-		_ = first.Push(p)
-	}
-	perKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
-	printf("%-14s %14.0f kpps  (x%.2f)\n", "per-packet", perKpps, 1.0)
-	record("batch_forwarding", perKpps, "kpps", map[string]string{"batch": "per-packet"})
-
-	for _, k := range batchSizes {
-		first := build()
-		pkts := wrap()
-		runtime.GC()
-		start := time.Now()
-		for lo := 0; lo < len(pkts); lo += k {
-			hi := lo + k
-			if hi > len(pkts) {
-				hi = len(pkts)
-			}
-			_ = router.ForwardBatch(first, pkts[lo:hi])
-		}
-		kpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
-		printf("batch=%-8d %14.0f kpps  (x%.2f)\n", k, kpps, kpps/perKpps)
-		record("batch_forwarding", kpps, "kpps", map[string]string{"batch": fmt.Sprint(k)})
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e12Sharded() {
-	header("E12", "sharded multi-core scale-out: RSS flow dispatch over parallel Router CF replicas (DESIGN.md §4.5)")
-	gen, err := trace.NewGenerator(trace.Config{Seed: 12, Flows: 64, UDPShare: 100})
-	must(err)
-	const nPool = 1024
-	pkts := make([]*router.Packet, nPool)
-	for i := range pkts {
-		raw, err := gen.NextFixed(64)
-		must(err)
-		pkts[i] = router.NewPacket(raw)
-	}
-	// Per-shard replica: two checksum validations plus a counter — enough
-	// read-only per-packet work for parallel replicas to matter.
-	replica := func(shard int, fw *cf.Framework) (string, error) {
-		names := []string{
-			router.ShardName(shard, "val1"),
-			router.ShardName(shard, "val2"),
-			router.ShardName(shard, "cnt"),
-		}
-		comps := []core.Component{
-			router.NewChecksumValidator(), router.NewChecksumValidator(), router.NewCounter(),
-		}
-		for i, n := range names {
-			if err := fw.Admit(n, comps[i]); err != nil {
-				return "", err
-			}
-		}
-		chain := append(names, router.ShardName(shard, "egress"))
-		for i := 0; i+1 < len(chain); i++ {
-			if _, err := fw.Capsule().Bind(chain[i], "out", chain[i+1], router.IPacketPushID); err != nil {
-				return "", err
-			}
-		}
-		return names[0], nil
-	}
-	const total = 200_000
-	printf("host CPUs: %d (near-linear scaling needs >= the shard count)\n", runtime.NumCPU())
-	type e12Point struct {
-		n    int
-		kpps float64
-	}
-	var points []e12Point
-	for _, n := range shardCounts {
-		capsule := core.NewCapsule("e12")
-		s, err := router.NewShardedCF(capsule, router.ShardConfig{Shards: n}, replica)
-		must(err)
-		must(capsule.Insert("fwd", s))
-		must(capsule.Insert("drop", router.NewDropper()))
-		_, err = router.ConnectPush(capsule, "fwd", "out", "drop")
-		must(err)
-		ctx := context.Background()
-		must(capsule.StartAll(ctx))
-		drive := func(count int) time.Duration {
-			start := time.Now()
-			sent := 0
-			for sent < count {
-				lo := sent % nPool
-				hi := lo + 32
-				if hi > nPool {
-					hi = nPool
-				}
-				if hi-lo > count-sent {
-					hi = lo + (count - sent)
-				}
-				must(s.PushBatch(pkts[lo:hi]))
-				sent += hi - lo
-			}
-			qctx, cancel := context.WithTimeout(ctx, 60*time.Second)
-			defer cancel()
-			must(s.Quiesce(qctx))
-			return time.Since(start)
-		}
-		drive(total / 4) // warm-up
-		before := make([]uint64, n)
-		for i := 0; i < n; i++ {
-			before[i] = s.ShardStats(i).In
-		}
-		elapsed := drive(total)
-		// Per-shard kpps breakdown from the per-replica stats, so the
-		// -json trajectory shows how evenly RSS spread the flows.
-		for i := 0; i < n; i++ {
-			lane := float64(s.ShardStats(i).In-before[i]) / elapsed.Seconds() / 1e3
-			record("sharded_forwarding_shard", lane, "kpps", map[string]string{
-				"shards": fmt.Sprint(n), "shard": fmt.Sprint(i), "batch": "32",
-			})
-		}
-		must(capsule.StopAll(ctx))
-		kpps := float64(total) / elapsed.Seconds() / 1e3
-		points = append(points, e12Point{n: n, kpps: kpps})
-		record("sharded_forwarding", kpps, "kpps", map[string]string{
-			"shards": fmt.Sprint(n), "batch": "32", "cpus": fmt.Sprint(runtime.NumCPU()),
-		})
-	}
-	// The speedup column is anchored to the shards=1 point regardless of
-	// sweep order (falling back to the first point when 1 isn't swept),
-	// so "x at 4 shards" always means "vs one shard".
-	base := points[0].kpps
-	baseN := points[0].n
-	for _, p := range points {
-		if p.n == 1 {
-			base, baseN = p.kpps, 1
-			break
-		}
-	}
-	printf("%-10s %14s %16s\n", "shards", "kpps", fmt.Sprintf("vs shards=%d", baseN))
-	for _, p := range points {
-		printf("%-10d %14.0f %15.2fx\n", p.n, p.kpps, p.kpps/base)
-	}
-}
-
-// ---------------------------------------------------------------------------
-
-func e13Adaptation() {
-	header("E13", "closed-loop adaptation: rule-driven FIFO<->RED swap from observed stats (DESIGN.md §5)")
-	capsule := core.NewCapsule("e13")
-	in := router.NewCounter()
-	must(capsule.Insert("in", in))
-	const qCap = 4096
-	fifo, err := router.NewFIFOQueue(qCap)
-	must(err)
-	must(capsule.Insert("q", fifo))
-	sched, err := router.NewLinkScheduler(router.PolicyRR)
-	must(err)
-	must(sched.AddInput("in0", 1500, 0))
-	must(capsule.Insert("sched", sched))
-	egress := router.NewCounter()
-	must(capsule.Insert("egress", egress))
-	must(capsule.Insert("drop", router.NewDropper()))
-	_, err = capsule.Bind("in", "out", "q", router.IPacketPushID)
-	must(err)
-	_, err = capsule.Bind("sched", "in0", "q", router.IPacketPullID)
-	must(err)
-	_, err = capsule.Bind("sched", "out", "egress", router.IPacketPushID)
-	must(err)
-	_, err = capsule.Bind("egress", "out", "drop", router.IPacketPushID)
-	must(err)
-
-	// Current queue, for the driver's own occupancy view. The engine uses
-	// only the stats tree; this mirror is bench instrumentation.
-	type lenQueue interface{ Len() int }
-	type queueRef struct{ q lenQueue }
-	var curQ atomic.Value // queueRef
-	curQ.Store(queueRef{fifo})
-
-	// RED thresholds sit above the swap trigger so the experiment stays
-	// drop-free and loss accounting is exact.
-	mkRED := func() (core.Component, error) {
-		q, err := router.NewREDQueue(router.REDConfig{
-			Capacity: qCap, MinTh: qCap * 7 / 8, MaxTh: qCap*15/16 + 1, MaxP: 0.05,
-		})
-		if err == nil {
-			curQ.Store(queueRef{q})
-		}
-		return q, err
-	}
-	mkFIFO := func() (core.Component, error) {
-		q, err := router.NewFIFOQueue(qCap)
-		if err == nil {
-			curQ.Store(queueRef{q})
-		}
-		return q, err
-	}
-
-	firings := make(chan adapt.Firing, 8)
-	eng := adapt.NewEngine(capsule,
-		adapt.Options{Interval: time.Millisecond, OnFire: func(f adapt.Firing) { firings <- f }},
-		adapt.Rule{
-			Name:    "fifo-to-red",
-			When:    adapt.GaugeAbove("q", "queue_occupancy", 0.6),
-			Sustain: 2,
-			Once:    true,
-			Then:    adapt.Swap("q", "q-red", mkRED),
-		},
-		adapt.Rule{
-			Name:    "red-to-fifo",
-			When:    adapt.GaugeBelow("q-red", "queue_occupancy", 0.1),
-			Sustain: 3,
-			Once:    true,
-			Then:    adapt.Swap("q-red", "q", mkFIFO),
-		})
-	must(capsule.Insert("adapt", eng))
-	ctx := context.Background()
-	must(capsule.StartComponent(ctx, "adapt"))
-	defer func() { _ = capsule.Close(ctx) }()
-
-	gen, err := trace.NewGenerator(trace.Config{Seed: 13, Flows: 64, UDPShare: 100})
-	must(err)
-	nextBatch := func(n int) []*router.Packet {
-		out := make([]*router.Packet, n)
-		for i := range out {
-			raw, err := gen.Next() // Zipf flow choice, IMIX sizes
-			must(err)
-			out[i] = router.NewPacket(raw)
-		}
-		return out
-	}
-
-	waitFiring := func(rule string) adapt.Firing {
-		for {
-			select {
-			case f := <-firings:
-				if f.Err != "" {
-					panic(fmt.Sprintf("E13: rule %s failed: %s", f.Rule, f.Err))
-				}
-				if f.Rule == rule {
-					return f
-				}
-			case <-time.After(30 * time.Second):
-				panic("E13: adaptation did not fire")
-			}
-		}
-	}
-
-	occupancy := func() float64 {
-		return float64(curQ.Load().(queueRef).q.Len()) / float64(qCap)
-	}
-
-	// Phase 1 — overload: injection outruns the drain, occupancy climbs,
-	// the engine swaps FIFO -> RED. Reaction time is measured from the
-	// moment the driver first sees the trigger level to the firing.
-	var injected uint64
-	start := time.Now()
-	var overloadAt time.Time
-	fired1 := make(chan adapt.Firing, 1)
-	go func() { fired1 <- waitFiring("fifo-to-red") }()
-	var f1 adapt.Firing
-phase1:
-	for {
-		for _, p := range nextBatch(48) {
-			_ = in.Push(p)
-		}
-		injected += 48
-		sched.RunOnce(16)
-		if overloadAt.IsZero() && occupancy() > 0.6 {
-			overloadAt = time.Now()
-		}
-		select {
-		case f1 = <-fired1:
-			break phase1
-		default:
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-	react1 := f1.At.Sub(overloadAt)
-	if react1 < 0 {
-		react1 = 0
-	}
-
-	// Phase 2 — relief: the drain outruns injection, occupancy falls, the
-	// engine swaps RED -> FIFO (migrating the backlog back).
-	fired2 := make(chan adapt.Firing, 1)
-	go func() { fired2 <- waitFiring("red-to-fifo") }()
-	var reliefAt time.Time
-	var f2 adapt.Firing
-phase2:
-	for {
-		sched.RunOnce(256)
-		if reliefAt.IsZero() && occupancy() < 0.1 {
-			reliefAt = time.Now()
-		}
-		select {
-		case f2 = <-fired2:
-			break phase2
-		default:
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-	react2 := f2.At.Sub(reliefAt)
-	if react2 < 0 {
-		react2 = 0
-	}
-
-	// Drain the remainder and settle the books.
-	for occupancy() > 0 {
-		if sched.RunOnce(256) == 0 {
-			break
-		}
-	}
-	elapsed := time.Since(start)
-	delivered := egress.ElemStats().In
-	lost := injected - delivered
-	kpps := float64(delivered) / elapsed.Seconds() / 1e3
-
-	printf("reaction fifo->red            %10v\n", react1)
-	record("adapt_reaction", float64(react1.Nanoseconds()), "ns", map[string]string{"swap": "fifo-to-red"})
-	printf("reaction red->fifo            %10v\n", react2)
-	record("adapt_reaction", float64(react2.Nanoseconds()), "ns", map[string]string{"swap": "red-to-fifo"})
-	printf("throughput across both swaps  %10.0f kpps\n", kpps)
-	record("adapt_throughput", kpps, "kpps", nil)
-	printf("packets injected/delivered    %10d / %d (lost %d)\n", injected, delivered, lost)
-	record("adapt_packets_lost", float64(lost), "packets", nil)
-	printf("firings: %d (engine ticks %d)\n", eng.Firings(), eng.Ticks())
-	if lost != 0 {
-		panic(fmt.Sprintf("E13: lost %d packets across adaptation", lost))
-	}
-}
-
-// allocSink defeats escape analysis in E10's raw-allocation baseline.
-var allocSink []byte
 
 func must(err error) {
 	if err != nil {

@@ -1,0 +1,121 @@
+// The nkbench reporting layer, split from the experiment code: human
+// tables on the one hand, and on the other the structured -json path,
+// which emits the uniform result document shared with the nkload harness
+// (nkload/results). One experiment becomes one Result keyed by its ID;
+// each record() call becomes one Metric, with any labels flattened into
+// the metric name ("forwarding_netkit{chain=4}") so the (scenario,
+// metric) pair stays a stable comparison key for results.Compare.
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"netkit/internal/trace"
+	"netkit/nkload/results"
+	"netkit/router"
+)
+
+var (
+	jsonOut bool
+	doc     = results.Document{Suite: "nkbench"}
+)
+
+// printf writes a human-readable table line, suppressed under -json.
+func printf(format string, a ...any) {
+	if !jsonOut {
+		fmt.Printf(format, a...)
+	}
+}
+
+// header opens an experiment: the human banner and the result document
+// entry every subsequent record() lands in.
+func header(id, claim string) {
+	doc.Results = append(doc.Results, results.Result{
+		Scenario: id,
+		Driver:   "nkbench",
+		Config:   map[string]string{"claim": claim},
+	})
+	printf("=== %s — %s\n", id, claim)
+}
+
+// record appends one structured metric under the current experiment.
+func record(name string, value float64, unit string, labels map[string]string) {
+	r := &doc.Results[len(doc.Results)-1]
+	r.Metrics = append(r.Metrics, results.Metric{
+		Name:   flatName(name, labels),
+		Unit:   unit,
+		Value:  value,
+		Better: betterFor(unit),
+	})
+}
+
+// flatName folds labels into the metric name with deterministic key order.
+func flatName(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + "=" + labels[k]
+	}
+	return s + "}"
+}
+
+// betterFor infers the gate direction from the unit: throughput improves
+// upward, times downward; everything else is informational (compared but
+// never gated — nkbench numbers span microbenchmarks too noisy to gate by
+// default, so thresholds are opt-in via a baseline document's tolerances).
+func betterFor(unit string) string {
+	switch unit {
+	case "kpps":
+		return results.BetterHigher
+	case "ns", "ns/op", "ns/lookup":
+		return results.BetterLower
+	}
+	return ""
+}
+
+// emitJSON writes the collected result document with the host envelope.
+func emitJSON(w io.Writer) error {
+	doc.Config = map[string]string{
+		"timestamp": time.Now().UTC().Format(time.RFC3339),
+		"go":        runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+		"cpus":      fmt.Sprint(runtime.NumCPU()),
+	}
+	return doc.Encode(w)
+}
+
+// measure runs fn n times and returns ns/op.
+func measure(n int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func mustPacket(dstPort uint16) *router.Packet {
+	gen, err := trace.NewGenerator(trace.Config{Seed: 11, Flows: 1, UDPShare: 100})
+	if err != nil {
+		panic(err)
+	}
+	raw, err := gen.NextFixed(64)
+	if err != nil {
+		panic(err)
+	}
+	return router.NewPacket(raw)
+}

@@ -1,0 +1,135 @@
+// nkload runs the scenario-driver load harness against the standard
+// capsule topologies and gates the numbers against a committed baseline.
+//
+// Usage:
+//
+//	nkload -list                               # show available scenarios
+//	nkload                                     # run the full suite, human summary
+//	nkload -scenarios stream/fused,rr/sharded  # run a selection
+//	nkload -json                               # uniform result document on stdout
+//	nkload -out BENCH_seed.json                # write the document to a file
+//	nkload -baseline BENCH_seed.json -tolerance 5
+//	                                           # compare against a baseline and
+//	                                           # exit 1 on regression (CI gate)
+//	nkload -throttle 5ms ...                   # artificially stalled run, for
+//	                                           # proving the gate trips
+//
+// The tolerance is the default adverse-movement budget in percent;
+// metrics carrying their own tolerance in the baseline document (latency
+// quantiles, B/op) keep it. See DESIGN.md §6 for the result schema and
+// gate semantics.
+//
+// Exit status: 0 clean, 2 when the regression gate failed (the run and
+// comparison themselves succeeded), 1 on any other error — so CI can
+// tell "regression" from "broken harness".
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netkit/nkload"
+	"netkit/nkload/drivers"
+	"netkit/nkload/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nkload:", err)
+		if errors.Is(err, errGate) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// errGate distinguishes "the gate failed" (already reported) from real
+// errors.
+var errGate = fmt.Errorf("regression gate failed")
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		scenarios = flag.String("scenarios", "all", "comma-separated scenario selection")
+		jsonOut   = flag.Bool("json", false, "print the result document as JSON")
+		out       = flag.String("out", "", "write the result document to this file")
+		baseline  = flag.String("baseline", "", "compare against this baseline document")
+		tolerance = flag.Float64("tolerance", 5, "default adverse-movement tolerance, percent")
+		duration  = flag.Duration("duration", 300*time.Millisecond, "offered-load time per scenario")
+		batch     = flag.Int("batch", 64, "frames per inject batch")
+		flows     = flag.Int("flows", 64, "generated flow population")
+		shards    = flag.Int("shards", 4, "lanes in sharded topologies")
+		seed      = flag.Uint64("seed", 1, "traffic generator seed")
+		throttle  = flag.Duration("throttle", 0, "artificial stall before every inject (gate self-test)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range drivers.Suite() {
+			fmt.Printf("%-16s driver=%s\n", sc.Name, sc.Driver.Name())
+		}
+		return nil
+	}
+
+	scs, err := drivers.ByName(*scenarios)
+	if err != nil {
+		return err
+	}
+	opts := nkload.Options{
+		Duration: *duration,
+		Batch:    *batch,
+		Flows:    *flows,
+		Shards:   *shards,
+		Seed:     *seed,
+		Throttle: *throttle,
+	}
+	doc, err := nkload.Run(scs, opts)
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		if err := doc.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nkload: wrote %s\n", *out)
+	}
+	if *jsonOut {
+		if err := doc.Encode(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		summarize(doc)
+	}
+
+	if *baseline != "" {
+		base, err := results.Load(*baseline)
+		if err != nil {
+			return err
+		}
+		rep := results.Compare(base, doc, *tolerance)
+		fmt.Print(rep.String())
+		if rep.Failed() {
+			return errGate
+		}
+	}
+	return nil
+}
+
+// summarize prints the human one-line-per-scenario table.
+func summarize(doc *results.Document) {
+	fmt.Printf("%-16s %10s %10s %12s %12s %12s %10s\n",
+		"SCENARIO", "KPPS", "DROPS", "P50(us)", "P99(us)", "P999(us)", "B/OP")
+	for _, r := range doc.Results {
+		get := func(name string) float64 {
+			m, _ := r.Metric(name)
+			return m.Value
+		}
+		fmt.Printf("%-16s %10.1f %10.0f %12.1f %12.1f %12.1f %10.1f\n",
+			r.Scenario, get("kpps"), get("drops"),
+			get("p50_ns")/1e3, get("p99_ns")/1e3, get("p999_ns")/1e3, get("b_op"))
+	}
+}

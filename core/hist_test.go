@@ -1,0 +1,286 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+)
+
+// splitmix64 keeps the distribution tests deterministic without importing
+// internal/trace (core sits below it).
+type histRNG struct{ state uint64 }
+
+func (r *histRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *histRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exactQuantile is the reference: the ceil(q*n)-th order statistic.
+func exactQuantile(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistQuantileErrorBounds records known distributions and asserts the
+// histogram's quantiles stay within the scheme's guaranteed relative error
+// of the exact order statistics: half a bucket width, i.e. 1/(2*32) plus
+// slack for the representative sitting mid-bucket — 5% is comfortably
+// above the bound and far below what would indicate a broken scheme.
+func TestHistQuantileErrorBounds(t *testing.T) {
+	rng := &histRNG{state: 41}
+	distributions := map[string]func() uint64{
+		"constant":    func() uint64 { return 777_777 },
+		"uniform":     func() uint64 { return 1 + rng.next()%1_000_000 },
+		"exponential": func() uint64 { return uint64(-120_000 * math.Log(1-rng.float())) },
+		"bimodal": func() uint64 { // fast path vs slow path latencies
+			if rng.next()%10 < 9 {
+				return 1_000 + rng.next()%500
+			}
+			return 5_000_000 + rng.next()%1_000_000
+		},
+		"small": func() uint64 { return rng.next() % histSubCount }, // exact linear region
+	}
+	for name, draw := range distributions {
+		h := NewHistogram()
+		values := make([]uint64, 0, 50_000)
+		for i := 0; i < 50_000; i++ {
+			v := draw()
+			values = append(values, v)
+			h.Record(v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(len(values)) {
+			t.Fatalf("%s: snapshot count %d, recorded %d", name, snap.Count, len(values))
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			got := snap.Quantile(q)
+			want := float64(exactQuantile(values, q))
+			relErr := math.Abs(got-want) / math.Max(want, 1)
+			if relErr > 0.05 {
+				t.Errorf("%s: q%.3f = %.1f, exact %.1f (rel err %.3f)", name, q, got, want, relErr)
+			}
+		}
+		// The linear region must be exact.
+		if name == "small" {
+			for _, q := range []float64{0.1, 0.5, 0.9} {
+				if got, want := snap.Quantile(q), float64(exactQuantile(values, q)); got != want {
+					t.Errorf("small values must be exact: q%.1f = %v, want %v", q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHistMergeEquivalence asserts the composite aggregation law: the
+// merge of per-lane histograms is exactly the histogram of all the lanes'
+// observations recorded into one recorder.
+func TestHistMergeEquivalence(t *testing.T) {
+	rng := &histRNG{state: 97}
+	lanes := make([]*Histogram, 4)
+	whole := NewHistogram()
+	for i := range lanes {
+		lanes[i] = NewHistogram()
+	}
+	for i := 0; i < 40_000; i++ {
+		v := rng.next() % 10_000_000
+		lanes[i%len(lanes)].Record(v)
+		whole.Record(v)
+	}
+	var merged *HistSnapshot
+	for _, l := range lanes {
+		merged = merged.Merge(l.Snapshot())
+	}
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged %d buckets, want %d", len(merged.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %+v, want %+v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+// TestMergeStatsHistogram asserts histogram stats ride MergeStats like
+// counters do: shard-lane snapshots aggregate into one stat whose
+// quantiles match the union of the lanes' observations.
+func TestMergeStatsHistogram(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	all := NewHistogram()
+	for v := uint64(100); v < 1100; v++ {
+		a.Record(v)
+		all.Record(v)
+	}
+	for v := uint64(50_000); v < 51_000; v++ {
+		b.Record(v)
+		all.Record(v)
+	}
+	merged := MergeStats(
+		[]Stat{H("latency", "ns", a.Snapshot()), C("packets_in", "packets", 1000)},
+		[]Stat{H("latency", "ns", b.Snapshot()), C("packets_in", "packets", 1000)},
+	)
+	var lat, pk *Stat
+	for i := range merged {
+		switch merged[i].Name {
+		case "latency":
+			lat = &merged[i]
+		case "packets_in":
+			pk = &merged[i]
+		}
+	}
+	if lat == nil || pk == nil {
+		t.Fatalf("merged stats missing latency/packets_in: %+v", merged)
+	}
+	if pk.Value != 2000 {
+		t.Fatalf("counter merge broke alongside histograms: %v", pk.Value)
+	}
+	if lat.Kind != KindHistogram || lat.Hist == nil {
+		t.Fatalf("latency did not merge as a histogram: %+v", lat)
+	}
+	if lat.Value != 2000 || lat.Hist.Count != 2000 {
+		t.Fatalf("merged histogram count = %v/%d, want 2000", lat.Value, lat.Hist.Count)
+	}
+	want := all.Snapshot()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got, ref := lat.Hist.Quantile(q), want.Quantile(q); got != ref {
+			t.Errorf("q%.3f: merged %v, union %v", q, got, ref)
+		}
+	}
+}
+
+// TestHistSubWindow asserts Sub yields the histogram of the observations
+// between two cumulative snapshots — the windowed view SLO conditions use.
+func TestHistSubWindow(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(1_000) // fast era
+	}
+	before := h.Snapshot()
+	for i := 0; i < 1000; i++ {
+		h.Record(10_000_000) // slow era
+	}
+	window := h.Snapshot().Sub(before)
+	if window.Count != 1000 {
+		t.Fatalf("window count %d, want 1000", window.Count)
+	}
+	if p50 := window.Quantile(0.5); math.Abs(p50-10_000_000) > 0.05*10_000_000 {
+		t.Fatalf("window p50 %v should see only the slow era", p50)
+	}
+	// Cumulative p50 still remembers the fast era.
+	if p50 := h.Snapshot().Quantile(0.5); p50 > 5_000_000 {
+		t.Fatalf("cumulative p50 %v should straddle both eras", p50)
+	}
+	if empty := before.Sub(before); empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("self-subtraction should be empty: %+v", empty)
+	}
+}
+
+// TestHistStatJSONRoundTrip asserts the histogram stat survives the JSON
+// path nkctl stats and the result documents use.
+func TestHistStatJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{5, 500, 50_000, 5_000_000} {
+		h.Record(v)
+	}
+	raw, err := json.Marshal(H("latency", "ns", h.Snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stat
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != KindHistogram || back.Hist == nil || back.Hist.Count != 4 {
+		t.Fatalf("round trip lost the distribution: %+v", back)
+	}
+	if got, want := back.Hist.Quantile(1), h.Snapshot().Quantile(1); got != want {
+		t.Fatalf("round-trip max %v, want %v", got, want)
+	}
+	// Counters must not grow a hist field on the wire.
+	rawC, err := json.Marshal(C("packets_in", "packets", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rawC) != `{"name":"packets_in","kind":"counter","unit":"packets","value":7}` {
+		t.Fatalf("counter JSON grew: %s", rawC)
+	}
+}
+
+// FuzzHistBuckets fuzzes the bucket scheme's invariants: every value lands
+// in a bucket whose bounds contain it, bucket membership is idempotent,
+// indexes are monotone, and bucket width honours the resolution guarantee.
+func FuzzHistBuckets(f *testing.F) {
+	for _, seed := range []uint64{0, 1, histSubCount - 1, histSubCount, histSubCount + 1,
+		63, 64, 65, 1 << 20, (1 << 20) + 3, math.MaxUint64, math.MaxUint64 - 1, math.MaxUint64 / 3} {
+		f.Add(seed, seed+1)
+	}
+	f.Fuzz(func(t *testing.T, v, w uint64) {
+		i := HistIndex(v)
+		if i < 0 || i >= histMaxBuckets {
+			t.Fatalf("index %d out of range for %d", i, v)
+		}
+		lo, hi := HistBucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d [%d,%d]", v, i, lo, hi)
+		}
+		if HistIndex(lo) != i || HistIndex(hi) != i {
+			t.Fatalf("bucket %d bounds [%d,%d] not idempotent (%d,%d)",
+				i, lo, hi, HistIndex(lo), HistIndex(hi))
+		}
+		if j := HistIndex(w); (v < w && i > j) || (v > w && i < j) {
+			t.Fatalf("index not monotone: %d->%d but %d->%d", v, i, w, j)
+		}
+		// Resolution: width <= lo/histSubCount outside the linear region
+		// (there, width is 1 by construction).
+		if lo >= histSubCount {
+			width := hi - lo + 1
+			if width > lo/histSubCount {
+				t.Fatalf("bucket %d width %d exceeds %d/%d", i, width, lo, histSubCount)
+			}
+		}
+		// Record/Snapshot conserve the observation.
+		h := NewHistogram()
+		h.Record(v)
+		s := h.Snapshot()
+		if s.Count != 1 || len(s.Buckets) != 1 || s.Buckets[0].Index != i {
+			t.Fatalf("record of %d produced %+v", v, s)
+		}
+	})
+}
+
+// TestHistJSONCarriesQuantiles asserts the wire form shows derived
+// p50/p99/p999 (what `nkctl stats` renders) while round-tripping the
+// bucket ground truth.
+func TestHistJSONCarriesQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(100_000)
+	}
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"p50", "p99", "p999"} {
+		v, ok := wire[k].(float64)
+		if !ok || math.Abs(v-100_000) > 0.05*100_000 {
+			t.Fatalf("wire %s = %v, want ~100000 (%s)", k, wire[k], raw)
+		}
+	}
+}

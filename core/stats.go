@@ -25,6 +25,10 @@ const (
 	// ratio-unit gauges which average (a merged occupancy is the mean of
 	// the constituents', not their sum).
 	KindGauge StatKind = "gauge"
+	// KindHistogram is a cumulative value distribution (hist.go):
+	// aggregation merges bucket-wise, so shard-lane histograms sum into
+	// exactly the histogram of the union of their observations.
+	KindHistogram StatKind = "histogram"
 )
 
 // Stat is one named scalar observation: a cheap atomic snapshot of a
@@ -36,6 +40,9 @@ type Stat struct {
 	Kind  StatKind `json:"kind"`
 	Unit  string   `json:"unit,omitempty"`
 	Value float64  `json:"value"`
+	// Hist carries the bucketed distribution for KindHistogram stats
+	// (Value then holds the observation count); nil otherwise.
+	Hist *HistSnapshot `json:"hist,omitempty"`
 }
 
 // C builds a counter Stat from an integral count.
@@ -118,7 +125,8 @@ func (n *StatNode) Find(path string) (*StatNode, bool) {
 
 // MergeStats aggregates several stat snapshots into one: stats are grouped
 // by (Name, Kind, Unit); counters and gauges sum, except gauges with unit
-// "ratio", which average. The result is sorted by name for determinism.
+// "ratio", which average; histograms merge bucket-wise (and Value, their
+// observation count, sums). The result is sorted by name for determinism.
 // It is the aggregation rule composites use to present their constituents
 // as one element.
 func MergeStats(groups ...[]Stat) []Stat {
@@ -138,6 +146,9 @@ func MergeStats(groups ...[]Stat) []Stat {
 				order = append(order, key)
 			}
 			a.stat.Value += s.Value
+			if s.Kind == KindHistogram {
+				a.stat.Hist = a.stat.Hist.Merge(s.Hist)
+			}
 			a.n++
 		}
 	}

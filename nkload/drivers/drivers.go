@@ -1,0 +1,281 @@
+// Package drivers supplies the standard nkload traffic shapes, modeled on
+// the classic netperf scenario taxonomy: STREAM (maximal throughput), RR
+// (closed-loop request/response latency), CRR (connection/flow churn),
+// Replay (Zipf-popularity IMIX-size realistic mix), and Burst (flash
+// crowd). Every driver speaks only the nkload.Target surface, so each
+// shape runs unchanged against the fused pipeline, the sharded plane, or
+// the netsim-fronted capsule.
+package drivers
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"netkit/internal/trace"
+	"netkit/nkload"
+	"netkit/nkload/results"
+)
+
+// pregen builds a reusable, immutable frame population: count frames of
+// fixed ipLen bytes (or IMIX sizes when ipLen == 0) drawn from a
+// deterministic Zipf flow generator. Drivers cycle these — generation
+// cost stays out of the measured loop, and reuse is safe because nkload
+// topologies only use non-mutating pipeline stages.
+func pregen(o nkload.Options, count, ipLen int) ([][]byte, error) {
+	gen, err := trace.NewGenerator(trace.Config{Seed: o.Seed, Flows: o.Flows})
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		var raw []byte
+		if ipLen > 0 {
+			raw, err = gen.NextFixed(ipLen)
+		} else {
+			raw, err = gen.Next()
+		}
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, raw)
+	}
+	return frames, nil
+}
+
+// stream pushes batches of pre-generated frames as fast as the target
+// accepts them until the deadline.
+func stream(t *nkload.Target, o nkload.Options, frames [][]byte) (uint64, error) {
+	var sent uint64
+	deadline := time.Now().Add(o.Duration)
+	i := 0
+	for time.Now().Before(deadline) {
+		batch := make([][]byte, 0, o.Batch)
+		for len(batch) < o.Batch {
+			batch = append(batch, frames[i%len(frames)])
+			i++
+		}
+		if err := t.Inject(batch); err != nil {
+			return sent, err
+		}
+		sent += uint64(len(batch))
+	}
+	return sent, nil
+}
+
+// Stream is the maximal-throughput shape: fixed-size frames offered
+// back-to-back in full batches. Its kpps is the headline number.
+type Stream struct{}
+
+// Name implements nkload.Driver.
+func (Stream) Name() string { return "stream" }
+
+// Run implements nkload.Driver.
+func (Stream) Run(t *nkload.Target, o nkload.Options) (nkload.Outcome, error) {
+	frames, err := pregen(o, 4*o.Flows, o.FrameBytes)
+	if err != nil {
+		return nkload.Outcome{}, err
+	}
+	sent, err := stream(t, o, frames)
+	return nkload.Outcome{Sent: sent}, err
+}
+
+// RR is the closed-loop request/response shape: one frame in flight at a
+// time, the next offered only after the previous reached the sink. Its
+// p50/p99/p999 are honest per-operation latencies (no coordinated
+// omission — the next request waits for the response), and ops_per_sec is
+// the inverse of the full round trip.
+type RR struct{}
+
+// Name implements nkload.Driver.
+func (RR) Name() string { return "rr" }
+
+// Run implements nkload.Driver.
+func (RR) Run(t *nkload.Target, o nkload.Options) (nkload.Outcome, error) {
+	frames, err := pregen(o, 2*o.Flows, o.FrameBytes)
+	if err != nil {
+		return nkload.Outcome{}, err
+	}
+	var sent, ops, lost uint64
+	deadline := time.Now().Add(o.Duration)
+	one := make([][]byte, 1)
+	for i := 0; time.Now().Before(deadline); i++ {
+		want := t.Delivered() + 1
+		one[0] = frames[i%len(frames)]
+		if err := t.Inject(one); err != nil {
+			return nkload.Outcome{Sent: sent}, err
+		}
+		sent++
+		waitUntil := time.Now().Add(100 * time.Millisecond)
+		for t.Delivered() < want {
+			if !time.Now().Before(waitUntil) {
+				lost++
+				break
+			}
+			runtime.Gosched()
+		}
+		if t.Delivered() >= want {
+			ops++
+		}
+	}
+	elapsed := o.Duration.Seconds()
+	return nkload.Outcome{Sent: sent, Extra: []results.Metric{
+		{Name: "ops_per_sec", Unit: "ops/s", Value: float64(ops) / elapsed,
+			Better: results.BetterHigher},
+		{Name: "rr_lost", Unit: "ops", Value: float64(lost), Better: results.BetterLower},
+	}}, nil
+}
+
+// CRR is the connection-churn shape (netperf TCP_CRR's spirit): tiny
+// bursts, each from a different flow of a large population, so nothing
+// amortises — flow dispatch, classification, and per-flow state churn on
+// every handful of packets. conns_per_sec counts completed exchanges.
+type CRR struct{}
+
+// Name implements nkload.Driver.
+func (CRR) Name() string { return "crr" }
+
+// connFrames is the frames exchanged per "connection".
+const connFrames = 4
+
+// Run implements nkload.Driver.
+func (CRR) Run(t *nkload.Target, o nkload.Options) (nkload.Outcome, error) {
+	// A churn population much larger than the steady-state flow count.
+	churn := o
+	churn.Flows = o.Flows * 16
+	frames, err := pregen(churn, churn.Flows, o.FrameBytes)
+	if err != nil {
+		return nkload.Outcome{}, err
+	}
+	var sent, conns uint64
+	deadline := time.Now().Add(o.Duration)
+	for i := 0; time.Now().Before(deadline); i++ {
+		f := frames[i%len(frames)]
+		batch := make([][]byte, connFrames)
+		for j := range batch {
+			batch[j] = f
+		}
+		if err := t.Inject(batch); err != nil {
+			return nkload.Outcome{Sent: sent}, err
+		}
+		sent += connFrames
+		conns++
+	}
+	return nkload.Outcome{Sent: sent, Extra: []results.Metric{
+		{Name: "conns_per_sec", Unit: "conns/s", Value: float64(conns) / o.Duration.Seconds(),
+			Better: results.BetterHigher},
+	}}, nil
+}
+
+// Replay is the realistic-mix shape: Zipf flow popularity and IMIX frame
+// sizes, streamed at full rate — the "whole router under production-ish
+// traffic" number.
+type Replay struct{}
+
+// Name implements nkload.Driver.
+func (Replay) Name() string { return "replay" }
+
+// Run implements nkload.Driver.
+func (Replay) Run(t *nkload.Target, o nkload.Options) (nkload.Outcome, error) {
+	frames, err := pregen(o, 16*o.Flows, 0) // IMIX sizes
+	if err != nil {
+		return nkload.Outcome{}, err
+	}
+	var bytes uint64
+	for _, f := range frames {
+		bytes += uint64(len(f))
+	}
+	sent, err := stream(t, o, frames)
+	return nkload.Outcome{Sent: sent, Extra: []results.Metric{
+		{Name: "mean_frame_bytes", Unit: "bytes",
+			Value: float64(bytes) / float64(len(frames))},
+	}}, err
+}
+
+// Burst is the flash-crowd shape: full-rate bursts separated by idle gaps
+// (duty cycle 40%). Tail latency under the leading edge of each burst —
+// queues filling from empty — is what its p99/p999 capture; against the
+// netsim-fronted topology the link queue can also drop honestly.
+type Burst struct{}
+
+// Name implements nkload.Driver.
+func (Burst) Name() string { return "burst" }
+
+// Run implements nkload.Driver.
+func (Burst) Run(t *nkload.Target, o nkload.Options) (nkload.Outcome, error) {
+	frames, err := pregen(o, 4*o.Flows, o.FrameBytes)
+	if err != nil {
+		return nkload.Outcome{}, err
+	}
+	const on, off = 20 * time.Millisecond, 30 * time.Millisecond
+	var sent, bursts uint64
+	deadline := time.Now().Add(o.Duration)
+	i := 0
+	for time.Now().Before(deadline) {
+		burstEnd := time.Now().Add(on)
+		for time.Now().Before(burstEnd) {
+			batch := make([][]byte, 0, o.Batch)
+			for len(batch) < o.Batch {
+				batch = append(batch, frames[i%len(frames)])
+				i++
+			}
+			if err := t.Inject(batch); err != nil {
+				return nkload.Outcome{Sent: sent}, err
+			}
+			sent += uint64(len(batch))
+		}
+		bursts++
+		time.Sleep(off)
+	}
+	return nkload.Outcome{Sent: sent, Extra: []results.Metric{
+		{Name: "bursts", Unit: "bursts", Value: float64(bursts)},
+	}}, nil
+}
+
+// Suite is the standard scenario set cmd/nkload runs and the committed
+// baseline covers: every driver, spread across the three topologies.
+func Suite() []nkload.Scenario {
+	return []nkload.Scenario{
+		{Name: "stream/fused", Driver: Stream{}, Topology: nkload.Fused},
+		{Name: "stream/sharded", Driver: Stream{}, Topology: nkload.Sharded},
+		{Name: "rr/sharded", Driver: RR{}, Topology: nkload.Sharded},
+		{Name: "crr/sharded", Driver: CRR{}, Topology: nkload.Sharded},
+		{Name: "replay/fused", Driver: Replay{}, Topology: nkload.Fused},
+		{Name: "burst/netsim", Driver: Burst{}, Topology: nkload.NetsimFronted},
+	}
+}
+
+// ByName resolves a comma-separated scenario selection against the suite.
+func ByName(selection string) ([]nkload.Scenario, error) {
+	if selection == "" || selection == "all" {
+		return Suite(), nil
+	}
+	all := Suite()
+	byName := make(map[string]nkload.Scenario, len(all))
+	for _, sc := range all {
+		byName[sc.Name] = sc
+	}
+	var out []nkload.Scenario
+	for _, name := range splitComma(selection) {
+		sc, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("drivers: unknown scenario %q", name)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

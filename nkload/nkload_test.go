@@ -1,0 +1,185 @@
+package nkload
+
+import (
+	"testing"
+	"time"
+
+	"netkit"
+	"netkit/core"
+	"netkit/internal/trace"
+	"netkit/router"
+)
+
+func testFrames(t *testing.T, n int) [][]byte {
+	t.Helper()
+	gen, err := trace.NewGenerator(trace.Config{Seed: 3, Flows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, n)
+	for i := range frames {
+		if frames[i], err = gen.NextFixed(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return frames
+}
+
+// TestSinkRecordsAndRecycles pins the sink contract: counts, bytes, a
+// latency observation per delivered packet, and wrapper recycling.
+func TestSinkRecordsAndRecycles(t *testing.T) {
+	s := NewSink()
+	frames := testFrames(t, 8)
+	batch := make([]*router.Packet, 0, len(frames))
+	for _, f := range frames {
+		batch = append(batch, s.Wrap(f))
+	}
+	if err := s.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if s.Delivered() != 8 {
+		t.Fatalf("delivered %d, want 8", s.Delivered())
+	}
+	if lat := s.Latency(); lat.Count != 8 || lat.Quantile(0.5) <= 0 {
+		t.Fatalf("latency histogram %+v", lat)
+	}
+	// A recycled wrapper must come back clean.
+	p := s.Wrap(frames[0])
+	if p.InPort != "" || p.Buf != nil {
+		t.Fatalf("recycled wrapper not reset: %+v", p)
+	}
+	stats := s.Stats()
+	var found bool
+	for _, st := range stats {
+		if st.Name == router.StatLatency && st.Kind == core.KindHistogram && st.Hist != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sink stats missing the latency histogram: %+v", stats)
+	}
+}
+
+// TestFusedTargetRoundTrip drives frames through the fused topology and
+// checks delivery + latency accounting.
+func TestFusedTargetRoundTrip(t *testing.T) {
+	tgt, err := Fused(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	frames := testFrames(t, 64)
+	for i := 0; i < 4; i++ {
+		if err := tgt.Inject(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tgt.Delivered(); got != 256 {
+		t.Fatalf("delivered %d, want 256", got)
+	}
+	if lat := tgt.Latency(); lat.Count != 256 {
+		t.Fatalf("latency count %d, want 256", lat.Count)
+	}
+}
+
+// TestShardedTargetStatsTree is the acceptance check that the harness and
+// the meta-space read the same telemetry: after load, the capsule stats
+// tree (netkit.Meta — what nkctl stats renders) carries latency
+// histograms both at the sink and on the sharded plane's lanes, and the
+// sink's packet count matches what the driver saw delivered.
+func TestShardedTargetStatsTree(t *testing.T) {
+	tgt, err := Sharded(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	frames := testFrames(t, 64)
+	for i := 0; i < 8; i++ {
+		if err := tgt.Inject(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tgt.Delivered() < 512 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tgt.Delivered() != 512 {
+		t.Fatalf("delivered %d, want 512", tgt.Delivered())
+	}
+	tree := netkit.Meta(tgt.System().Capsule()).Stats().Tree()
+	sinkNode, ok := tree.Find("sink")
+	if !ok {
+		t.Fatal("no sink in the stats tree")
+	}
+	st, ok := sinkNode.Stat(router.StatLatency)
+	if !ok || st.Kind != core.KindHistogram || st.Hist.Count != 512 {
+		t.Fatalf("sink latency stat %+v, want histogram of 512", st)
+	}
+	// The sharded plane's per-lane histograms cover the same packets.
+	var laneCount uint64
+	for i := 0; i < 2; i++ {
+		lane, ok := tree.Find("plane/shard" + string(rune('0'+i)))
+		if !ok {
+			t.Fatalf("no lane shard%d under plane", i)
+		}
+		ls, ok := lane.Stat(router.StatLatency)
+		if !ok || ls.Hist == nil {
+			t.Fatalf("lane shard%d missing latency histogram", i)
+		}
+		laneCount += ls.Hist.Count
+	}
+	if laneCount != 512 {
+		t.Fatalf("lanes recorded %d, want 512", laneCount)
+	}
+	// Sink tail sits at or above the lane residence tail: the sink stamp
+	// covers strictly more of each packet's life than the lane window.
+	plane, _ := tree.Find("plane")
+	ps, ok := plane.Stat(router.StatLatency)
+	if !ok {
+		t.Fatal("plane missing merged latency histogram")
+	}
+	if st.Hist.Quantile(0.99) < ps.Hist.Quantile(0.99)*0.5 {
+		t.Fatalf("sink p99 %v implausibly below lane p99 %v",
+			st.Hist.Quantile(0.99), ps.Hist.Quantile(0.99))
+	}
+}
+
+// TestNetsimTargetDelivers drives the netsim-fronted topology.
+func TestNetsimTargetDelivers(t *testing.T) {
+	tgt, err := NetsimFronted(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	frames := testFrames(t, 32)
+	if err := tgt.Inject(frames); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tgt.Delivered() < 32 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tgt.Delivered() != 32 {
+		t.Fatalf("delivered %d of 32 across the simulated link", tgt.Delivered())
+	}
+}
+
+// TestThrottleStallsInject pins the gate self-test hook: a throttled
+// target injects measurably slower.
+func TestThrottleStallsInject(t *testing.T) {
+	tgt, err := Fused(Options{Throttle: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	frames := testFrames(t, 8)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := tgt.Inject(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("3 throttled injects took %v, want >= 30ms", elapsed)
+	}
+}

@@ -1,0 +1,183 @@
+package results
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(results ...Result) *Document {
+	return &Document{Suite: "test", Results: results}
+}
+
+func stream(kpps float64, metrics ...Metric) Result {
+	return Result{
+		Scenario: "stream/fused",
+		Driver:   "stream",
+		Metrics: append([]Metric{
+			{Name: "kpps", Unit: "kpps", Value: kpps, Better: BetterHigher},
+		}, metrics...),
+	}
+}
+
+// TestCompareGateTrips pins the exit-1 semantics: an adverse move beyond
+// tolerance fails, in-tolerance noise and improvement pass.
+func TestCompareGateTrips(t *testing.T) {
+	base := doc(stream(1000,
+		Metric{Name: "p99_ns", Unit: "ns", Value: 10_000, Better: BetterLower},
+	))
+	cases := []struct {
+		name       string
+		cur        *Document
+		wantFailed bool
+	}{
+		{"identical", doc(stream(1000, Metric{Name: "p99_ns", Value: 10_000, Better: BetterLower})), false},
+		{"in-tolerance dip", doc(stream(960, Metric{Name: "p99_ns", Value: 10_000, Better: BetterLower})), false},
+		{"improvement", doc(stream(2000, Metric{Name: "p99_ns", Value: 5_000, Better: BetterLower})), false},
+		{"throughput regression", doc(stream(900, Metric{Name: "p99_ns", Value: 10_000, Better: BetterLower})), true},
+		{"latency regression", doc(stream(1000, Metric{Name: "p99_ns", Value: 12_000, Better: BetterLower})), true},
+	}
+	for _, tc := range cases {
+		rep := Compare(base, tc.cur, 5)
+		if rep.Failed() != tc.wantFailed {
+			t.Errorf("%s: failed=%v, want %v\n%s", tc.name, rep.Failed(), tc.wantFailed, rep)
+		}
+	}
+}
+
+// TestComparePerMetricTolerance asserts a metric's own tolerance (from the
+// baseline document — the committed contract) overrides the default.
+func TestComparePerMetricTolerance(t *testing.T) {
+	base := doc(Result{Scenario: "rr", Metrics: []Metric{
+		{Name: "p999_ns", Value: 1000, Better: BetterLower, Tolerance: 50},
+		{Name: "kpps", Value: 1000, Better: BetterHigher},
+	}})
+	cur := doc(Result{Scenario: "rr", Metrics: []Metric{
+		{Name: "p999_ns", Value: 1400, Better: BetterLower}, // +40% < 50% own tol
+		{Name: "kpps", Value: 930, Better: BetterHigher},    // -7% > 5% default
+	}})
+	rep := Compare(base, cur, 5)
+	if rep.Failures != 1 {
+		t.Fatalf("want exactly the kpps failure, got\n%s", rep)
+	}
+	for _, c := range rep.Comparisons {
+		switch c.Metric {
+		case "p999_ns":
+			if !c.Pass || c.Tolerance != 50 {
+				t.Errorf("p999 should pass under its own 50%% tolerance: %+v", c)
+			}
+		case "kpps":
+			if c.Pass || c.Tolerance != 5 {
+				t.Errorf("kpps should fail under the 5%% default: %+v", c)
+			}
+		}
+	}
+}
+
+// TestCompareMissingData pins the asymmetric missing-data rules.
+func TestCompareMissingData(t *testing.T) {
+	base := doc(
+		stream(1000),
+		Result{Scenario: "rr", Metrics: []Metric{{Name: "p99_ns", Value: 10, Better: BetterLower}}},
+	)
+	// Current lost the rr scenario and the kpps metric, gained a new one.
+	cur := doc(
+		Result{Scenario: "stream/fused", Metrics: []Metric{{Name: "new_metric", Value: 1}}},
+		Result{Scenario: "burst", Metrics: []Metric{{Name: "kpps", Value: 5, Better: BetterHigher}}},
+	)
+	rep := Compare(base, cur, 5)
+	if rep.Failures != 2 {
+		t.Fatalf("want 2 failures (lost scenario + lost metric), got\n%s", rep)
+	}
+	var newOK, burstOK bool
+	for _, c := range rep.Comparisons {
+		if c.Metric == "new_metric" && c.Pass && c.Note == "not in baseline" {
+			newOK = true
+		}
+		if c.Scenario == "burst" && c.Pass {
+			burstOK = true
+		}
+	}
+	if !newOK || !burstOK {
+		t.Fatalf("new coverage must pass with a note:\n%s", rep)
+	}
+}
+
+// TestCompareZeroBaseline pins the zero-anchor rules: no percentage off
+// zero, but a dead BetterHigher metric staying dead is a failure.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := doc(Result{Scenario: "s", Metrics: []Metric{
+		{Name: "drops", Value: 0, Better: BetterLower},
+		{Name: "kpps", Value: 0, Better: BetterHigher},
+	}})
+	cur := doc(Result{Scenario: "s", Metrics: []Metric{
+		{Name: "drops", Value: 3, Better: BetterLower},
+		{Name: "kpps", Value: 0, Better: BetterHigher},
+	}})
+	rep := Compare(base, cur, 5)
+	if rep.Failures != 1 {
+		t.Fatalf("want only the dead-kpps failure, got\n%s", rep)
+	}
+	for _, c := range rep.Comparisons {
+		if c.Metric == "kpps" && c.Pass {
+			t.Errorf("zero->zero BetterHigher must fail: %+v", c)
+		}
+		if c.Metric == "drops" && !c.Pass {
+			t.Errorf("zero baseline BetterLower is not gated: %+v", c)
+		}
+	}
+}
+
+// TestCompareInformationalNeverGates asserts direction-less metrics are
+// compared but cannot fail.
+func TestCompareInformationalNeverGates(t *testing.T) {
+	base := doc(Result{Scenario: "s", Metrics: []Metric{{Name: "packets", Value: 100}}})
+	cur := doc(Result{Scenario: "s", Metrics: []Metric{{Name: "packets", Value: 1}}})
+	if rep := Compare(base, cur, 5); rep.Failed() {
+		t.Fatalf("informational metric tripped the gate:\n%s", rep)
+	}
+}
+
+// TestDocumentRoundTrip asserts the on-disk format survives write + load.
+func TestDocumentRoundTrip(t *testing.T) {
+	d := &Document{
+		Suite:  "nkload",
+		Config: map[string]string{"duration": "2s", "seed": "7"},
+		Results: []Result{stream(1234.5,
+			Metric{Name: "p99_ns", Unit: "ns", Value: 42_000, Better: BetterLower, Tolerance: 30},
+		)},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Suite != d.Suite || back.Config["seed"] != "7" || len(back.Results) != 1 {
+		t.Fatalf("round trip mangled document: %+v", back)
+	}
+	m, ok := back.Results[0].Metric("p99_ns")
+	if !ok || m.Tolerance != 30 || m.Better != BetterLower || m.Value != 42_000 {
+		t.Fatalf("round trip mangled metric: %+v", m)
+	}
+	// A self-comparison of a loaded baseline passes trivially.
+	if rep := Compare(back, back, 5); rep.Failed() {
+		t.Fatalf("self-comparison failed:\n%s", rep)
+	}
+}
+
+// TestReportString smoke-checks the CI table: failures first, marked.
+func TestReportString(t *testing.T) {
+	base := doc(stream(1000))
+	cur := doc(stream(100))
+	out := Compare(base, cur, 5).String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[1], "FAIL") {
+		t.Fatalf("expected a leading FAIL row:\n%s", out)
+	}
+	if !strings.Contains(lines[len(lines)-1], "1 failed") {
+		t.Fatalf("expected failure count in footer:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+package nkload
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"netkit/nkload/results"
+)
+
+// Driver is a pluggable traffic shape: it decides what frames to offer
+// the target and when, through Target.Inject only, and reports what it
+// sent. Everything it measures beyond the uniform metrics rides along in
+// Outcome.Extra.
+type Driver interface {
+	// Name is the driver kind recorded in the result ("stream", "rr").
+	Name() string
+	// Run offers load until o.Duration elapses.
+	Run(t *Target, o Options) (Outcome, error)
+}
+
+// Outcome is what a driver hands back to the measurement layer.
+type Outcome struct {
+	// Sent is the frames offered to the target.
+	Sent uint64
+	// Extra carries driver-specific metrics (ops/sec, bursts, ...).
+	Extra []results.Metric
+}
+
+// Scenario pairs a driver with the topology it drives.
+type Scenario struct {
+	// Name is the result's scenario key ("stream/fused").
+	Name string
+	// Driver is the traffic shape.
+	Driver Driver
+	// Topology builds the system under load.
+	Topology Topology
+	// Tune optionally adjusts the run-wide options for this scenario.
+	Tune func(Options) Options
+}
+
+// Default per-metric tolerances, in percent. Throughput uses the gate's
+// default (a deliberate run-time choice, see cmd/nkload -tolerance);
+// latency quantiles carry wide per-metric tolerances — graded by depth
+// into the tail, because a p999 over a sub-second window is a handful of
+// scheduler events — while allocation bytes per packet are
+// near-deterministic, so they get a tight one.
+const (
+	TolP50Pct   = 75
+	TolP99Pct   = 150
+	TolP999Pct  = 250
+	TolAllocPct = 25
+
+	// latNoiseFloorNs is the latency below which quantile values are
+	// dominated by scheduler jitter rather than the code under test;
+	// such metrics get TolNoisePct regardless of depth.
+	latNoiseFloorNs = 5_000
+	TolNoisePct     = 300
+)
+
+// latTol grades a latency quantile's tolerance.
+func latTol(valueNs, depthTol float64) float64 {
+	if valueNs < latNoiseFloorNs {
+		return TolNoisePct
+	}
+	return depthTol
+}
+
+// RunScenario builds the scenario's target, runs its driver, waits for
+// the pipeline to drain, and reduces the run to the uniform metric set:
+// kpps, drops, B/op, and the p50/p99/p999 of the sink's Born-to-sink
+// latency histogram — the same histogram the capsule's stats tree shows.
+func RunScenario(sc Scenario, o Options) (results.Result, error) {
+	o = o.withDefaults()
+	if sc.Tune != nil {
+		o = sc.Tune(o)
+	}
+	t, err := sc.Topology(o)
+	if err != nil {
+		return results.Result{}, fmt.Errorf("nkload: %s: topology: %w", sc.Name, err)
+	}
+	defer t.Close()
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	out, err := sc.Driver.Run(t, o)
+	if err != nil {
+		return results.Result{}, fmt.Errorf("nkload: %s: driver: %w", sc.Name, err)
+	}
+	drain(t, out.Sent)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	delivered := t.Delivered()
+	lat := t.Latency()
+	var drops uint64
+	if out.Sent > delivered {
+		drops = out.Sent - delivered
+	}
+	// Allocation is charged per offered frame, not per delivered one:
+	// a lossy scenario (burst over a shallow netsim queue) pays the
+	// allocation cost for every frame it sends, and dividing by the
+	// run-to-run-varying survivor count would make B/op noise, not signal.
+	var bop float64
+	if out.Sent > 0 {
+		bop = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(out.Sent)
+	} else if delivered > 0 {
+		bop = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(delivered)
+	}
+	r := results.Result{
+		Scenario: sc.Name,
+		Driver:   sc.Driver.Name(),
+		Config:   t.Config,
+		Metrics: []results.Metric{
+			{Name: "kpps", Unit: "kpps", Value: float64(delivered) / elapsed.Seconds() / 1000,
+				Better: results.BetterHigher},
+			{Name: "packets", Unit: "packets", Value: float64(delivered)},
+			{Name: "drops", Unit: "packets", Value: float64(drops), Better: results.BetterLower},
+			{Name: "p50_ns", Unit: "ns", Value: lat.Quantile(0.50),
+				Better: results.BetterLower, Tolerance: latTol(lat.Quantile(0.50), TolP50Pct)},
+			{Name: "p99_ns", Unit: "ns", Value: lat.Quantile(0.99),
+				Better: results.BetterLower, Tolerance: latTol(lat.Quantile(0.99), TolP99Pct)},
+			{Name: "p999_ns", Unit: "ns", Value: lat.Quantile(0.999),
+				Better: results.BetterLower, Tolerance: latTol(lat.Quantile(0.999), TolP999Pct)},
+			{Name: "b_op", Unit: "B/op", Value: bop,
+				Better: results.BetterLower, Tolerance: TolAllocPct},
+		},
+	}
+	r.Metrics = append(r.Metrics, out.Extra...)
+	return r, nil
+}
+
+// drain waits for offered frames to finish traversing the target: until
+// the sink has seen everything sent, or deliveries stop growing (frames
+// legitimately dropped en route), or a hard deadline passes.
+func drain(t *Target, sent uint64) {
+	deadline := time.Now().Add(5 * time.Second)
+	last := t.Delivered()
+	for time.Now().Before(deadline) {
+		if sent > 0 && last >= sent {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur := t.Delivered()
+		if cur == last {
+			return
+		}
+		last = cur
+	}
+}
+
+// Run executes a list of scenarios into one result document.
+func Run(scenarios []Scenario, o Options) (*results.Document, error) {
+	o = o.withDefaults()
+	doc := &results.Document{
+		Suite: "nkload",
+		Config: map[string]string{
+			"duration": o.Duration.String(),
+			"batch":    fmt.Sprintf("%d", o.Batch),
+			"flows":    fmt.Sprintf("%d", o.Flows),
+			"shards":   fmt.Sprintf("%d", o.Shards),
+			"seed":     fmt.Sprintf("%d", o.Seed),
+		},
+	}
+	if o.Throttle > 0 {
+		doc.Config["throttle"] = o.Throttle.String()
+	}
+	for _, sc := range scenarios {
+		r, err := RunScenario(sc, o)
+		if err != nil {
+			return nil, err
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	return doc, nil
+}

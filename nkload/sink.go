@@ -1,0 +1,102 @@
+package nkload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"netkit/core"
+	"netkit/router"
+)
+
+// TypeSink is the load sink's registered component type name.
+const TypeSink = "netkit.nkload.Sink"
+
+// Sink terminates a load-test pipeline: it counts deliveries, records each
+// packet's Born-to-sink latency into a core.Histogram, and recycles the
+// packet wrappers the harness allocated. Because it implements core.IStats
+// and publishes the histogram under router.StatLatency, the numbers a
+// driver reports and the numbers `nkctl stats` (or an adapt rule) reads
+// from the stats tree are the SAME recorder — the harness cannot drift
+// from the telemetry it is supposed to exercise.
+type Sink struct {
+	*core.Base
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	lat     *core.Histogram
+
+	// pool recycles *router.Packet wrappers. Only the sink returns a
+	// wrapper (after it is fully done with it), so a wrapper is never
+	// reused while in flight; packets dropped mid-pipeline simply fall
+	// out of circulation and the pool allocates replacements.
+	pool sync.Pool
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	s := &Sink{Base: core.NewBase(TypeSink), lat: core.NewHistogram()}
+	s.pool.New = func() any { return new(router.Packet) }
+	s.Provide(router.IPacketPushID, s)
+	return s
+}
+
+// Wrap draws a recycled packet wrapper around raw frame bytes and stamps
+// its Born timestamp. The bytes are NOT copied: load drivers pregenerate
+// immutable frames and topologies use non-mutating pipeline stages, so one
+// frame may be in flight many times concurrently.
+func (s *Sink) Wrap(raw []byte) *router.Packet {
+	p := s.pool.Get().(*router.Packet)
+	*p = router.Packet{Data: raw, Born: router.Nanotime()}
+	return p
+}
+
+// take records one delivery and recycles the wrapper.
+func (s *Sink) take(now int64, p *router.Packet) {
+	s.bytes.Add(uint64(len(p.Data)))
+	if p.Born > 0 && now > p.Born {
+		s.lat.Record(uint64(now - p.Born))
+	}
+	p.Release()
+	*p = router.Packet{}
+	s.pool.Put(p)
+}
+
+// Push implements router.IPacketPush.
+func (s *Sink) Push(p *router.Packet) error {
+	s.packets.Add(1)
+	s.take(router.Nanotime(), p)
+	return nil
+}
+
+// PushBatch implements router.IPacketPushBatch with one clock read per
+// batch.
+func (s *Sink) PushBatch(batch []*router.Packet) error {
+	s.packets.Add(uint64(len(batch)))
+	now := router.Nanotime()
+	for _, p := range batch {
+		s.take(now, p)
+	}
+	return nil
+}
+
+// Delivered returns the packets delivered so far.
+func (s *Sink) Delivered() uint64 { return s.packets.Load() }
+
+// Latency returns a snapshot of the delivery-latency histogram.
+func (s *Sink) Latency() *core.HistSnapshot { return s.lat.Snapshot() }
+
+// Stats implements core.IStats: delivery counters plus the latency
+// histogram, under the uniform router.StatLatency name.
+func (s *Sink) Stats() []core.Stat {
+	return []core.Stat{
+		core.C("packets_in", "packets", s.packets.Load()),
+		core.C("bytes_in", "bytes", s.bytes.Load()),
+		core.H(router.StatLatency, "ns", s.lat.Snapshot()),
+	}
+}
+
+var (
+	_ router.IPacketPush      = (*Sink)(nil)
+	_ router.IPacketPushBatch = (*Sink)(nil)
+	_ core.IStats             = (*Sink)(nil)
+	_ core.Component          = (*Sink)(nil)
+)

@@ -1,0 +1,293 @@
+// Package nkload is the scenario-driver load harness: pluggable traffic
+// drivers (nkload/drivers) push generated frames through a capsule built
+// with netkit.Blueprint, a Sink at the tail records throughput and a
+// Born-to-sink latency histogram, and every scenario reduces to one
+// uniform results.Result whose metrics a tolerance gate can compare
+// against a committed baseline (nkload/results, cmd/nkload). The paper's
+// evaluation ran fixed benchmark programs by hand; this package makes the
+// workload shapes first-class, so "did the fast path regress" is a CI
+// question, not an archaeology project.
+//
+// The division of labour:
+//
+//   - A Topology builds the system under load: which capsule architecture
+//     (fused single pipeline, sharded multi-lane plane, or fronted by a
+//     simulated link) and how frames enter it. It returns a Target.
+//   - A Driver (nkload/drivers) decides WHAT is offered and WHEN: maximal
+//     streaming, paced request/response, flow churn, Zipf/IMIX replay,
+//     bursts. Drivers only ever call Target.Inject and read Target
+//     counters, so every driver runs against every topology.
+//   - Run (run.go) owns measurement: it builds the target, runs the
+//     driver, waits for drainage, and assembles the uniform metric set.
+package nkload
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netkit"
+	"netkit/cf"
+	"netkit/core"
+	"netkit/internal/netsim"
+	"netkit/router"
+)
+
+// Options parameterises one scenario run. The zero value is usable: every
+// field has a small-but-honest default, chosen so the full suite stays a
+// smoke-test-grade workload (CI runs it on shared runners).
+type Options struct {
+	// Duration bounds the driver's offered-load phase (default 300ms).
+	Duration time.Duration
+	// Batch is the frames per Inject call (default 64).
+	Batch int
+	// Flows is the generated flow population (default 64).
+	Flows int
+	// FrameBytes is the fixed IP length for fixed-size drivers
+	// (default 64); the replay driver uses IMIX sizes instead.
+	FrameBytes int
+	// Shards is the lane count of sharded topologies (default 4).
+	Shards int
+	// Seed makes the generated traffic deterministic (default 1).
+	Seed uint64
+	// Throttle injects an artificial stall before every Inject call.
+	// It exists for the perf-gate self-test: a throttled run must FAIL
+	// the tolerance gate against an honest baseline, proving the gate
+	// can actually catch a regression.
+	Throttle time.Duration
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Flows <= 0 {
+		o.Flows = 64
+	}
+	if o.FrameBytes <= 0 {
+		o.FrameBytes = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Target is a running system under load: the transport drivers inject
+// into, the sink they read, and the capsule the meta-space sees.
+type Target struct {
+	sys      *netkit.System
+	sink     *Sink
+	send     func(raws [][]byte) error
+	throttle time.Duration
+	closers  []func()
+
+	// Config echoes topology parameters into the result document.
+	Config map[string]string
+}
+
+// Inject offers one batch of raw frames to the system under load. The
+// frames must be treated as immutable by the topology's pipeline (the
+// standard read-only stages: counters, classifiers, validators); drivers
+// reuse pregenerated frames freely. Back-pressure is the topology's:
+// Inject blocks like the real ingress would.
+func (t *Target) Inject(raws [][]byte) error {
+	if t.throttle > 0 {
+		time.Sleep(t.throttle)
+	}
+	return t.send(raws)
+}
+
+// Delivered returns the packets that reached the sink.
+func (t *Target) Delivered() uint64 { return t.sink.Delivered() }
+
+// Latency returns the sink's Born-to-sink latency snapshot.
+func (t *Target) Latency() *core.HistSnapshot { return t.sink.Latency() }
+
+// System exposes the running system, so scenarios (and tests) can read
+// the same stats tree operators see through netkit.Meta.
+func (t *Target) System() *netkit.System { return t.sys }
+
+// Close tears the target down.
+func (t *Target) Close() {
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		t.closers[i]()
+	}
+}
+
+// Topology builds a Target for one scenario run.
+type Topology func(o Options) (*Target, error)
+
+// directSend wires a Target's send path straight into an entry component:
+// frames are wrapped (and Born-stamped) by the sink's recycler and cross
+// as one pooled batch.
+func directSend(sink *Sink, entry router.IPacketPush) func([][]byte) error {
+	return func(raws [][]byte) error {
+		b := router.GetBatch()
+		for _, raw := range raws {
+			b = append(b, sink.Wrap(raw))
+		}
+		err := router.ForwardBatch(entry, b)
+		router.PutBatch(b)
+		return err
+	}
+}
+
+// Fused builds the single-pipeline topology: counter -> checksum
+// validator -> sink, all in one capsule, no cross-goroutine hand-off.
+// This is the per-packet cost floor the sharded plane is compared to.
+func Fused(o Options) (*Target, error) {
+	o = o.withDefaults()
+	sink := NewSink()
+	sys, err := netkit.NewBlueprint("nkload").
+		Insert("in", router.NewCounter()).
+		Insert("val", router.NewChecksumValidator()).
+		Insert("sink", sink).
+		Pipe("in", "val", "sink").
+		Build(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	entry, err := entryPush(sys, "in")
+	if err != nil {
+		return nil, err
+	}
+	return &Target{
+		sys:      sys,
+		sink:     sink,
+		send:     directSend(sink, entry),
+		throttle: o.Throttle,
+		closers:  []func(){func() { _ = sys.Close(context.Background()) }},
+		Config:   map[string]string{"topology": "fused"},
+	}, nil
+}
+
+// Sharded builds the multi-lane topology: an RSS-dispatched sharded
+// Router CF (per-lane latency histograms enabled) whose replicas each run
+// counter -> validator, merging into the sink. The lane histograms and
+// the sink histogram measure the same packets from the same Born stamp,
+// so `nkctl stats` on this capsule shows live tail latency per lane.
+func Sharded(o Options) (*Target, error) {
+	o = o.withDefaults()
+	sink := NewSink()
+	replica := func(shard int, fw *cf.Framework) (string, error) {
+		cnt := router.ShardName(shard, "cnt")
+		val := router.ShardName(shard, "val")
+		if err := fw.Admit(cnt, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if err := fw.Admit(val, router.NewChecksumValidator()); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(cnt, "out", val, router.IPacketPushID); err != nil {
+			return "", err
+		}
+		if _, err := fw.Capsule().Bind(val, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return cnt, nil
+	}
+	sys, err := netkit.NewBlueprint("nkload").
+		ShardsCfg("plane", router.ShardConfig{Shards: o.Shards, LatencyHistogram: true}, replica).
+		Insert("sink", sink).
+		Pipe("plane", "sink").
+		Build(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	entry, err := entryPush(sys, "plane")
+	if err != nil {
+		return nil, err
+	}
+	return &Target{
+		sys:      sys,
+		sink:     sink,
+		send:     directSend(sink, entry),
+		throttle: o.Throttle,
+		closers:  []func(){func() { _ = sys.Close(context.Background()) }},
+		Config: map[string]string{
+			"topology": "sharded",
+			"shards":   fmt.Sprintf("%d", o.Shards),
+		},
+	}, nil
+}
+
+// NetsimFronted builds the fused pipeline behind a simulated link: frames
+// travel src -> rtr over an internal/netsim link (with queueing), and the
+// receive handler wraps them into the capsule. Latency is measured from
+// link egress (the handler's Born stamp), so the histogram reads capsule
+// traversal; the link contributes realistic batching jitter and, when its
+// queue overflows under burst drivers, honest drops.
+func NetsimFronted(o Options) (*Target, error) {
+	o = o.withDefaults()
+	sink := NewSink()
+	sys, err := netkit.NewBlueprint("nkload").
+		Insert("in", router.NewCounter()).
+		Insert("val", router.NewChecksumValidator()).
+		Insert("sink", sink).
+		Pipe("in", "val", "sink").
+		Build(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	entry, err := entryPush(sys, "in")
+	if err != nil {
+		return nil, err
+	}
+	w := netsim.NewNetwork()
+	src, err := w.AddNode("src")
+	if err != nil {
+		w.Stop()
+		_ = sys.Close(context.Background())
+		return nil, err
+	}
+	rtr, err := w.AddNode("rtr")
+	if err != nil {
+		w.Stop()
+		_ = sys.Close(context.Background())
+		return nil, err
+	}
+	if err := w.Connect("src", "rtr", netsim.LinkConfig{Queue: 8192, Seed: o.Seed}); err != nil {
+		w.Stop()
+		_ = sys.Close(context.Background())
+		return nil, err
+	}
+	const port = 7
+	deliver := directSend(sink, entry)
+	rtr.Register(port, func(_ string, payload []byte) {
+		_ = deliver([][]byte{payload})
+	})
+	return &Target{
+		sys:      sys,
+		sink:     sink,
+		send:     func(raws [][]byte) error { return src.SendBatch("rtr", port, raws) },
+		throttle: o.Throttle,
+		closers: []func(){
+			func() { _ = sys.Close(context.Background()) },
+			w.Stop,
+		},
+		Config: map[string]string{"topology": "netsim"},
+	}, nil
+}
+
+// entryPush resolves a capsule component to the push interface drivers
+// inject into.
+func entryPush(sys *netkit.System, name string) (router.IPacketPush, error) {
+	comp, ok := sys.Capsule().Component(name)
+	if !ok {
+		return nil, fmt.Errorf("nkload: no entry component %q", name)
+	}
+	push, ok := comp.(router.IPacketPush)
+	if !ok {
+		return nil, fmt.Errorf("nkload: entry %q does not provide IPacketPush", name)
+	}
+	return push, nil
+}

@@ -34,6 +34,7 @@ package router
 
 import (
 	"errors"
+	"time"
 
 	"netkit/core"
 	"netkit/internal/buffers"
@@ -60,12 +61,33 @@ type Packet struct {
 	Buf    *buffers.Buffer
 	InPort string
 
+	// Born is the packet's ingress timestamp on the Nanotime clock, or 0
+	// when unstamped. Load drivers and latency-aware ingress points stamp
+	// it once; latency sinks (shard egress histograms, the nkload Sink)
+	// record Nanotime()-Born. It rides Clone like the rest of the header.
+	Born int64
+
 	view   filter.View
 	viewOK bool
 }
 
 // NewPacket wraps raw bytes (caller-owned).
 func NewPacket(data []byte) *Packet { return &Packet{Data: data} }
+
+// nanotimeEpoch anchors the process-local monotonic clock.
+var nanotimeEpoch = time.Now()
+
+// Nanotime returns monotonic nanoseconds since process start: the
+// timestamp base for Packet.Born and for the latency histograms. Reading
+// the monotonic clock is a few tens of nanoseconds — cheap enough to
+// stamp per packet on latency-instrumented paths, and batched recorders
+// read it once per batch.
+func Nanotime() int64 { return int64(time.Since(nanotimeEpoch)) }
+
+// StatLatency is the uniform name of the latency histogram stat (unit
+// "ns"): the shard-lane residence histograms, the nkload Sink, and the
+// adapt SLO conditions (P99Above) all key on it.
+const StatLatency = "latency"
 
 // NewPooledPacket copies data into a buffer drawn from pool.
 func NewPooledPacket(pool *buffers.Pool, data []byte) (*Packet, error) {

@@ -75,6 +75,15 @@ type ShardConfig struct {
 	// StrictTrust enables the Router CF's out-of-process isolation rule
 	// on the inner framework.
 	StrictTrust bool
+	// LatencyHistogram enables per-lane tail-latency telemetry: packets
+	// are stamped (Packet.Born, unless already stamped upstream) at the
+	// dispatcher and their residence — ring wait plus the whole replica
+	// traversal — is recorded at shard egress into a per-lane
+	// core.Histogram, published as the StatLatency histogram stat on each
+	// lane and merged at the CF root. The per-lane recorder has one
+	// writer (the shard worker), so recording is an uncontended atomic
+	// add plus one clock read per packet.
+	LatencyHistogram bool
 }
 
 // shard is one replica lane: its ring, worker bookkeeping, quiescence
@@ -85,6 +94,7 @@ type shard struct {
 	gate    Gate
 	ingress *shardIngress
 	egress  *shardEgress
+	lat     *core.Histogram // per-lane residence histogram (nil unless enabled)
 
 	inflight atomic.Int64 // packets accepted but not yet through the replica
 	done     chan struct{}
@@ -102,6 +112,7 @@ type ShardedCF struct {
 	out    *core.Receptacle[IPacketPush]
 	shards []*shard
 	hash   func(*Packet) uint32
+	stamp  bool // LatencyHistogram: stamp unstamped packets at intake
 
 	mu      sync.Mutex  // serialises Start/Stop/HotSwap/SetActiveShards
 	started atomic.Bool // read by dispatchers without taking mu
@@ -147,12 +158,17 @@ func NewShardedCF(outer *core.Capsule, cfg ShardConfig, build ReplicaFactory) (*
 		hash:      cfg.Hash,
 	}
 	s.stage.New = func() any { return make([][]*Packet, cfg.Shards) }
+	s.stamp = cfg.LatencyHistogram
 	for i := range s.shards {
-		s.shards[i] = &shard{
+		sh := &shard{
 			ring:    newSPSCRing(cfg.RingDepth),
 			ingress: newShardIngress(),
-			egress:  newShardEgress(s),
 		}
+		if cfg.LatencyHistogram {
+			sh.lat = core.NewHistogram()
+		}
+		sh.egress = newShardEgress(s, sh.lat)
+		s.shards[i] = sh
 	}
 	if cfg.ActiveShards <= 0 || cfg.ActiveShards > cfg.Shards {
 		cfg.ActiveShards = cfg.Shards
@@ -361,6 +377,9 @@ func (s *ShardedCF) worker(sh *shard, quit <-chan struct{}) {
 // Push implements IPacketPush: the packet is flow-hashed onto its shard and
 // crosses as a batch of one. Sustained traffic should arrive via PushBatch.
 func (s *ShardedCF) Push(p *Packet) error {
+	if s.stamp && p.Born == 0 {
+		p.Born = Nanotime()
+	}
 	for {
 		a := s.active.Load()
 		sh := s.shards[int(s.hash(p)%uint32(a))]
@@ -395,6 +414,16 @@ func (s *ShardedCF) Push(p *Packet) error {
 func (s *ShardedCF) PushBatch(batch []*Packet) error {
 	if len(batch) == 0 {
 		return nil
+	}
+	if s.stamp {
+		// One clock read covers the whole batch; packets stamped upstream
+		// (a driver measuring end-to-end latency) keep their earlier Born.
+		now := Nanotime()
+		for _, p := range batch {
+			if p.Born == 0 {
+				p.Born = now
+			}
+		}
 	}
 	var firstErr error
 	remaining := batch
@@ -720,7 +749,7 @@ func (s *ShardedCF) ShardStats(i int) ElementStats {
 // carry a Stats method, and the merged element view is the right one.
 func (s *ShardedCF) Stats() []core.Stat {
 	st := s.ElemStats()
-	return []core.Stat{
+	out := []core.Stat{
 		core.C("packets_in", "packets", st.In),
 		core.C("packets_out", "packets", st.Out),
 		core.C("packets_dropped", "packets", st.Dropped),
@@ -728,6 +757,16 @@ func (s *ShardedCF) Stats() []core.Stat {
 		core.G("shards", "lanes", float64(len(s.shards))),
 		core.G("shards_active", "lanes", float64(s.active.Load())),
 	}
+	if s.stamp {
+		// The CF-level latency view is the bucket-wise merge of the lane
+		// histograms — exactly the distribution of all packets' residence.
+		var merged *core.HistSnapshot
+		for _, sh := range s.shards {
+			merged = merged.Merge(sh.lat.Snapshot())
+		}
+		out = append(out, core.H(StatLatency, "ns", merged))
+	}
+	return out
 }
 
 // laneStats is one replica lane's uniform snapshot: its element counters
@@ -735,7 +774,7 @@ func (s *ShardedCF) Stats() []core.Stat {
 func (s *ShardedCF) laneStats(i int) []core.Stat {
 	sh := s.shards[i]
 	st := s.ShardStats(i)
-	return []core.Stat{
+	out := []core.Stat{
 		core.C("packets_in", "packets", st.In),
 		core.C("packets_out", "packets", st.Out),
 		core.C("packets_dropped", "packets", st.Dropped),
@@ -744,6 +783,10 @@ func (s *ShardedCF) laneStats(i int) []core.Stat {
 		core.C("ring_stalls", "stalls", sh.ring.stalls.Load()),
 		core.G("inflight", "packets", float64(sh.inflight.Load())),
 	}
+	if sh.lat != nil {
+		out = append(out, core.H(StatLatency, "ns", sh.lat.Snapshot()))
+	}
+	return out
 }
 
 // StatsTree implements core.IStatsTree: the CF's own merged stats at the
@@ -807,10 +850,11 @@ type shardEgress struct {
 	*core.Base
 	elementCounters
 	parent *ShardedCF
+	lat    *core.Histogram // lane residence histogram; nil unless enabled
 }
 
-func newShardEgress(parent *ShardedCF) *shardEgress {
-	e := &shardEgress{Base: core.NewBase(TypeShardEgress), parent: parent}
+func newShardEgress(parent *ShardedCF, lat *core.Histogram) *shardEgress {
+	e := &shardEgress{Base: core.NewBase(TypeShardEgress), parent: parent, lat: lat}
 	e.Provide(IPacketPushID, e)
 	return e
 }
@@ -818,12 +862,28 @@ func newShardEgress(parent *ShardedCF) *shardEgress {
 // Push implements IPacketPush.
 func (e *shardEgress) Push(p *Packet) error {
 	e.in.Add(1)
+	if e.lat != nil && p.Born > 0 {
+		if d := Nanotime() - p.Born; d >= 0 {
+			e.lat.Record(uint64(d))
+		}
+	}
 	return e.forward(e.parent.out, p)
 }
 
-// PushBatch implements IPacketPushBatch.
+// PushBatch implements IPacketPushBatch. Latency is recorded against one
+// clock read for the whole batch, before the downstream hand-off, so the
+// lane histogram measures intake-to-egress residence (ring wait plus the
+// replica traversal), not the consumer beyond the merge.
 func (e *shardEgress) PushBatch(batch []*Packet) error {
 	e.in.Add(uint64(len(batch)))
+	if e.lat != nil {
+		now := Nanotime()
+		for _, p := range batch {
+			if p.Born > 0 && now > p.Born {
+				e.lat.Record(uint64(now - p.Born))
+			}
+		}
+	}
 	return e.forwardBatch(e.parent.out, batch)
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -995,4 +996,130 @@ func buildShardedActive(t *testing.T, n, active int, build ReplicaFactory) (*cor
 	}
 	t.Cleanup(func() { _ = capsule.StopAll(context.Background()) })
 	return capsule, s, sink
+}
+
+// ---- latency histograms ----------------------------------------------------
+
+// TestShardedCFLatencyHistogram asserts the LatencyHistogram option closes
+// the loop from hot-path stamping to the stats tree: every delivered packet
+// is recorded in exactly one lane's StatLatency histogram, the CF-level
+// stat is the bucket-wise merge of the lanes, and quantiles answer
+// plausibly (positive, and at least the sleep injected into one replica).
+func TestShardedCFLatencyHistogram(t *testing.T) {
+	const shards, packets = 4, 400
+	capsule := core.NewCapsule("shardtest")
+	s, err := NewShardedCF(capsule, ShardConfig{Shards: shards, LatencyHistogram: true}, counterReplica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newRecordingSink()
+	if err := capsule.Insert("sharded", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectPush(capsule, "sharded", "out", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.StartAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = capsule.StopAll(context.Background()) })
+
+	batch := GetBatch()
+	for i := 0; i < packets; i++ {
+		batch = append(batch, mkFlowPacket(t, uint32(i%37), uint32(i/37)))
+		if len(batch) == 32 {
+			if err := s.PushBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = GetBatch()
+		}
+	}
+	if len(batch) > 0 {
+		if err := s.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce(t, s)
+
+	tree := s.StatsTree()
+	var laneTotal uint64
+	var laneMerged *core.HistSnapshot
+	for i := 0; i < shards; i++ {
+		lane, ok := tree.Find("shard" + strconv.Itoa(i))
+		if !ok {
+			t.Fatalf("no lane shard%d in stats tree", i)
+		}
+		st, ok := lane.Stat(StatLatency)
+		if !ok {
+			t.Fatalf("lane shard%d has no %s stat", i, StatLatency)
+		}
+		if st.Kind != core.KindHistogram || st.Hist == nil || st.Unit != "ns" {
+			t.Fatalf("lane shard%d latency stat malformed: %+v", i, st)
+		}
+		laneTotal += st.Hist.Count
+		laneMerged = laneMerged.Merge(st.Hist)
+	}
+	if laneTotal != packets {
+		t.Fatalf("lanes recorded %d observations, want %d", laneTotal, packets)
+	}
+	root, ok := tree.Stat(StatLatency)
+	if !ok {
+		t.Fatalf("CF root has no %s stat", StatLatency)
+	}
+	if root.Hist.Count != packets || root.Value != float64(packets) {
+		t.Fatalf("root histogram count %d/%v, want %d", root.Hist.Count, root.Value, packets)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got, want := root.Hist.Quantile(q), laneMerged.Quantile(q); got != want {
+			t.Fatalf("root q%.3f = %v, lane merge says %v", q, got, want)
+		}
+	}
+	if p50 := root.Hist.Quantile(0.5); p50 <= 0 {
+		t.Fatalf("p50 residence %v should be positive", p50)
+	}
+}
+
+// TestShardedCFLatencyRespectsUpstreamStamp asserts a Born stamped by an
+// upstream driver (end-to-end measurement) is preserved, so the lane
+// histogram reflects the driver's clock origin, not the dispatcher's.
+func TestShardedCFLatencyRespectsUpstreamStamp(t *testing.T) {
+	capsule := core.NewCapsule("shardtest")
+	s, err := NewShardedCF(capsule, ShardConfig{Shards: 1, LatencyHistogram: true}, counterReplica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newRecordingSink()
+	if err := capsule.Insert("sharded", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.Insert("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConnectPush(capsule, "sharded", "out", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	if err := capsule.StartAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = capsule.StopAll(context.Background()) })
+
+	const upstream = 40 * time.Millisecond
+	time.Sleep(upstream + 5*time.Millisecond) // ensure the clock is past the offset
+	p := mkFlowPacket(t, 1, 0)
+	p.Born = Nanotime() - int64(upstream) // stamped 40ms "ago" by a driver
+	if err := s.Push(p); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, s)
+	tree := s.StatsTree()
+	st, ok := tree.Stat(StatLatency)
+	if !ok || st.Hist.Count != 1 {
+		t.Fatalf("expected one latency observation, got %+v", st)
+	}
+	if min := float64(upstream); st.Hist.Quantile(1) < min {
+		t.Fatalf("recorded latency %v ns must include the upstream %v", st.Hist.Quantile(1), upstream)
+	}
 }
