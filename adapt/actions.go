@@ -110,6 +110,83 @@ func Unintercept(component, receptacle, name string) Action {
 	}
 }
 
+// flowCached is the duck-typed surface of a component carrying a megaflow
+// verdict cache (router.Classifier today; anything exposing the verbs
+// tomorrow) — the same pattern RetuneShaper uses for SetRate.
+type flowCached interface {
+	FlowCacheResize(int) error
+	FlowCacheFlush()
+}
+
+// ResizeFlowCache swaps the named component's flow-verdict cache for one
+// of capacity's answer (<= 0 disables it) — the response half of the
+// HitRateBelow loop. The swap is atomic and lossless: a cache is an
+// accelerator, so replacing it costs re-misses, never packets.
+func ResizeFlowCache(name string, capacity func(View) int) Action {
+	return func(_ context.Context, c *core.Capsule, v View) error {
+		fcc, err := flowCachedAt(c, name)
+		if err != nil {
+			return err
+		}
+		return fcc.FlowCacheResize(capacity(v))
+	}
+}
+
+// FlushFlowCache empties the named component's flow-verdict cache without
+// touching its capacity — the cheap "known-stale" response when policy
+// outside the rule table changes.
+func FlushFlowCache(name string) Action {
+	return func(_ context.Context, c *core.Capsule, _ View) error {
+		fcc, err := flowCachedAt(c, name)
+		if err != nil {
+			return err
+		}
+		fcc.FlowCacheFlush()
+		return nil
+	}
+}
+
+// ShardFlowCacheResize resizes the flow-verdict cache of the component
+// known (unscoped) as name inside EVERY replica of the named sharded CF,
+// all to capacity's answer — the fleet-wide form of ResizeFlowCache,
+// addressed the same way ShardSwap addresses replicas.
+func ShardFlowCacheResize(cf, name string, capacity func(View) int) Action {
+	return func(_ context.Context, c *core.Capsule, v View) error {
+		s, err := shardedCF(c, cf)
+		if err != nil {
+			return err
+		}
+		want := capacity(v)
+		for i := 0; i < s.Shards(); i++ {
+			comp, ok := s.Inner().Component(router.ShardName(i, name))
+			if !ok {
+				return fmt.Errorf("adapt: shard %d has no %q: %w", i, name, core.ErrNotFound)
+			}
+			fcc, ok := comp.(flowCached)
+			if !ok {
+				return fmt.Errorf("adapt: %q is not flow-cached: %w", name, core.ErrTypeMismatch)
+			}
+			if err := fcc.FlowCacheResize(want); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// flowCachedAt resolves a component name to its flow-cache surface.
+func flowCachedAt(c *core.Capsule, name string) (flowCached, error) {
+	comp, ok := c.Component(name)
+	if !ok {
+		return nil, fmt.Errorf("adapt: flow cache %q: %w", name, core.ErrNotFound)
+	}
+	fcc, ok := comp.(flowCached)
+	if !ok {
+		return nil, fmt.Errorf("adapt: %q is not flow-cached: %w", name, core.ErrTypeMismatch)
+	}
+	return fcc, nil
+}
+
 // Seq runs actions in order, stopping at the first error.
 func Seq(actions ...Action) Action {
 	return func(ctx context.Context, c *core.Capsule, v View) error {

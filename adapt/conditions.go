@@ -71,6 +71,31 @@ func P99Above(path string, threshold time.Duration) Condition {
 	}
 }
 
+// HitRateBelow holds when the flow-cache hit rate at path — computed over
+// the LAST TICK ONLY from the flowcache_hits / flowcache_misses counter
+// deltas, not the lifetime ratio gauge — drops under ratio. It needs at
+// least minLookups lookups in the window to count, so an idle (or
+// cache-bypassing) classifier never reads as thrashing. This is the
+// trigger half of the cache-retuning loop; pair it with ResizeFlowCache
+// or ShardFlowCacheResize, plus Sustain to ride out one-tick flow churn.
+func HitRateBelow(path string, ratio, minLookups float64) Condition {
+	return func(v View) bool {
+		hits, ok := v.Delta(path, "flowcache_hits")
+		if !ok {
+			return false
+		}
+		misses, ok := v.Delta(path, "flowcache_misses")
+		if !ok {
+			return false
+		}
+		lookups := hits + misses
+		if lookups < minLookups {
+			return false
+		}
+		return hits/lookups < ratio
+	}
+}
+
 // All holds when every condition holds.
 func All(conds ...Condition) Condition {
 	return func(v View) bool {

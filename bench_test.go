@@ -916,3 +916,90 @@ func BenchmarkE13_EngineTick(b *testing.B) {
 		prev = now
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E15 — compiled classification + megaflow cache: flat lookup 1 → 10k rules
+
+// BenchmarkE15_LookupCurve charts the three classification regimes the
+// compiled backend introduces, against the same worst-case (never-matching)
+// packet E5 uses: the linear VM oracle, the compiled tuple-space lookup
+// (cold: every lookup classifies), and the end-to-end classifier push with
+// a warm megaflow cache (the steady state of a real flow). The point of
+// the experiment is the SHAPE: vm grows linearly with the rule count,
+// compiled and cached stay flat.
+func BenchmarkE15_LookupCurve(b *testing.B) {
+	raw := benchPacketRaw(b)
+	view := filter.Extract(raw)
+	for _, n := range []int{1, 64, 1000, 10000} {
+		tbl := filter.NewTable()
+		for i := 0; i < n; i++ {
+			spec := fmt.Sprintf("udp and dst port %d", 20000+i)
+			if _, err := tbl.Add(spec, i, "out"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("vm/rules-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = tbl.LookupViewVM(&view)
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/rules-%d", n), func(b *testing.B) {
+			snap := tbl.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = snap.Lookup(&view)
+			}
+		})
+		b.Run(fmt.Sprintf("cached/rules-%d", n), func(b *testing.B) {
+			cls, err := router.NewClassifier("out", "default")
+			if err != nil {
+				b.Fatal(err)
+			}
+			capsule := core.NewCapsule("e15")
+			if err := capsule.Insert("cls", cls); err != nil {
+				b.Fatal(err)
+			}
+			if err := capsule.Insert("sink", router.NewDropper()); err != nil {
+				b.Fatal(err)
+			}
+			if err := capsule.Insert("dsink", router.NewDropper()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := router.ConnectPush(capsule, "cls", "out", "sink"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := router.ConnectPush(capsule, "cls", "default", "dsink"); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				spec := fmt.Sprintf("udp and dst port %d", 20000+i)
+				if _, err := cls.RegisterFilter(spec, i, "out"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := router.NewPacket(raw)
+			if err := cls.Push(p); err != nil { // warm the flow's verdict
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = cls.Push(p)
+			}
+		})
+	}
+}
+
+// BenchmarkE15_CacheProbe isolates the megaflow probe itself — the cost a
+// repeat flow pays regardless of table size.
+func BenchmarkE15_CacheProbe(b *testing.B) {
+	fc := router.NewFlowCache(router.DefaultFlowCacheCap)
+	raw := benchPacketRaw(b)
+	p := router.NewPacket(raw)
+	view := filter.Extract(raw)
+	h := router.FlowHash(p)
+	fc.InsertView(h, &view, 1, "out", true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = fc.ProbeView(h, &view, 1)
+	}
+}

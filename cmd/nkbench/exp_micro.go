@@ -1,6 +1,7 @@
 // Microbenchmark experiments: per-call overheads and footprints.
 // E1 call overhead, E2 memory footprint, E5 classification cost,
-// E6 out-of-process bindings, E10 buffer management and schedulers.
+// E6 out-of-process bindings, E10 buffer management and schedulers,
+// E15 compiled classification and the megaflow verdict cache.
 package main
 
 import (
@@ -247,3 +248,64 @@ func e10Resources() {
 
 // allocSink defeats escape analysis in E10's raw-allocation baseline.
 var allocSink []byte
+
+// ---------------------------------------------------------------------------
+
+func e15Compiled() {
+	header("E15", "compiled classification + megaflow cache: flat lookup from 1 to 10k rules")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 15, Flows: 1, UDPShare: 100})
+	must(err)
+	raw, err := gen.NextFixed(64)
+	must(err)
+	view := filter.Extract(raw)
+	printf("%-8s %16s %20s %16s\n", "rules", "vm ns/lookup", "compiled ns/lookup", "cached ns/push")
+	for _, n := range []int{1, 64, 1000, 10000} {
+		tbl := filter.NewTable()
+		for i := 0; i < n; i++ {
+			_, err := tbl.Add(fmt.Sprintf("udp and dst port %d", 20000+i), i, "out")
+			must(err)
+		}
+		iters := 200_000 / n
+		if iters < 200 {
+			iters = 200
+		}
+		vmNs := measure(iters, func() { _, _ = tbl.LookupViewVM(&view) })
+		snap := tbl.Snapshot()
+		compiledNs := measure(400_000, func() { _, _ = snap.Lookup(&view) })
+
+		// End-to-end classifier push with the flow's verdict warm in the
+		// megaflow cache — the steady state of a repeat flow.
+		capsule := core.NewCapsule("e15")
+		cls, err := router.NewClassifier("out", "default")
+		must(err)
+		must(capsule.Insert("cls", cls))
+		must(capsule.Insert("sink", router.NewDropper()))
+		must(capsule.Insert("dsink", router.NewDropper()))
+		_, err = router.ConnectPush(capsule, "cls", "out", "sink")
+		must(err)
+		_, err = router.ConnectPush(capsule, "cls", "default", "dsink")
+		must(err)
+		for i := 0; i < n; i++ {
+			_, err := cls.RegisterFilter(fmt.Sprintf("udp and dst port %d", 20000+i), i, "out")
+			must(err)
+		}
+		p := router.NewPacket(raw)
+		must(cls.Push(p)) // warm
+		cachedNs := measure(400_000, func() { _ = cls.Push(p) })
+
+		printf("%-8d %16.1f %20.1f %16.1f\n", n, vmNs, compiledNs, cachedNs)
+		rules := map[string]string{"rules": fmt.Sprint(n)}
+		record("classify_vm", vmNs, "ns/lookup", rules)
+		record("classify_compiled", compiledNs, "ns/lookup", rules)
+		record("classify_cached", cachedNs, "ns/op", rules)
+	}
+	// The probe alone — the constant a repeat flow pays regardless of the
+	// table behind it.
+	fc := router.NewFlowCache(router.DefaultFlowCacheCap)
+	p := router.NewPacket(raw)
+	h := router.FlowHash(p)
+	fc.InsertView(h, &view, 1, "out", true)
+	probeNs := measure(1_000_000, func() { _, _, _ = fc.ProbeView(h, &view, 1) })
+	printf("%-28s %10.1f ns/op\n", "megaflow probe (hit)", probeNs)
+	record("cache_probe", probeNs, "ns/op", nil)
+}

@@ -24,15 +24,31 @@ type Rule struct {
 	Priority int
 	Output   string
 	prog     *Program
+	ast      Node // retained for the tuple-space compiler (DESIGN.md §7)
+}
+
+// ruleSet is one immutable rule-list snapshot plus its generation stamp.
+// The generation increments on every mutation; downstream per-flow verdict
+// caches key their entries on it, so a rule change invalidates cached
+// verdicts with the same atomic publication that makes the change itself
+// visible — no separate flush protocol.
+type ruleSet struct {
+	rules []*Rule
+	gen   uint64
 }
 
 // Table is an ordered, concurrency-safe rule set. Lookup is lock-free on
 // the fast path: the rule list is an immutable snapshot swapped atomically
-// on mutation (classification happens on every packet; rule churn is rare).
+// on mutation (classification happens on every packet; rule churn is rare),
+// and the tuple-space compiled form of the snapshot (tss.go) is built
+// lazily, once per generation, on first lookup after a mutation.
 type Table struct {
 	mu     sync.Mutex // serialises mutations
 	nextID uint64
-	rules  atomic.Pointer[[]*Rule]
+	rules  atomic.Pointer[ruleSet]
+
+	compileMu sync.Mutex // serialises lazy compilation
+	compiled  atomic.Pointer[Snapshot]
 
 	matches atomic.Uint64
 	misses  atomic.Uint64
@@ -41,26 +57,29 @@ type Table struct {
 // NewTable returns an empty table.
 func NewTable() *Table {
 	t := &Table{}
-	empty := make([]*Rule, 0)
-	t.rules.Store(&empty)
+	t.rules.Store(&ruleSet{rules: make([]*Rule, 0), gen: 1})
 	return t
 }
 
 // Add compiles spec and installs it routed to output with the given
 // priority, returning the rule ID.
 func (t *Table) Add(spec string, priority int, output string) (uint64, error) {
-	prog, err := CompileToProgram(spec)
+	n, err := Parse(spec)
+	if err != nil {
+		return 0, fmt.Errorf("filter: add rule: %w", err)
+	}
+	prog, err := CompileProgram(n)
 	if err != nil {
 		return 0, fmt.Errorf("filter: add rule: %w", err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextID++
-	r := &Rule{ID: t.nextID, Spec: spec, Priority: priority, Output: output, prog: prog}
-	old := *t.rules.Load()
-	next := make([]*Rule, 0, len(old)+1)
+	r := &Rule{ID: t.nextID, Spec: spec, Priority: priority, Output: output, prog: prog, ast: n}
+	cur := t.rules.Load()
+	next := make([]*Rule, 0, len(cur.rules)+1)
 	inserted := false
-	for _, have := range old {
+	for _, have := range cur.rules {
 		if !inserted && r.Priority < have.Priority {
 			next = append(next, r)
 			inserted = true
@@ -70,7 +89,7 @@ func (t *Table) Add(spec string, priority int, output string) (uint64, error) {
 	if !inserted {
 		next = append(next, r)
 	}
-	t.rules.Store(&next)
+	t.rules.Store(&ruleSet{rules: next, gen: cur.gen + 1})
 	return r.ID, nil
 }
 
@@ -78,10 +97,10 @@ func (t *Table) Add(spec string, priority int, output string) (uint64, error) {
 func (t *Table) Remove(id uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old := *t.rules.Load()
-	next := make([]*Rule, 0, len(old))
+	cur := t.rules.Load()
+	next := make([]*Rule, 0, len(cur.rules))
 	found := false
-	for _, r := range old {
+	for _, r := range cur.rules {
 		if r.ID == id {
 			found = true
 			continue
@@ -91,8 +110,73 @@ func (t *Table) Remove(id uint64) error {
 	if !found {
 		return fmt.Errorf("filter: rule %d: %w", id, ErrRuleNotFound)
 	}
-	t.rules.Store(&next)
+	t.rules.Store(&ruleSet{rules: next, gen: cur.gen + 1})
 	return nil
+}
+
+// Gen returns the rule-set generation: it changes on every Add/Remove, so
+// a cached verdict stamped with the generation it was computed under is
+// provably from the current rule set iff the stamps match.
+func (t *Table) Gen() uint64 { return t.rules.Load().gen }
+
+// Snapshot is one generation's compiled lookup structure. It stays valid
+// (and behaviourally frozen) after further table mutations — callers that
+// batch lookups take one snapshot per batch, exactly like the classifier's
+// output-set snapshot discipline.
+type Snapshot struct {
+	t   *Table
+	ct  *CompiledTable
+	gen uint64
+}
+
+// Gen returns the generation this snapshot was compiled from.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// FlowSafe reports whether verdicts are pure functions of the 5-tuple
+// flow identity (see CompiledTable.FlowSafe) — the precondition for
+// fronting this snapshot with a per-flow verdict cache.
+func (s *Snapshot) FlowSafe() bool { return s.ct.FlowSafe() }
+
+// Compiled exposes the underlying compiled table (diagnostics, benches).
+func (s *Snapshot) Compiled() *CompiledTable { return s.ct }
+
+// CacheWorthwhile reports whether fronting this snapshot with a per-flow
+// cache can pay off: the verdict must be flow-pure, and the table large
+// enough that a probe beats reclassification (small tables run the linear
+// walk, which is already cheaper than a cache probe).
+func (s *Snapshot) CacheWorthwhile() bool {
+	return s.ct.FlowSafe() && s.ct.spaces != nil
+}
+
+// Lookup classifies a view against this snapshot, counting the verdict on
+// the owning table.
+func (s *Snapshot) Lookup(v *View) (string, bool) {
+	out, ok := s.ct.Lookup(v)
+	if ok {
+		s.t.matches.Add(1)
+	} else {
+		s.t.misses.Add(1)
+	}
+	return out, ok
+}
+
+// Snapshot returns the compiled form of the current rule set, building it
+// (once per generation, under compileMu) if this generation has not been
+// looked up yet. The fast path is two atomic loads and a comparison.
+func (t *Table) Snapshot() *Snapshot {
+	rs := t.rules.Load()
+	if cs := t.compiled.Load(); cs != nil && cs.gen == rs.gen {
+		return cs
+	}
+	t.compileMu.Lock()
+	defer t.compileMu.Unlock()
+	rs = t.rules.Load()
+	if cs := t.compiled.Load(); cs != nil && cs.gen == rs.gen {
+		return cs
+	}
+	cs := &Snapshot{t: t, ct: CompileTable(rs.rules), gen: rs.gen}
+	t.compiled.Store(cs)
+	return cs
 }
 
 // Lookup classifies a packet, returning the output of the first matching
@@ -102,30 +186,36 @@ func (t *Table) Lookup(raw []byte) (string, bool) {
 	return t.LookupView(&v)
 }
 
-// LookupView classifies a pre-extracted view.
+// LookupView classifies a pre-extracted view through the compiled backend.
 func (t *Table) LookupView(v *View) (string, bool) {
-	for _, r := range *t.rules.Load() {
+	return t.Snapshot().Lookup(v)
+}
+
+// LookupViewVM classifies through the linear walk of per-rule VM programs
+// — the reference oracle the compiled backend is fuzz-checked against
+// (FuzzCompiledEquivalence), kept as the independent semantics. It does
+// not touch the match/miss counters.
+func (t *Table) LookupViewVM(v *View) (string, bool) {
+	for _, r := range t.rules.Load().rules {
 		if r.prog.Match(v) {
-			t.matches.Add(1)
 			return r.Output, true
 		}
 	}
-	t.misses.Add(1)
 	return "", false
 }
 
 // Rules returns a snapshot of the installed rules in evaluation order.
 func (t *Table) Rules() []Rule {
-	cur := *t.rules.Load()
-	out := make([]Rule, len(cur))
-	for i, r := range cur {
+	cur := t.rules.Load()
+	out := make([]Rule, len(cur.rules))
+	for i, r := range cur.rules {
 		out[i] = *r
 	}
 	return out
 }
 
 // Len returns the installed rule count.
-func (t *Table) Len() int { return len(*t.rules.Load()) }
+func (t *Table) Len() int { return len(t.rules.Load().rules) }
 
 // Stats returns (matches, misses) counters.
 func (t *Table) Stats() (matches, misses uint64) {

@@ -1,0 +1,391 @@
+package filter
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// This file is the compiled classification backend (DESIGN.md §7): a
+// tuple-space-search structure that makes table lookup cost flat in the
+// rule count, replacing the linear walk over per-rule VM programs that E5
+// shows degrading ~1000× from 1 to 1024 rules. The VM interpreter stays
+// as the reference oracle (Table.LookupViewVM); FuzzCompiledEquivalence
+// pins this backend to it for arbitrary rule sets and packets.
+//
+// The scheme, in the match-action-table tradition of the programmable
+// data-plane literature:
+//
+//  1. Each rule's AST is expanded to disjunctive normal form, treating
+//     NOT subtrees as opaque literals (the VM's "not" carries a parsed
+//     guard, so De Morgan pushdown would change semantics; AND/OR are
+//     pure booleans over position-independent leaf tests, so
+//     distribution is exact). Expansion is capped — a rule whose DNF
+//     exceeds maxClauses falls back to the residual list, matched by its
+//     own VM program.
+//  2. Each conjunctive clause contributes exact-match dimensions —
+//     version, protocol, src/dst host, src/dst single port — forming a
+//     field mask. Clauses sharing a mask live in one tuple space: a hash
+//     table keyed by the masked field values. Range ports, prefixes,
+//     either-direction ports, comparisons and NOT literals stay out of
+//     the key and are re-checked by the clause's verify matcher, so a
+//     hash probe only ever *narrows* to candidates — it never decides.
+//  3. Lookup probes each space once (one key computation + one map
+//     access), verifies candidates in rule order, scans the residual
+//     list, and returns the first match by (priority, insertion) order —
+//     identical first-match semantics to the linear walk.
+//
+// Cost is O(#spaces + residual) per lookup: rule sets built from one
+// syntactic family (the common case — an ACL of "proto and port" rules)
+// collapse into a single space, giving the flat E15 curve. Tables at or
+// under linearCutoff rules skip the machinery entirely and keep the
+// linear VM walk, which is cheaper than hashing at that size.
+
+// tssDim enumerates the exact-match key dimensions.
+type tssDim int
+
+const (
+	dimVersion tssDim = iota
+	dimProto
+	dimSrcAddr
+	dimDstAddr
+	dimSrcPort
+	dimDstPort
+	numDims
+)
+
+// dimMask is a bitset of tssDim.
+type dimMask uint8
+
+// maxClauses bounds the DNF expansion of one rule; beyond it the rule is
+// matched linearly from the residual list.
+const maxClauses = 16
+
+// linearCutoff is the table size at or below which compilation keeps the
+// plain ordered VM walk (hashing costs more than it saves there).
+const linearCutoff = 4
+
+// 64-bit FNV-1a parameters, word-at-a-time (key mixing, not a wire format).
+const (
+	fnv64Init  uint64 = 14695981039346656037
+	fnv64Prime uint64 = 1099511628211
+)
+
+func mix64(h, v uint64) uint64 { return (h ^ v) * fnv64Prime }
+
+// addrKey collapses a netip.Addr to a key word such that a == b implies
+// addrKey(a) == addrKey(b): the 16-byte form plus the Is4 bit (which
+// distinguishes a v4 address from its 4-in-6 mapping, exactly as ==
+// does). Collisions between unequal addresses are harmless — the verify
+// matcher re-checks equality.
+func addrKey(a netip.Addr) uint64 {
+	b := a.As16()
+	h := fnv64Init
+	for i := 0; i < 16; i += 8 {
+		w := uint64(b[i])<<56 | uint64(b[i+1])<<48 | uint64(b[i+2])<<40 |
+			uint64(b[i+3])<<32 | uint64(b[i+4])<<24 | uint64(b[i+5])<<16 |
+			uint64(b[i+6])<<8 | uint64(b[i+7])
+		h = mix64(h, w)
+	}
+	if a.Is4() {
+		h = mix64(h, 4)
+	}
+	return h
+}
+
+// tssEntry is one matchable unit: a clause (or whole residual rule) with
+// its global evaluation order and routed output.
+type tssEntry struct {
+	order  int // index into the priority-ordered rule list
+	verify Matcher
+	output string
+}
+
+// tupleSpace is one mask's hash table. Buckets keep entries in ascending
+// order, so the first verified candidate in a bucket is the best the
+// space can offer.
+type tupleSpace struct {
+	mask    dimMask
+	buckets map[uint64][]tssEntry
+}
+
+// keyOf computes the lookup key of v under the space's mask. Dimension
+// order is fixed (ascending tssDim) so rule-side and view-side keys agree.
+func (sp *tupleSpace) keyOf(v *View) uint64 {
+	h := fnv64Init
+	m := sp.mask
+	if m&(1<<dimVersion) != 0 {
+		h = mix64(h, uint64(v.Version))
+	}
+	if m&(1<<dimProto) != 0 {
+		h = mix64(h, uint64(v.Proto))
+	}
+	if m&(1<<dimSrcAddr) != 0 {
+		h = mix64(h, addrKey(v.Src))
+	}
+	if m&(1<<dimDstAddr) != 0 {
+		h = mix64(h, addrKey(v.Dst))
+	}
+	if m&(1<<dimSrcPort) != 0 {
+		h = mix64(h, uint64(v.SrcPort))
+	}
+	if m&(1<<dimDstPort) != 0 {
+		h = mix64(h, uint64(v.DstPort))
+	}
+	return h
+}
+
+// CompiledTable is the compiled form of one rule-set snapshot.
+type CompiledTable struct {
+	linear   []tssEntry // small-table mode: plain ordered walk, spaces nil
+	spaces   []*tupleSpace
+	residual []tssEntry // non-decomposable / keyless clauses, ascending order
+	flowSafe bool
+	rules    int
+}
+
+// Rules returns the number of rules compiled in.
+func (ct *CompiledTable) Rules() int { return ct.rules }
+
+// Spaces returns the tuple-space count (diagnostic; the per-lookup probe
+// cost is proportional to it).
+func (ct *CompiledTable) Spaces() int { return len(ct.spaces) }
+
+// ResidualLen returns the number of linearly-scanned entries.
+func (ct *CompiledTable) ResidualLen() int { return len(ct.residual) + len(ct.linear) }
+
+// FlowSafe reports whether every verdict is a pure function of the flow
+// identity fields a View carries for the 5-tuple — Version, Src, Dst,
+// Proto, SrcPort, DstPort, HasPorts. Numeric comparisons (ttl/len/tos)
+// read outside that set and vary packet-to-packet within one flow, so
+// their presence anywhere in the table makes per-flow verdict caching
+// unsound; the router's megaflow cache keys on exactly those fields and
+// engages only when this holds.
+func (ct *CompiledTable) FlowSafe() bool { return ct.flowSafe }
+
+// Lookup classifies v: the output of the first matching rule in
+// (priority, insertion) order, or "" and false. Behaviourally identical
+// to the linear VM walk (fuzz-proven).
+func (ct *CompiledTable) Lookup(v *View) (string, bool) {
+	if ct.spaces == nil {
+		for _, e := range ct.linear {
+			if e.verify.Match(v) {
+				return e.output, true
+			}
+		}
+		return "", false
+	}
+	best := -1
+	var out string
+	for _, sp := range ct.spaces {
+		bucket := sp.buckets[sp.keyOf(v)]
+		for i := range bucket {
+			e := &bucket[i]
+			if best >= 0 && e.order >= best {
+				break
+			}
+			if e.verify.Match(v) {
+				best, out = e.order, e.output
+				break
+			}
+		}
+	}
+	for i := range ct.residual {
+		e := &ct.residual[i]
+		if best >= 0 && e.order >= best {
+			break
+		}
+		if e.verify.Match(v) {
+			best, out = e.order, e.output
+			break
+		}
+	}
+	if best >= 0 {
+		return out, true
+	}
+	return "", false
+}
+
+// CompileTable builds the tuple-space structure over rules, which must be
+// in evaluation (priority, insertion) order — the order Table snapshots
+// maintain. Rules whose AST is unavailable or whose DNF explodes are kept
+// on the residual list under their VM program, so compilation never
+// rejects a rule the interpreter accepts.
+func CompileTable(rules []*Rule) *CompiledTable {
+	ct := &CompiledTable{flowSafe: true, rules: len(rules)}
+	for _, r := range rules {
+		if r.ast != nil && usesNumCmp(r.ast) {
+			ct.flowSafe = false
+		}
+	}
+	if len(rules) <= linearCutoff {
+		for i, r := range rules {
+			ct.linear = append(ct.linear, tssEntry{order: i, verify: r.prog, output: r.Output})
+		}
+		return ct
+	}
+	spaces := make(map[dimMask]*tupleSpace)
+	for i, r := range rules {
+		entryFor := func(verify Matcher) tssEntry {
+			return tssEntry{order: i, verify: verify, output: r.Output}
+		}
+		clauses, ok := [][]Node(nil), false
+		if r.ast != nil {
+			clauses, ok = dnf(r.ast, maxClauses)
+		}
+		if !ok {
+			ct.residual = append(ct.residual, entryFor(r.prog))
+			continue
+		}
+		for _, clause := range clauses {
+			verify, err := clauseMatcher(clause)
+			if err != nil {
+				// Unknown node kind: fall back to the whole rule's program.
+				ct.residual = append(ct.residual, entryFor(r.prog))
+				break
+			}
+			mask, key := clauseKey(clause)
+			if mask == 0 {
+				ct.residual = append(ct.residual, entryFor(verify))
+				continue
+			}
+			sp := spaces[mask]
+			if sp == nil {
+				sp = &tupleSpace{mask: mask, buckets: make(map[uint64][]tssEntry)}
+				spaces[mask] = sp
+			}
+			// Rules iterate in ascending order, so buckets stay sorted.
+			sp.buckets[key] = append(sp.buckets[key], entryFor(verify))
+		}
+	}
+	ct.spaces = make([]*tupleSpace, 0, len(spaces))
+	for _, sp := range spaces {
+		ct.spaces = append(ct.spaces, sp)
+	}
+	// Deterministic probe order (map iteration order is not): by mask.
+	sort.Slice(ct.spaces, func(i, j int) bool { return ct.spaces[i].mask < ct.spaces[j].mask })
+	return ct
+}
+
+// dnf expands n into disjunctive normal form: a list of conjunctive
+// clauses, each a list of literal nodes (leaves and whole NOT subtrees).
+// AND/OR in the filter VM are pure boolean combiners of position-
+// independent leaf tests, so ∧-over-∨ distribution preserves semantics
+// exactly; NOT carries a parsed guard and is therefore never pushed down.
+// Returns ok=false when the clause count would exceed limit.
+func dnf(n Node, limit int) ([][]Node, bool) {
+	switch t := n.(type) {
+	case *AndNode:
+		ls, ok := dnf(t.L, limit)
+		if !ok {
+			return nil, false
+		}
+		rs, ok := dnf(t.R, limit)
+		if !ok {
+			return nil, false
+		}
+		if len(ls)*len(rs) > limit {
+			return nil, false
+		}
+		out := make([][]Node, 0, len(ls)*len(rs))
+		for _, l := range ls {
+			for _, r := range rs {
+				clause := make([]Node, 0, len(l)+len(r))
+				clause = append(clause, l...)
+				clause = append(clause, r...)
+				out = append(out, clause)
+			}
+		}
+		return out, true
+	case *OrNode:
+		ls, ok := dnf(t.L, limit)
+		if !ok {
+			return nil, false
+		}
+		rs, ok := dnf(t.R, limit)
+		if !ok {
+			return nil, false
+		}
+		if len(ls)+len(rs) > limit {
+			return nil, false
+		}
+		return append(ls, rs...), true
+	default:
+		return [][]Node{{n}}, true
+	}
+}
+
+// clauseMatcher compiles the conjunction of the clause's literals to the
+// closure reference semantics.
+func clauseMatcher(clause []Node) (Matcher, error) {
+	node := clause[0]
+	for _, n := range clause[1:] {
+		node = &AndNode{L: node, R: n}
+	}
+	return CompileClosure(node)
+}
+
+// clauseKey extracts the clause's exact-match dimensions and computes its
+// bucket key (same dimension order and mixing as tupleSpace.keyOf). When
+// a clause constrains one dimension twice, the first occurrence keys it;
+// the verify matcher enforces the rest (a contradictory clause simply
+// never verifies).
+func clauseKey(clause []Node) (dimMask, uint64) {
+	var vals [numDims]uint64
+	var mask dimMask
+	set := func(d tssDim, v uint64) {
+		if mask&(1<<d) == 0 {
+			mask |= 1 << d
+			vals[d] = v
+		}
+	}
+	for _, n := range clause {
+		switch t := n.(type) {
+		case *VersionNode:
+			set(dimVersion, uint64(t.V))
+		case *ProtoNode:
+			set(dimProto, uint64(t.Proto))
+		case *HostNode:
+			if t.Dir == DirSrc {
+				set(dimSrcAddr, addrKey(t.Addr))
+			} else {
+				set(dimDstAddr, addrKey(t.Addr))
+			}
+		case *PortNode:
+			if t.Lo != t.Hi {
+				continue // range: verify-only
+			}
+			switch t.Dir {
+			case DirSrc:
+				set(dimSrcPort, uint64(t.Lo))
+			case DirDst:
+				set(dimDstPort, uint64(t.Lo))
+			}
+			// DirEither: verify-only (matches on either port; no single
+			// dimension captures it).
+		}
+	}
+	h := fnv64Init
+	for d := tssDim(0); d < numDims; d++ {
+		if mask&(1<<d) != 0 {
+			h = mix64(h, vals[d])
+		}
+	}
+	return mask, h
+}
+
+// usesNumCmp reports whether the AST contains a numeric-field comparison
+// (ttl/len/tos) anywhere — the tests whose inputs vary within one flow.
+func usesNumCmp(n Node) bool {
+	switch t := n.(type) {
+	case *AndNode:
+		return usesNumCmp(t.L) || usesNumCmp(t.R)
+	case *OrNode:
+		return usesNumCmp(t.L) || usesNumCmp(t.R)
+	case *NotNode:
+		return usesNumCmp(t.X)
+	case *CmpNode:
+		return true
+	default:
+		return false
+	}
+}

@@ -27,6 +27,11 @@ type Classifier struct {
 	// atomic load per packet (or per batch scan), no locks — the same
 	// discipline receptacles use. Mutators republish it under mu.
 	snap atomic.Pointer[clsOutputs]
+	// cache is the megaflow verdict cache (flowcache.go); nil when
+	// disabled. Swapped whole on resize, so the data path never sees a
+	// half-built cache. It only engages when the compiled table snapshot
+	// reports CacheWorthwhile (flow-pure verdicts, non-trivial table).
+	cache atomic.Pointer[FlowCache]
 }
 
 // clsOutputs is an immutable output-set snapshot.
@@ -57,6 +62,7 @@ func NewClassifier(outputs ...string) (*Classifier, error) {
 		outs:  make(map[string]*core.Receptacle[IPacketPush], len(outputs)),
 	}
 	c.publishLocked() // empty snapshot; AddOutput republishes
+	c.cache.Store(NewFlowCache(DefaultFlowCacheCap))
 	for _, name := range outputs {
 		if err := c.AddOutput(name); err != nil {
 			return nil, err
@@ -134,7 +140,7 @@ func (c *Classifier) Rules() []filter.Rule { return c.table.Rules() }
 // Push implements IPacketPush.
 func (c *Classifier) Push(p *Packet) error {
 	c.in.Add(1)
-	target := c.snap.Load().target(c.table, p)
+	target := c.resolve(c.snap.Load(), c.table.Snapshot(), c.cache.Load(), p)
 	if target == nil {
 		c.dropped.Add(1)
 		p.Release()
@@ -143,13 +149,35 @@ func (c *Classifier) Push(p *Packet) error {
 	return c.forward(target, p)
 }
 
-// target resolves the output receptacle for p (nil = drop) against this
-// snapshot.
-func (s *clsOutputs) target(table *filter.Table, p *Packet) *core.Receptacle[IPacketPush] {
-	if name, matched := table.LookupView(p.View()); matched {
+// pick maps a classification verdict to the output receptacle (nil = drop)
+// against this output-set snapshot. Cached verdicts carry the output NAME,
+// not the receptacle, so output-topology changes need no invalidation.
+func (s *clsOutputs) pick(name string, matched bool) *core.Receptacle[IPacketPush] {
+	if matched {
 		return s.outs[name]
 	}
 	return s.deflt
+}
+
+// resolve classifies p with the megaflow fast path: probe the verdict
+// cache on the packet's flow hash (exact-key, generation-fenced — see
+// flowcache.go), fall back to the compiled table on a miss, and install
+// the computed verdict for the flow's successors. The cache engages only
+// when the table snapshot is flow-safe and big enough to beat a probe;
+// otherwise this is exactly the uncached compiled lookup.
+func (c *Classifier) resolve(snap *clsOutputs, ts *filter.Snapshot, fc *FlowCache, p *Packet) *core.Receptacle[IPacketPush] {
+	if fc != nil && ts.CacheWorthwhile() {
+		key := flowKeyOf(p.View())
+		h := FlowHash(p)
+		if v, ok := fc.probe(h, key, ts.Gen()); ok {
+			return snap.pick(v.out, v.matched)
+		}
+		out, matched := ts.Lookup(p.View())
+		fc.insert(h, key, ts.Gen(), flowVerdict{out: out, matched: matched})
+		return snap.pick(out, matched)
+	}
+	out, matched := ts.Lookup(p.View())
+	return snap.pick(out, matched)
 }
 
 // PushBatch implements IPacketPushBatch: each packet is classified
@@ -157,22 +185,69 @@ func (s *clsOutputs) target(table *filter.Table, p *Packet) *core.Receptacle[IPa
 // as sub-batches of the incoming slice (no per-output copying), so
 // per-output arrival order equals the per-packet path's exactly.
 // Unmatched packets with no default output are dropped, as per packet.
-// The output-set snapshot is loaded once for the whole batch.
+// The output-set snapshot, compiled-table snapshot, and cache reference
+// are all loaded once for the whole batch, so every packet in the batch
+// is classified against one frozen rule generation.
 func (c *Classifier) PushBatch(batch []*Packet) error {
 	c.in.Add(uint64(len(batch)))
 	snap := c.snap.Load()
+	ts := c.table.Snapshot()
+	fc := c.cache.Load()
 	return c.splitRuns(batch, func(p *Packet) *core.Receptacle[IPacketPush] {
-		return snap.target(c.table, p)
+		return c.resolve(snap, ts, fc, p)
 	})
+}
+
+// FlowCache returns the live verdict cache (nil when disabled).
+func (c *Classifier) FlowCache() *FlowCache { return c.cache.Load() }
+
+// FlowCacheResize replaces the verdict cache with a fresh one of the given
+// capacity (entries; rounded up to the set geometry). capacity <= 0
+// disables caching. The swap is atomic: in-flight batches finish against
+// the cache they loaded, new batches see the new one — the same hot-swap
+// discipline as the output-set snapshot. This is the hook the adapt
+// plane's ResizeFlowCache action drives.
+func (c *Classifier) FlowCacheResize(capacity int) error {
+	if capacity <= 0 {
+		c.cache.Store(nil)
+		return nil
+	}
+	c.cache.Store(NewFlowCache(capacity))
+	return nil
+}
+
+// FlowCacheFlush drops every cached verdict (capacity and counters keep).
+func (c *Classifier) FlowCacheFlush() {
+	if fc := c.cache.Load(); fc != nil {
+		fc.Flush()
+	}
 }
 
 // Stats implements core.IStats, adding the output-set and filter-table
 // sizes so the control plane sees classification capacity, not just flow.
 func (c *Classifier) Stats() []core.Stat {
 	snap := c.snap.Load()
-	return append(c.statList(),
+	stats := append(c.statList(),
 		core.G("classifier_outputs", "outputs", float64(len(snap.outs))),
 		core.G("classifier_filters", "filters", float64(len(c.table.Rules()))))
+	fc := c.cache.Load()
+	if fc == nil {
+		return append(stats, core.G("flowcache_capacity", "entries", 0))
+	}
+	hits, misses, evicts := fc.Counters()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return append(stats,
+		core.C("flowcache_hits", "lookups", hits),
+		core.C("flowcache_misses", "lookups", misses),
+		core.C("flowcache_evictions", "entries", evicts),
+		core.G("flowcache_entries", "entries", float64(fc.Len())),
+		core.G("flowcache_capacity", "entries", float64(fc.Cap())),
+		// Unit "ratio" so CF-root merges AVERAGE lane hit rates rather
+		// than summing them (core.MergeStats convention).
+		core.G("flowcache_hitrate", "ratio", rate))
 }
 
 func init() {
@@ -192,6 +267,19 @@ func init() {
 		if cfg["default"] != "false" {
 			names = append(names, "default")
 		}
-		return NewClassifier(names...)
+		c, err := NewClassifier(names...)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := cfg["flowcache"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("router: classifier flowcache: %w", err)
+			}
+			if err := c.FlowCacheResize(v); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
 	})
 }
