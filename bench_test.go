@@ -1003,3 +1003,160 @@ func BenchmarkE15_CacheProbe(b *testing.B) {
 		_, _, _ = fc.ProbeView(h, &view, 1)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E16 — bind-time chain fusion: the flattened fast path vs the hop-by-hop
+// chain (E3) and the monolith bound. One packet per op everywhere, so
+// ns/op is directly comparable across E3, E11 and E16.
+
+// e16Chain is e3Chain headed by a FastPath: fp -> v4 -> c0..ck-1 -> drop.
+// The whole chain is fusible and terminal, so it compiles into a single
+// plan of chainLen+2 hops.
+func e16Chain(b *testing.B, chainLen int) (*router.FastPath, *core.Capsule) {
+	b.Helper()
+	capsule := core.NewCapsule("e16")
+	fp := router.NewFastPath(capsule)
+	if err := capsule.Insert("fp", fp); err != nil {
+		b.Fatal(err)
+	}
+	if err := capsule.Insert("v4", router.NewIPv4Proc(false)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, "fp", "out", "v4"); err != nil {
+		b.Fatal(err)
+	}
+	prev := "v4"
+	for i := 0; i < chainLen; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if err := capsule.Insert(name, router.NewCounter()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.ConnectPush(capsule, prev, "out", name); err != nil {
+			b.Fatal(err)
+		}
+		prev = name
+	}
+	if err := capsule.Insert("drop", router.NewDropper()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := router.ConnectPush(capsule, prev, "out", "drop"); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the plan and pin that fusion actually happened — the benchmark
+	// is meaningless hop-by-hop.
+	raw := benchPacketRaw(b)
+	ttl := raw[8]
+	if err := fp.Push(router.NewPacket(raw)); err != nil {
+		b.Fatal(err)
+	}
+	raw[8] = ttl
+	if got, want := fp.Fuser().FusedHops(), chainLen+2; got != want {
+		b.Fatalf("fused %d hops, want %d", got, want)
+	}
+	return fp, capsule
+}
+
+// BenchmarkE16_FusedChain is the per-packet drive of the fused chain — the
+// direct counterpart of BenchmarkE3_NetkitChain.
+func BenchmarkE16_FusedChain(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("len-%d", k), func(b *testing.B) {
+			fp, _ := e16Chain(b, k)
+			raw := benchPacketRaw(b)
+			p := router.NewPacket(raw)
+			ttl := raw[8]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				raw[8] = ttl // rearm TTL so the packet never expires
+				_ = fp.Push(p)
+			}
+		})
+	}
+}
+
+// BenchmarkE16_FusedChainBatched is the batched drive — the deployment
+// configuration (shard lanes run ring batches through the fused plan), and
+// the figure the §8 acceptance ratios are read from.
+func BenchmarkE16_FusedChainBatched(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("len-%d", k), func(b *testing.B) {
+			fp, _ := e16Chain(b, k)
+			const batch = 128
+			pkts, raws, ttls := e11Packets(b, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				n := batch // one packet per op: ns/op comparable to E3/E16 per-packet
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					raws[j][8] = ttls[j]
+				}
+				_ = fp.PushBatch(pkts[:n])
+			}
+		})
+	}
+}
+
+// BenchmarkE16_UnfusedChainBatched is the batched hop-by-hop control: the
+// same chain shape driven through ForwardBatch without a FastPath, so the
+// fusion dividend can be separated from the batching dividend.
+func BenchmarkE16_UnfusedChainBatched(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("len-%d", k), func(b *testing.B) {
+			first, _ := e3Chain(b, k)
+			const batch = 128
+			pkts, raws, ttls := e11Packets(b, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					raws[j][8] = ttls[j]
+				}
+				_ = router.ForwardBatch(first, pkts[:n])
+			}
+		})
+	}
+}
+
+// BenchmarkE16_DespecializeRefuse prices one full meta-level round trip on
+// the fused path: install an interceptor (synchronous invalidation + idle
+// fence), remove it, and re-fuse on the next crossing. This is the cost
+// the adaptation engine pays to look inside a fused chain.
+func BenchmarkE16_DespecializeRefuse(b *testing.B) {
+	fp, capsule := e16Chain(b, 8)
+	var mid *core.Binding
+	for _, bd := range capsule.BindingsOf("c0") {
+		mid = bd
+	}
+	if mid == nil {
+		b.Fatal("mid-chain binding not found")
+	}
+	raw := benchPacketRaw(b)
+	p := router.NewPacket(raw)
+	ttl := raw[8]
+	noop := core.PrePost(nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mid.AddInterceptor(core.Interceptor{Name: "probe", Wrap: noop}); err != nil {
+			b.Fatal(err)
+		}
+		fp.Fuser().WaitIdle(time.Second)
+		raw[8] = ttl
+		_ = fp.Push(p) // hop-by-hop while intercepted
+		if err := mid.RemoveInterceptor("probe"); err != nil {
+			b.Fatal(err)
+		}
+		raw[8] = ttl
+		_ = fp.Push(p) // re-fuses on this crossing
+	}
+	if got := fp.Fuser().FusedHops(); got != 10 {
+		b.Fatalf("chain did not re-fuse: %d hops", got)
+	}
+}

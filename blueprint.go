@@ -57,6 +57,19 @@ func (b *Blueprint) Insert(name string, comp core.Component) *Blueprint {
 	})
 }
 
+// FastPath declares a fused chain entry point (router.FastPath) under
+// name. Pipe it ahead of a processing chain — FastPath("fast").Pipe(
+// "fast", "v4", "count") — and push into it: when the chain downstream is
+// interceptor-free and every hop is fusible, packets run it as one
+// compiled closure; any structural mutation (interceptor install, rebind,
+// hot-swap) de-specialises it on the spot and it re-fuses once the chain
+// is clean (DESIGN.md §8).
+func (b *Blueprint) FastPath(name string) *Blueprint {
+	return b.step(fmt.Sprintf("fastpath %s", name), func(c *core.Capsule) error {
+		return c.Insert(name, router.NewFastPath(c))
+	})
+}
+
 // Pipe declares a chain of bindings through each component's
 // DefaultReceptacle: Pipe("a", "b", "c") binds a.out -> b and b.out -> c.
 // The bound interface is inferred from each client receptacle, so the

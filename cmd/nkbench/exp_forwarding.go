@@ -1,6 +1,6 @@
 // Forwarding-throughput experiments: the data-plane fast path.
 // E3 Router CF vs static baselines, E11 batched fast path, E12 sharded
-// multi-core scale-out.
+// multi-core scale-out, E16 bind-time chain fusion.
 package main
 
 import (
@@ -283,4 +283,167 @@ func e12Sharded() {
 	for _, p := range points {
 		printf("%-10d %14.0f %15.2fx\n", p.n, p.kpps, p.kpps/base)
 	}
+}
+
+// ---------------------------------------------------------------------------
+
+func e16Fused() {
+	header("E16", "bind-time chain fusion: the E3 chain compiled into one plan vs hop-by-hop and the monolith (DESIGN.md §8)")
+	gen, err := trace.NewGenerator(trace.Config{Seed: 16, Flows: 32, UDPShare: 100})
+	must(err)
+	// The drive recycles a bounded descriptor ring (as a NIC would) rather
+	// than streaming a fresh multi-megabyte packet array: E16's claim is
+	// about the per-hop binding-crossing tax, and a cold-DRAM stream hides
+	// it behind memory latency that no amount of devirtualisation removes.
+	const nPkts = 200_000 // packets offered per measurement
+	const ring = 8192     // recycled descriptor ring
+	const batch = 128
+	master := make([][]byte, ring)
+	for i := range master {
+		master[i], err = gen.NextFixed(64)
+		must(err)
+	}
+	freshPkts := func() ([]*router.Packet, []byte) {
+		out := make([]*router.Packet, len(master))
+		ttls := make([]byte, len(master))
+		for i, raw := range master {
+			out[i] = router.NewPacket(append([]byte(nil), raw...))
+			ttls[i] = raw[8]
+		}
+		return out, ttls
+	}
+	driveBatched := func(push func([]*router.Packet) error) float64 {
+		pkts, ttls := freshPkts()
+		runtime.GC()
+		start := time.Now()
+		for sent := 0; sent < nPkts; sent += batch {
+			lo := sent % ring
+			hi := lo + batch
+			if hi > ring {
+				hi = ring
+			}
+			// Rearm TTLs: the recycled packets were decremented last lap.
+			for i := lo; i < hi; i++ {
+				pkts[i].Data[8] = ttls[i]
+			}
+			_ = push(pkts[lo:hi])
+		}
+		return float64(nPkts) / time.Since(start).Seconds() / 1e3
+	}
+	// The same per-packet function as E3 — one IPv4 TTL decrement plus k
+	// counting stages into a dropper — batched at 128 everywhere, so the
+	// fused/unfused delta isolates the binding-crossing tax, not batching.
+	buildChain := func(chainLen int, head func(c *core.Capsule) string) (*core.Capsule, string) {
+		capsule := core.NewCapsule("e16")
+		prev := head(capsule)
+		must(capsule.Insert("v4", router.NewIPv4Proc(false)))
+		_, err := router.ConnectPush(capsule, prev, "out", "v4")
+		must(err)
+		prev = "v4"
+		for i := 0; i < chainLen; i++ {
+			name := fmt.Sprintf("c%d", i)
+			must(capsule.Insert(name, router.NewCounter()))
+			_, err := router.ConnectPush(capsule, prev, "out", name)
+			must(err)
+			prev = name
+		}
+		must(capsule.Insert("drop", router.NewDropper()))
+		_, err = router.ConnectPush(capsule, prev, "out", "drop")
+		must(err)
+		return capsule, prev
+	}
+	printf("%-10s %14s %14s %14s %12s\n", "chain", "fused kpps", "unfused kpps", "monolith kpps", "vs monolith")
+	for _, chainLen := range []int{1, 2, 4, 8} {
+		// Fused: the chain headed by a FastPath, compiled into one plan.
+		capsule, _ := buildChain(chainLen, func(c *core.Capsule) string {
+			must(c.Insert("fp", router.NewFastPath(c)))
+			return "fp"
+		})
+		comp, _ := capsule.Component("fp")
+		fp := comp.(*router.FastPath)
+		fusedKpps := driveBatched(fp.PushBatch)
+		if got, want := fp.Fuser().FusedHops(), chainLen+2; got != want {
+			must(fmt.Errorf("E16: plan fused %d hops, want %d", got, want))
+		}
+
+		// Unfused control: the identical chain driven hop-by-hop batched.
+		ucapsule := core.NewCapsule("e16u")
+		must(ucapsule.Insert("v4", router.NewIPv4Proc(false)))
+		uprev := "v4"
+		for i := 0; i < chainLen; i++ {
+			name := fmt.Sprintf("c%d", i)
+			must(ucapsule.Insert(name, router.NewCounter()))
+			_, err := router.ConnectPush(ucapsule, uprev, "out", name)
+			must(err)
+			uprev = name
+		}
+		must(ucapsule.Insert("drop", router.NewDropper()))
+		_, err := router.ConnectPush(ucapsule, uprev, "out", "drop")
+		must(err)
+		ucomp, _ := ucapsule.Component("v4")
+		uentry := ucomp.(router.IPacketPush)
+		unfusedKpps := driveBatched(func(b []*router.Packet) error {
+			return router.ForwardBatch(uentry, b)
+		})
+
+		// Monolith: hand-fused decrement+count, by construction flat in k,
+		// driven over the same recycled ring with the same TTL rearm.
+		mono := baseline.NewMonolith(false)
+		monoPkts := make([][]byte, len(master))
+		monoTTLs := make([]byte, len(master))
+		for i, p := range master {
+			monoPkts[i] = append([]byte(nil), p...)
+			monoTTLs[i] = p[8]
+		}
+		runtime.GC()
+		start := time.Now()
+		for sent := 0; sent < nPkts; sent += batch {
+			lo := sent % ring
+			hi := lo + batch
+			if hi > ring {
+				hi = ring
+			}
+			for i := lo; i < hi; i++ {
+				monoPkts[i][8] = monoTTLs[i]
+				_ = mono.Run(monoPkts[i])
+			}
+		}
+		monoKpps := float64(nPkts) / time.Since(start).Seconds() / 1e3
+
+		printf("%-10d %14.0f %14.0f %14.0f %11.2fx\n",
+			chainLen, fusedKpps, unfusedKpps, monoKpps, monoKpps/fusedKpps)
+		chain := map[string]string{"chain": fmt.Sprint(chainLen), "batch": fmt.Sprint(batch)}
+		record("fused_forwarding", fusedKpps, "kpps", chain)
+		record("unfused_forwarding", unfusedKpps, "kpps", chain)
+		record("fused_monolith", monoKpps, "kpps", chain)
+	}
+
+	// The meta-level price: one de-specialise (interceptor install +
+	// idle fence) / re-fuse round trip on the chain-8 plan.
+	capsule, _ := buildChain(8, func(c *core.Capsule) string {
+		must(c.Insert("fp", router.NewFastPath(c)))
+		return "fp"
+	})
+	comp, _ := capsule.Component("fp")
+	fp := comp.(*router.FastPath)
+	warm, _ := freshPkts()
+	must(fp.PushBatch(warm[:1]))
+	var mid *core.Binding
+	for _, bd := range capsule.BindingsOf("c0") {
+		mid = bd
+	}
+	noop := core.PrePost(nil, nil)
+	const rounds = 2000
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		must(mid.AddInterceptor(core.Interceptor{Name: "probe", Wrap: noop}))
+		fp.Fuser().WaitIdle(time.Second)
+		must(mid.RemoveInterceptor("probe"))
+		p := router.NewPacket(append([]byte(nil), master[0]...))
+		_ = fp.Push(p) // first crossing after removal re-fuses
+	}
+	rt := time.Since(start).Seconds() / rounds * 1e6
+	printf("despecialise/re-fuse round trip: %.2f us\n", rt)
+	record("fuse_roundtrip", rt, "us", map[string]string{"chain": "8"})
 }

@@ -1,6 +1,6 @@
-// Command nkbench runs the NETKIT experiment suite E1–E13 and E15 (see DESIGN.md
-// §3 for the claim-to-experiment mapping) and prints one table per
-// experiment. EXPERIMENTS.md records a reference run.
+// Command nkbench runs the NETKIT experiment suite E1–E13 and E15–E16 (see
+// DESIGN.md §3 for the claim-to-experiment mapping) and prints one table
+// per experiment. EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -19,8 +19,9 @@
 // baselines.
 //
 // The experiment implementations live beside this file: exp_micro.go
-// (E1/E2/E5/E6/E10/E15), exp_forwarding.go (E3/E11/E12), exp_control.go
-// (E4/E7/E8/E9/E13); report.go is the shared reporting layer.
+// (E1/E2/E5/E6/E10/E15), exp_forwarding.go (E3/E11/E12/E16),
+// exp_control.go (E4/E7/E8/E9/E13); report.go is the shared reporting
+// layer.
 package main
 
 import (
@@ -37,7 +38,7 @@ var (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13,E15) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13,E15,E16) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "emit the uniform result document instead of tables")
 	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
 	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts driven by E12")
@@ -64,14 +65,14 @@ func main() {
 		"E4": e4Reconfigure, "E5": e5Classifier, "E6": e6OutOfProc,
 		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
 		"E11": e11Batched, "E12": e12Sharded, "E13": e13Adaptation,
-		"E15": e15Compiled,
+		"E15": e15Compiled, "E16": e16Fused,
 	}
 	var names []string
 	switch {
 	case *adaptOnly:
 		names = []string{"E13"}
 	case *runList == "all":
-		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15"}
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16"}
 	default:
 		names = strings.Split(*runList, ",")
 	}

@@ -18,6 +18,8 @@ const (
 	EventRebind
 	EventStart
 	EventStop
+	EventIntercept
+	EventUnintercept
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +39,10 @@ func (k EventKind) String() string {
 		return "start"
 	case EventStop:
 		return "stop"
+	case EventIntercept:
+		return "intercept"
+	case EventUnintercept:
+		return "unintercept"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -44,12 +50,13 @@ func (k EventKind) String() string {
 
 // Event is one architecture meta-model mutation notification. The
 // meta-model is causally connected: every capsule mutation emits exactly
-// one event after the mutation has been applied.
+// one event after the mutation has been applied. Intercept/unintercept
+// events carry the interceptor name in Type.
 type Event struct {
 	Kind       EventKind
 	Component  string
 	Peer       string // bind/unbind: the server component
-	Type       string // insert/remove: the component type name
+	Type       string // insert/remove: component type; intercept: interceptor name
 	Receptacle string
 	Iface      InterfaceID
 	Binding    BindingID
@@ -190,6 +197,57 @@ func (c *Capsule) SubscribeEvents(buf int) *Subscription {
 	}
 	id, ch := c.events.subscribe(buf)
 	return &Subscription{hub: c.events, id: id, ch: ch}
+}
+
+// WatchStructure registers a synchronous structural-mutation observer and
+// returns its cancel function. Unlike SubscribeEvents, watchers are invoked
+// inline at every mutation site — nothing is ever dropped — which is what
+// correctness-critical invalidation (the router's fused-chain plans) needs:
+// a lossy async stream could miss an interceptor install and leave a fused
+// fast path permanently bypassing the audit it was meant to feed.
+//
+// The contract is strict because watchers run while capsule or binding
+// locks are held: fn must be non-blocking, must not call back into the
+// capsule, and should do no more than flip atomics (bump a generation,
+// clear a cached plan). Heavier reactions belong on SubscribeEvents.
+func (c *Capsule) WatchStructure(fn func(Event)) (cancel func()) {
+	c.watchMu.Lock()
+	c.nextWatch++
+	id := c.nextWatch
+	next := make([]structWatcher, 0, len(c.watchList)+1)
+	next = append(next, c.watchList...)
+	next = append(next, structWatcher{id: id, fn: fn})
+	c.watchList = next
+	c.watchers.Store(&next)
+	c.watchMu.Unlock()
+	return func() {
+		c.watchMu.Lock()
+		defer c.watchMu.Unlock()
+		kept := make([]structWatcher, 0, len(c.watchList))
+		for _, w := range c.watchList {
+			if w.id != id {
+				kept = append(kept, w)
+			}
+		}
+		c.watchList = kept
+		c.watchers.Store(&kept)
+	}
+}
+
+type structWatcher struct {
+	id int
+	fn func(Event)
+}
+
+// notify publishes e to the async hub and runs the synchronous structure
+// watchers. It is the single exit point for every structural mutation.
+func (c *Capsule) notify(e Event) {
+	c.events.publish(e)
+	if ws := c.watchers.Load(); ws != nil {
+		for _, w := range *ws {
+			w.fn(e)
+		}
+	}
 }
 
 // OnClose registers fn to run once when the capsule closes (after all

@@ -70,6 +70,13 @@ func (b *Binding) From() (component, receptacle string) { return b.from, b.recpN
 // To returns the server component instance name and interface ID.
 func (b *Binding) To() (component string, iface InterfaceID) { return b.to, b.iface }
 
+// Receptacle returns the client receptacle this binding routes. The value
+// is the receptacle's identity (an interface wrapping the component's own
+// receptacle pointer), so graph walkers — the router's fusion planner —
+// can match a component's receptacle field to its binding without knowing
+// instance names.
+func (b *Binding) Receptacle() GenReceptacle { return b.recp }
+
 // Interceptors returns the names of the installed interceptors in
 // invocation order.
 func (b *Binding) Interceptors() []string {
@@ -113,6 +120,8 @@ func (b *Binding) AddInterceptor(ic Interceptor) error {
 		return err
 	}
 	b.chain = next
+	b.capsule.notify(Event{Kind: EventIntercept, Component: b.from, Peer: b.to,
+		Type: ic.Name, Receptacle: b.recpName, Iface: b.iface, Binding: b.id})
 	return nil
 }
 
@@ -136,6 +145,8 @@ func (b *Binding) RemoveInterceptor(name string) error {
 		return err
 	}
 	b.chain = next
+	b.capsule.notify(Event{Kind: EventUnintercept, Component: b.from, Peer: b.to,
+		Type: name, Receptacle: b.recpName, Iface: b.iface, Binding: b.id})
 	return nil
 }
 

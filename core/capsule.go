@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // BindRequest describes a requested bind, passed to bind-time constraints.
@@ -53,6 +54,15 @@ type Capsule struct {
 	nextBinding BindingID
 
 	events *eventHub
+
+	// Synchronous structural-mutation watchers (WatchStructure). The
+	// active set is published through an atomic pointer so notify() on
+	// the mutation path is a lock-free load; watchMu serialises only
+	// registration and cancellation.
+	watchMu   sync.Mutex
+	nextWatch int
+	watchList []structWatcher
+	watchers  atomic.Pointer[[]structWatcher]
 }
 
 // CapsuleOption configures a capsule at construction.
@@ -126,7 +136,7 @@ func (c *Capsule) Insert(name string, comp Component) error {
 	c.comps[name] = comp
 	c.states[name] = stateCreated
 	c.byComponent[name] = make(map[BindingID]*Binding)
-	c.events.publish(Event{Kind: EventInsert, Component: name, Type: comp.TypeName()})
+	c.notify(Event{Kind: EventInsert, Component: name, Type: comp.TypeName()})
 	return nil
 }
 
@@ -152,7 +162,7 @@ func (c *Capsule) Remove(name string) error {
 	delete(c.comps, name)
 	delete(c.states, name)
 	delete(c.byComponent, name)
-	c.events.publish(Event{Kind: EventRemove, Component: name, Type: comp.TypeName()})
+	c.notify(Event{Kind: EventRemove, Component: name, Type: comp.TypeName()})
 	return nil
 }
 
@@ -271,7 +281,7 @@ func (c *Capsule) Bind(fromComp, receptacle, toComp string, iface InterfaceID) (
 	c.bindings[b.id] = b
 	c.byComponent[fromComp][b.id] = b
 	c.byComponent[toComp][b.id] = b
-	c.events.publish(Event{Kind: EventBind, Component: fromComp, Peer: toComp,
+	c.notify(Event{Kind: EventBind, Component: fromComp, Peer: toComp,
 		Receptacle: receptacle, Iface: iface, Binding: b.id})
 	return b, nil
 }
@@ -321,7 +331,7 @@ func (c *Capsule) Rebind(id BindingID, newTo string) error {
 	}
 	delete(c.byComponent[oldTo], id)
 	c.byComponent[newTo][id] = b
-	c.events.publish(Event{Kind: EventRebind, Component: b.from, Peer: newTo,
+	c.notify(Event{Kind: EventRebind, Component: b.from, Peer: newTo,
 		Receptacle: b.recpName, Iface: b.iface, Binding: id})
 	return nil
 }
@@ -341,7 +351,7 @@ func (c *Capsule) Unbind(id BindingID) error {
 	delete(c.bindings, id)
 	delete(c.byComponent[b.from], id)
 	delete(c.byComponent[b.to], id)
-	c.events.publish(Event{Kind: EventUnbind, Component: b.from, Peer: b.to,
+	c.notify(Event{Kind: EventUnbind, Component: b.from, Peer: b.to,
 		Receptacle: b.recpName, Iface: b.iface, Binding: id})
 	return nil
 }
@@ -459,7 +469,7 @@ func (c *Capsule) StartComponent(ctx context.Context, name string) error {
 			return fmt.Errorf("core: start %q: %v: %w", name, err, ErrLifecycle)
 		}
 	}
-	c.events.publish(Event{Kind: EventStart, Component: name})
+	c.notify(Event{Kind: EventStart, Component: name})
 	return nil
 }
 
@@ -484,7 +494,7 @@ func (c *Capsule) StopComponent(ctx context.Context, name string) error {
 			return fmt.Errorf("core: stop %q: %v: %w", name, err, ErrLifecycle)
 		}
 	}
-	c.events.publish(Event{Kind: EventStop, Component: name})
+	c.notify(Event{Kind: EventStop, Component: name})
 	return nil
 }
 

@@ -40,6 +40,12 @@ type Stat struct {
 	Kind  StatKind `json:"kind"`
 	Unit  string   `json:"unit,omitempty"`
 	Value float64  `json:"value"`
+	// Weight makes a ratio gauge mergeable without bias: MergeStats
+	// averages ratio gauges weighted by it (a cache hit rate weighted by
+	// lookups, an occupancy weighted by capacity), so an idle
+	// constituent with Weight 0 cannot drag the merged mean. Zero on
+	// every stat in a group falls back to the unweighted average.
+	Weight float64 `json:"weight,omitempty"`
 	// Hist carries the bucketed distribution for KindHistogram stats
 	// (Value then holds the observation count); nil otherwise.
 	Hist *HistSnapshot `json:"hist,omitempty"`
@@ -53,6 +59,11 @@ func C(name, unit string, v uint64) Stat {
 // G builds a gauge Stat.
 func G(name, unit string, v float64) Stat {
 	return Stat{Name: name, Kind: KindGauge, Unit: unit, Value: v}
+}
+
+// GW builds a weighted gauge Stat (see Stat.Weight).
+func GW(name, unit string, v, weight float64) Stat {
+	return Stat{Name: name, Kind: KindGauge, Unit: unit, Value: v, Weight: weight}
 }
 
 // IStats is the uniform telemetry capability. Implementations must be
@@ -129,10 +140,20 @@ func (n *StatNode) Find(path string) (*StatNode, bool) {
 // observation count, sums). The result is sorted by name for determinism.
 // It is the aggregation rule composites use to present their constituents
 // as one element.
+//
+// Ratio gauges average weighted by Stat.Weight when any constituent
+// carries one: the merged value is Σ(value·weight)/Σweight and the result
+// keeps Weight = Σweight, so nested merges (lane → shard root → capsule)
+// stay associative. Constituents with Weight 0 are thereby excluded — an
+// idle shard lane's stale flow-cache hit rate no longer drags the root
+// mean. A group where every stat has Weight 0 keeps the historical
+// unweighted average (occupancy-style gauges that carry no weight).
 func MergeStats(groups ...[]Stat) []Stat {
 	type acc struct {
 		stat Stat
 		n    int
+		wsum float64 // Σ weight over the group
+		wval float64 // Σ value·weight
 	}
 	byKey := make(map[Stat]*acc)
 	order := make([]Stat, 0, 8)
@@ -146,6 +167,10 @@ func MergeStats(groups ...[]Stat) []Stat {
 				order = append(order, key)
 			}
 			a.stat.Value += s.Value
+			if s.Weight > 0 {
+				a.wsum += s.Weight
+				a.wval += s.Value * s.Weight
+			}
 			if s.Kind == KindHistogram {
 				a.stat.Hist = a.stat.Hist.Merge(s.Hist)
 			}
@@ -156,7 +181,12 @@ func MergeStats(groups ...[]Stat) []Stat {
 	for _, key := range order {
 		a := byKey[key]
 		if a.stat.Kind == KindGauge && a.stat.Unit == "ratio" && a.n > 0 {
-			a.stat.Value /= float64(a.n)
+			if a.wsum > 0 {
+				a.stat.Value = a.wval / a.wsum
+				a.stat.Weight = a.wsum
+			} else {
+				a.stat.Value /= float64(a.n)
+			}
 		}
 		out = append(out, a.stat)
 	}

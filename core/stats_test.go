@@ -94,6 +94,47 @@ func TestMergeStats(t *testing.T) {
 	}
 }
 
+// TestMergeStatsWeightedRatios pins the weighted-average semantics for
+// ratio gauges: lanes that did work dominate in proportion to their
+// Weight, an idle (zero-weight) lane's stale ratio contributes nothing,
+// and the merged stat carries the summed weight so nested merges stay
+// associative. Unweighted groups keep the historical arithmetic mean.
+func TestMergeStatsWeightedRatios(t *testing.T) {
+	busy := []Stat{GW("hitrate", "ratio", 0.9, 1000)}
+	warm := []Stat{GW("hitrate", "ratio", 0.5, 200)}
+	idle := []Stat{GW("hitrate", "ratio", 0.1, 0)} // stale rate, no lookups
+
+	merged := MergeStats(busy, warm, idle)
+	if len(merged) != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	want := (0.9*1000 + 0.5*200) / 1200
+	if got := merged[0].Value; got != want {
+		t.Fatalf("weighted merge = %v, want %v (idle lane must not drag the mean)", got, want)
+	}
+	if merged[0].Weight != 1200 {
+		t.Fatalf("merged weight = %v, want 1200", merged[0].Weight)
+	}
+
+	// Associativity: merging the merge with another weighted lane gives
+	// the same result as merging all three flat.
+	late := []Stat{GW("hitrate", "ratio", 0.0, 300)}
+	nested := MergeStats([]Stat{merged[0]}, late)
+	flat := MergeStats(busy, warm, idle, late)
+	if nested[0].Value != flat[0].Value || nested[0].Weight != flat[0].Weight {
+		t.Fatalf("nested merge %+v diverges from flat merge %+v", nested[0], flat[0])
+	}
+
+	// All-zero-weight groups keep the unweighted average (occupancy-style
+	// gauges that never set Weight).
+	plain := MergeStats(
+		[]Stat{G("occupancy", "ratio", 0.2)},
+		[]Stat{G("occupancy", "ratio", 0.6)})
+	if got := plain[0].Value; got != 0.4 {
+		t.Fatalf("unweighted ratio merge = %v, want 0.4", got)
+	}
+}
+
 func TestCapsuleStatsWalksComposites(t *testing.T) {
 	outer := NewCapsule("outer")
 	if err := outer.Insert("leaf", newStatComp("t.leaf", C("n", "u", 1))); err != nil {

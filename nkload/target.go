@@ -140,22 +140,26 @@ func directSend(sink *Sink, entry router.IPacketPush) func([][]byte) error {
 	}
 }
 
-// Fused builds the single-pipeline topology: counter -> checksum
-// validator -> sink, all in one capsule, no cross-goroutine hand-off.
-// This is the per-packet cost floor the sharded plane is compared to.
+// Fused builds the single-pipeline topology: a FastPath heading counter ->
+// checksum validator -> sink, all in one capsule, no cross-goroutine
+// hand-off. Since PR 8 the name is literal: the interceptor-free chain
+// compiles into one fused plan (DESIGN.md §8), so this is the per-packet
+// cost floor the sharded plane is compared to — and the scenario the
+// perf-gate trajectory reads the fusion win from.
 func Fused(o Options) (*Target, error) {
 	o = o.withDefaults()
 	sink := NewSink()
 	sys, err := netkit.NewBlueprint("nkload").
+		FastPath("fp").
 		Insert("in", router.NewCounter()).
 		Insert("val", router.NewChecksumValidator()).
 		Insert("sink", sink).
-		Pipe("in", "val", "sink").
+		Pipe("fp", "in", "val", "sink").
 		Build(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	entry, err := entryPush(sys, "in")
+	entry, err := entryPush(sys, "fp")
 	if err != nil {
 		return nil, err
 	}

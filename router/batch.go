@@ -1,6 +1,9 @@
 package router
 
 import (
+	"errors"
+	"fmt"
+
 	"netkit/core"
 	"netkit/internal/buffers"
 )
@@ -31,24 +34,70 @@ type IPacketPushBatch interface {
 	PushBatch(batch []*Packet) error
 }
 
+// BatchError reports a batch crossing in which Failed packets could not be
+// delivered; Err is the first underlying error. It is how the batch path
+// keeps per-packet error cardinality: a per-packet caller counts one errs
+// per failing packet, so a batch callee that fails k of n packets must say
+// k, not 1. A plain (non-BatchError) error from a batch crossing means the
+// whole batch failed. errors.Is/As reach Err through Unwrap.
+type BatchError struct {
+	Failed int
+	Err    error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("router: %d packet(s) failed: %v", e.Failed, e.Err)
+}
+
+// Unwrap exposes the first underlying error to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// FailedPackets interprets a batch-crossing error as a packet count out of
+// n: nil means none, a BatchError carries its own count (clamped to [0,n]),
+// and any other error means the whole crossing — all n — failed.
+func FailedPackets(err error, n int) int {
+	if err == nil {
+		return 0
+	}
+	var be *BatchError
+	if errors.As(err, &be) {
+		if be.Failed < 0 {
+			return 0
+		}
+		if be.Failed > n {
+			return n
+		}
+		return be.Failed
+	}
+	return n
+}
+
 // ForwardBatch delivers batch to dst, using the batched fast path when dst
 // implements IPacketPushBatch and falling back to one Push per packet
 // otherwise. It is the generic adoption shim: a pipeline may mix batch-
 // aware and per-packet components freely, and ForwardBatch re-forms the
-// fast path wherever both sides support it. The first error is returned;
-// later packets are still delivered (matching the absorb-and-continue
-// discipline of the data path).
+// fast path wherever both sides support it. Later packets are still
+// delivered after a failure (the absorb-and-continue discipline of the
+// data path); failures are reported as a BatchError so upstream accounting
+// stays per-packet-exact.
 func ForwardBatch(dst IPacketPush, batch []*Packet) error {
 	if bp, ok := dst.(IPacketPushBatch); ok {
 		return bp.PushBatch(batch)
 	}
+	failed := 0
 	var firstErr error
 	for _, p := range batch {
-		if err := dst.Push(p); err != nil && firstErr == nil {
-			firstErr = err
+		if err := dst.Push(p); err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return firstErr
+	if failed == 0 {
+		return nil
+	}
+	return &BatchError{Failed: failed, Err: firstErr}
 }
 
 // PacketCount reports how many packets an intercepted operation carries:
@@ -80,14 +129,15 @@ func GetBatch() []*Packet { return packetBatches.Get() }
 func PutBatch(b []*Packet) { packetBatches.Put(b) }
 
 // forwardBatch pushes batch to the receptacle target, accounting the
-// outcome as forward does per packet; an unbound receptacle drops (and
-// releases) the whole batch. Error accounting is batch-granular: a batch
-// crossing yields at most one downstream error, so a failing batch counts
-// one structural error and forfeits Out accounting for the batch (the
-// per-packet path would count per packet). Downstream errors are
-// structural — absent from the standard components, which absorb and
-// count problems locally — so the divergence is confined to misbehaving
-// plug-ins.
+// outcome exactly as forward does per packet; an unbound receptacle drops
+// (and releases) the whole batch. Errors are per-packet-exact: the failed
+// count is read from the downstream's BatchError (whole batch for a plain
+// error), errs counts every failing packet, out counts the rest, and the
+// returned error is normalised to a BatchError so the next hop up accounts
+// the same count. Downstream errors are structural — absent from the
+// standard components, which absorb and count problems locally — so this
+// path only fires for misbehaving plug-ins, but when it fires the batched
+// and per-packet paths now agree counter for counter.
 func (e *elementCounters) forwardBatch(out *core.Receptacle[IPacketPush], batch []*Packet) error {
 	if len(batch) == 0 {
 		return nil
@@ -100,12 +150,18 @@ func (e *elementCounters) forwardBatch(out *core.Receptacle[IPacketPush], batch 
 		}
 		return nil
 	}
-	if err := ForwardBatch(next, batch); err != nil {
-		e.errs.Add(1)
-		return err
+	err := ForwardBatch(next, batch)
+	if err == nil {
+		e.out.Add(uint64(len(batch)))
+		return nil
 	}
-	e.out.Add(uint64(len(batch)))
-	return nil
+	failed := FailedPackets(err, len(batch))
+	e.errs.Add(uint64(failed))
+	e.out.Add(uint64(len(batch) - failed))
+	if _, ok := err.(*BatchError); !ok {
+		err = &BatchError{Failed: failed, Err: err}
+	}
+	return err
 }
 
 // forwardRuns is the shared drop-or-forward scan of the batched header
@@ -114,22 +170,47 @@ func (e *elementCounters) forwardBatch(out *core.Receptacle[IPacketPush], batch 
 // copying — are forwarded. keep may mutate the packet (TTL decrement) and
 // is responsible for its own specialised drop counters.
 func (e *elementCounters) forwardRuns(out *core.Receptacle[IPacketPush], batch []*Packet, keep func(*Packet) bool) error {
-	var firstErr error
+	var agg batchErrAgg
 	run := 0
 	for i, p := range batch {
 		if !keep(p) {
-			if err := e.forwardBatch(out, batch[run:i]); err != nil && firstErr == nil {
-				firstErr = err
-			}
+			agg.note(e.forwardBatch(out, batch[run:i]), i-run)
 			e.dropped.Add(1)
 			p.Release()
 			run = i + 1
 		}
 	}
-	if err := e.forwardBatch(out, batch[run:]); err != nil && firstErr == nil {
-		firstErr = err
+	agg.note(e.forwardBatch(out, batch[run:]), len(batch)-run)
+	return agg.err()
+}
+
+// batchErrAgg folds the per-run errors of a split batch crossing into one
+// BatchError whose Failed is the total failing-packet count, so callers
+// see the same cardinality whether the batch crossed whole or in runs.
+type batchErrAgg struct {
+	failed   int
+	firstErr error
+}
+
+func (a *batchErrAgg) note(err error, n int) {
+	if err == nil {
+		return
 	}
-	return firstErr
+	a.failed += FailedPackets(err, n)
+	if a.firstErr == nil {
+		if be, ok := err.(*BatchError); ok && be.Err != nil {
+			a.firstErr = be.Err
+		} else {
+			a.firstErr = err
+		}
+	}
+}
+
+func (a *batchErrAgg) err() error {
+	if a.failed == 0 {
+		return nil
+	}
+	return &BatchError{Failed: a.failed, Err: a.firstErr}
 }
 
 // splitRuns is the shared demultiplexing scan of the batched classifier
@@ -140,7 +221,7 @@ func (e *elementCounters) splitRuns(batch []*Packet, target func(*Packet) *core.
 	if len(batch) == 0 {
 		return nil
 	}
-	var firstErr error
+	var agg batchErrAgg
 	flush := func(t *core.Receptacle[IPacketPush], seg []*Packet) {
 		if len(seg) == 0 {
 			return
@@ -152,9 +233,7 @@ func (e *elementCounters) splitRuns(batch []*Packet, target func(*Packet) *core.
 			}
 			return
 		}
-		if err := e.forwardBatch(t, seg); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		agg.note(e.forwardBatch(t, seg), len(seg))
 	}
 	run, cur := 0, target(batch[0])
 	for i := 1; i < len(batch); i++ {
@@ -164,5 +243,5 @@ func (e *elementCounters) splitRuns(batch []*Packet, target func(*Packet) *core.
 		}
 	}
 	flush(cur, batch[run:])
-	return firstErr
+	return agg.err()
 }

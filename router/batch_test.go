@@ -2,6 +2,7 @@ package router
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -545,4 +546,126 @@ func TestKernelSourceBatchedDelivery(t *testing.T) {
 			t.Fatalf("frame %d out of order (port %d)", i, p.View().DstPort)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-packet-exact batch error accounting (the forwardBatch contract)
+
+var errFlaky = errors.New("test: flaky downstream")
+
+// errBatchTarget is a batch-aware downstream returning a fixed error from
+// every crossing (packets are accepted and released either way).
+type errBatchTarget struct {
+	*core.Base
+	err error
+}
+
+func newErrBatchTarget(err error) *errBatchTarget {
+	s := &errBatchTarget{Base: core.NewBase("test.ErrBatchTarget"), err: err}
+	s.Provide(IPacketPushID, s)
+	return s
+}
+
+func (s *errBatchTarget) Push(p *Packet) error {
+	p.Release()
+	return s.err
+}
+
+func (s *errBatchTarget) PushBatch(batch []*Packet) error {
+	for _, p := range batch {
+		p.Release()
+	}
+	return s.err
+}
+
+// oddPortTarget is per-packet only (no PushBatch): it fails packets with
+// odd destination ports, so the ForwardBatch degradation loop must count
+// exactly the odd ones.
+type oddPortTarget struct {
+	*core.Base
+}
+
+func newOddPortTarget() *oddPortTarget {
+	s := &oddPortTarget{Base: core.NewBase("test.OddPortTarget")}
+	s.Provide(IPacketPushID, s)
+	return s
+}
+
+func (s *oddPortTarget) Push(p *Packet) error {
+	odd := p.View().DstPort%2 == 1
+	p.Release()
+	if odd {
+		return errFlaky
+	}
+	return nil
+}
+
+// TestForwardBatchErrorAccounting pins the per-packet-exact error
+// cardinality of the batch path: a downstream failing k of n packets must
+// cost the forwarding hop exactly k errs and n-k out — not one errs per
+// crossing and not a forfeited out — and the error surfaced upstream must
+// carry the same k. (The regression this guards: forwardBatch counted one
+// errs per failing RUN and dropped the out increment entirely, so batched
+// and per-packet traffic produced different books for identical streams.)
+func TestForwardBatchErrorAccounting(t *testing.T) {
+	drive := func(t *testing.T, dst core.Component, n int) (*Counter, error) {
+		t.Helper()
+		c := core.NewCapsule("batcherr")
+		head := NewCounter()
+		if err := c.Insert("head", head); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert("dst", dst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ConnectPush(c, "head", "out", "dst"); err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]*Packet, n)
+		for i := range batch {
+			batch[i] = udpPkt(t, uint16(i), 64)
+		}
+		return head, head.PushBatch(batch)
+	}
+	check := func(t *testing.T, head *Counter, err error, n, wantFailed int) {
+		t.Helper()
+		if got := FailedPackets(err, n); got != wantFailed {
+			t.Fatalf("surfaced error says %d failed (err=%v), want %d", got, err, wantFailed)
+		}
+		if wantFailed > 0 {
+			var be *BatchError
+			if !errors.As(err, &be) {
+				t.Fatalf("error not normalised to BatchError: %T %v", err, err)
+			}
+			if !errors.Is(err, errFlaky) {
+				t.Fatalf("underlying error lost: %v", err)
+			}
+		}
+		st := head.ElemStats()
+		if st.In != uint64(n) || st.Errors != uint64(wantFailed) || st.Out != uint64(n-wantFailed) || st.Dropped != 0 {
+			t.Fatalf("head counters in=%d out=%d dropped=%d errs=%d, want in=%d out=%d errs=%d",
+				st.In, st.Out, st.Dropped, st.Errors, n, n-wantFailed, wantFailed)
+		}
+	}
+
+	t.Run("batch-aware partial failure", func(t *testing.T) {
+		head, err := drive(t, newErrBatchTarget(&BatchError{Failed: 2, Err: errFlaky}), 8)
+		check(t, head, err, 8, 2)
+	})
+	t.Run("plain error fails the whole batch", func(t *testing.T) {
+		head, err := drive(t, newErrBatchTarget(errFlaky), 8)
+		check(t, head, err, 8, 8)
+	})
+	t.Run("overclaimed count clamps to batch size", func(t *testing.T) {
+		head, err := drive(t, newErrBatchTarget(&BatchError{Failed: 999, Err: errFlaky}), 8)
+		check(t, head, err, 8, 8)
+	})
+	t.Run("per-packet degradation counts each failure", func(t *testing.T) {
+		head, err := drive(t, newOddPortTarget(), 8) // ports 0..7: four odd
+		check(t, head, err, 8, 4)
+	})
+	t.Run("no failures", func(t *testing.T) {
+		head, err := drive(t, newErrBatchTarget(nil), 8)
+		check(t, head, err, 8, 0)
+	})
 }

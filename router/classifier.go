@@ -246,8 +246,9 @@ func (c *Classifier) Stats() []core.Stat {
 		core.G("flowcache_entries", "entries", float64(fc.Len())),
 		core.G("flowcache_capacity", "entries", float64(fc.Cap())),
 		// Unit "ratio" so CF-root merges AVERAGE lane hit rates rather
-		// than summing them (core.MergeStats convention).
-		core.G("flowcache_hitrate", "ratio", rate))
+		// than summing them, weighted by lookups so an idle lane's stale
+		// rate carries nothing (core.MergeStats convention).
+		core.GW("flowcache_hitrate", "ratio", rate, float64(hits+misses)))
 }
 
 func init() {

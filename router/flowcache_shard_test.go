@@ -372,8 +372,8 @@ func TestFlowCacheInvalidationUnderShardedTraffic(t *testing.T) {
 // every lane's classifier exposes its cache counters in the CF's stats
 // tree, the per-lane lookups account for every packet exactly once, and
 // merging the lane classifiers at the root follows the repo's MergeStats
-// conventions — counters SUM, ratio gauges AVERAGE (mirroring PR 5's
-// lane-histogram acceptance test).
+// conventions — counters SUM, ratio gauges AVERAGE weighted by lookups
+// (mirroring PR 5's lane-histogram acceptance test).
 func TestFlowCacheStatsTreeAcrossShards(t *testing.T) {
 	const shards, flows, rounds = 4, 16, 6
 	_, s, sink := buildSharded(t, shards, classifierReplica)
@@ -396,7 +396,7 @@ func TestFlowCacheStatsTreeAcrossShards(t *testing.T) {
 
 	tree := s.StatsTree()
 	var laneHits, laneMisses, laneEntries float64
-	var hitrates []float64
+	var hitrates, laneWeights []float64
 	laneStats := make([][]core.Stat, 0, shards)
 	for i := 0; i < shards; i++ {
 		lane, ok := tree.Find("shard" + strconv.Itoa(i))
@@ -425,10 +425,15 @@ func TestFlowCacheStatsTreeAcrossShards(t *testing.T) {
 		if got["flowcache_hitrate"].Unit != "ratio" || got["flowcache_hitrate"].Kind != core.KindGauge {
 			t.Fatalf("hitrate must be a ratio gauge, got %+v", got["flowcache_hitrate"])
 		}
+		lookups := got["flowcache_hits"].Value + got["flowcache_misses"].Value
+		if w := got["flowcache_hitrate"].Weight; math.Abs(w-lookups) > 1e-9 {
+			t.Fatalf("hitrate weight %v, want lane lookups %v", w, lookups)
+		}
 		laneHits += got["flowcache_hits"].Value
 		laneMisses += got["flowcache_misses"].Value
 		laneEntries += got["flowcache_entries"].Value
 		hitrates = append(hitrates, got["flowcache_hitrate"].Value)
+		laneWeights = append(laneWeights, lookups)
 		laneStats = append(laneStats, clsNode.Stats)
 	}
 
@@ -453,12 +458,24 @@ func TestFlowCacheStatsTreeAcrossShards(t *testing.T) {
 		t.Fatalf("merged counters %v/%v, want %v/%v",
 			merged["flowcache_hits"].Value, merged["flowcache_misses"].Value, laneHits, laneMisses)
 	}
-	var meanRate float64
-	for _, r := range hitrates {
-		meanRate += r
+	// The merge is weighted by lookups, so the root hit rate equals the
+	// fleet-wide hits/lookups — idle lanes cannot drag it.
+	var wsum, wval float64
+	for i, r := range hitrates {
+		wval += r * laneWeights[i]
+		wsum += laneWeights[i]
 	}
-	meanRate /= float64(len(hitrates))
-	if math.Abs(merged["flowcache_hitrate"].Value-meanRate) > 1e-9 {
-		t.Fatalf("merged hitrate %v, want lane average %v", merged["flowcache_hitrate"].Value, meanRate)
+	wantRate := wval / wsum
+	if math.Abs(merged["flowcache_hitrate"].Value-wantRate) > 1e-9 {
+		t.Fatalf("merged hitrate %v, want lookup-weighted average %v",
+			merged["flowcache_hitrate"].Value, wantRate)
+	}
+	if math.Abs(wantRate-laneHits/(laneHits+laneMisses)) > 1e-9 {
+		t.Fatalf("weighted lane average %v diverges from global rate %v",
+			wantRate, laneHits/(laneHits+laneMisses))
+	}
+	if math.Abs(merged["flowcache_hitrate"].Weight-wsum) > 1e-9 {
+		t.Fatalf("merged hitrate weight %v, want total lookups %v",
+			merged["flowcache_hitrate"].Weight, wsum)
 	}
 }

@@ -192,13 +192,20 @@ func (p *pushProxy) Push(pkt *Packet) error {
 func (p *pushProxy) PushBatch(batch []*Packet) error {
 	bt, ok := p.target.(IPacketPushBatch)
 	if !ok {
+		failed := 0
 		var firstErr error
 		for _, pkt := range batch {
-			if err := p.Push(pkt); err != nil && firstErr == nil {
-				firstErr = err
+			if err := p.Push(pkt); err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
-		return firstErr
+		if failed == 0 {
+			return nil
+		}
+		return &BatchError{Failed: failed, Err: firstErr}
 	}
 	out := p.around("PushBatch", []any{batch}, func(args []any) []any {
 		return []any{bt.PushBatch(args[0].([]*Packet))}

@@ -183,6 +183,14 @@ func NewShardedCF(outer *core.Capsule, cfg ShardConfig, build ReplicaFactory) (*
 	if err := s.Configure(); err != nil {
 		return nil, err
 	}
+	// With the replicas wired, attach a chain fuser to every lane head so
+	// each worker runs its replica as one flattened closure when the chain
+	// is interceptor-free (no worker has started yet, so plain stores are
+	// safe). Structural mutations of the inner capsule de-specialise the
+	// lane automatically.
+	for _, sh := range s.shards {
+		sh.ingress.fuse = NewChainFuser(s.Inner(), sh.ingress.out)
+	}
 	return s, nil
 }
 
@@ -614,7 +622,23 @@ func (s *ShardedCF) Intercept(component, receptacle, name string, around core.Ar
 	if err != nil {
 		return err
 	}
-	return s.Inner().AddInterceptorAll(ids, core.Interceptor{Name: name, Wrap: around})
+	if err := s.Inner().AddInterceptorAll(ids, core.Interceptor{Name: name, Wrap: around}); err != nil {
+		return err
+	}
+	// Exact-audit fence: the installs above already de-specialised every
+	// lane (the fusers' structure watchers fired synchronously), but a
+	// batch that entered a fused plan just before may still be in flight —
+	// and a fused run bypasses the binding, so the new interceptor would
+	// not see it. Wait those runs out so that once Intercept returns, the
+	// chain observes every subsequent packet. Removal needs no fence: a
+	// hop-by-hop batch in flight during Unintercept crosses the chain at
+	// the binding, the ordinary batch-boundary semantics.
+	for _, sh := range s.shards {
+		if f := sh.ingress.fuse; f != nil {
+			f.WaitIdle(5 * time.Second)
+		}
+	}
+	return nil
 }
 
 // Unintercept removes the named interceptor from every replica's binding
@@ -786,6 +810,13 @@ func (s *ShardedCF) laneStats(i int) []core.Stat {
 	if sh.lat != nil {
 		out = append(out, core.H(StatLatency, "ns", sh.lat.Snapshot()))
 	}
+	if f := sh.ingress.fuse; f != nil {
+		// The fused gauge (hops in the lane's compiled plan, 0 while
+		// de-specialised) plus specialisation churn — the reflective
+		// loop's view of whether this lane is running flat-out or hop by
+		// hop under meta-level activity.
+		out = append(out, f.statList()...)
+	}
 	return out
 }
 
@@ -826,6 +857,11 @@ type shardIngress struct {
 	*core.Base
 	elementCounters
 	out *core.Receptacle[IPacketPush]
+	// fuse flattens the interceptor-free prefix of the replica chain into
+	// one compiled closure (DESIGN.md §8). Set once in NewShardedCF after
+	// Configure wires the replica, before any worker starts; nil only in
+	// unit tests that build the endpoint directly.
+	fuse *ChainFuser
 }
 
 func newShardIngress() *shardIngress {
@@ -835,9 +871,14 @@ func newShardIngress() *shardIngress {
 	return g
 }
 
-// pushBatch forwards one ring batch into the replica.
+// pushBatch forwards one ring batch into the replica — through the fused
+// plan when the chain is clean, hop by hop while it is intercepted or
+// mid-mutation.
 func (g *shardIngress) pushBatch(b []*Packet) error {
 	g.in.Add(uint64(len(b)))
+	if g.fuse != nil {
+		return g.fuse.Forward(&g.elementCounters, g.out, b)
+	}
 	return g.forwardBatch(g.out, b)
 }
 
@@ -859,12 +900,25 @@ func newShardEgress(parent *ShardedCF, lat *core.Histogram) *shardEgress {
 	return e
 }
 
+// latencySample is the single residence-latency predicate for both egress
+// paths: unstamped packets (Born <= 0) and clock regressions (now < born)
+// yield no sample; a zero duration IS a sample. Push and PushBatch must
+// agree on this, or the histogram's population depends on which path a
+// packet took (the bug this helper fixes: Push counted d == 0, PushBatch
+// silently dropped it).
+func latencySample(now, born int64) (uint64, bool) {
+	if born <= 0 || now < born {
+		return 0, false
+	}
+	return uint64(now - born), true
+}
+
 // Push implements IPacketPush.
 func (e *shardEgress) Push(p *Packet) error {
 	e.in.Add(1)
-	if e.lat != nil && p.Born > 0 {
-		if d := Nanotime() - p.Born; d >= 0 {
-			e.lat.Record(uint64(d))
+	if e.lat != nil {
+		if d, ok := latencySample(Nanotime(), p.Born); ok {
+			e.lat.Record(d)
 		}
 	}
 	return e.forward(e.parent.out, p)
@@ -879,8 +933,8 @@ func (e *shardEgress) PushBatch(batch []*Packet) error {
 	if e.lat != nil {
 		now := Nanotime()
 		for _, p := range batch {
-			if p.Born > 0 && now > p.Born {
-				e.lat.Record(uint64(now - p.Born))
+			if d, ok := latencySample(now, p.Born); ok {
+				e.lat.Record(d)
 			}
 		}
 	}

@@ -150,15 +150,24 @@ func (x *xorshift) next() uint64 {
 // delivery: same packets, same per-flow order. This is the observational-
 // equivalence contract of RSS sharding — parallelism may interleave flows
 // against each other but must never reorder or lose a flow's packets.
+//
+// The downstream sink may also FAIL a fuzz-chosen deterministic subset of
+// packets (failMod), pinning the per-packet-exact error books of the batch
+// path: however the dispatcher segments the stream into per-lane
+// sub-batches, the merged error count must equal the per-packet
+// reference's, packet for packet — not one per failing run or crossing.
 func FuzzBatchEquivalence(f *testing.F) {
-	f.Add(uint64(1), uint8(3), []byte{3, 7, 1, 30})
-	f.Add(uint64(42), uint8(0), []byte{1})
-	f.Add(uint64(7), uint8(7), []byte{32, 32, 32})
-	f.Fuzz(func(t *testing.T, seed uint64, shardsRaw uint8, splits []byte) {
+	f.Add(uint64(1), uint8(3), []byte{3, 7, 1, 30}, uint8(0))
+	f.Add(uint64(42), uint8(0), []byte{1}, uint8(0))
+	f.Add(uint64(7), uint8(7), []byte{32, 32, 32}, uint8(0))
+	f.Add(uint64(5), uint8(2), []byte{8, 3, 17}, uint8(3))
+	f.Add(uint64(11), uint8(1), []byte{16}, uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, shardsRaw uint8, splits []byte, failMod uint8) {
 		if seed == 0 {
 			seed = 1
 		}
 		shards := 1 + int(shardsRaw%4)
+		failEvery := uint32(failMod % 5) // 0..4; <2 disables failures
 		rng := xorshift(seed)
 		flows := 1 + int(rng.next()%13)
 		const total = 192
@@ -174,8 +183,18 @@ func FuzzBatchEquivalence(f *testing.F) {
 			seqs[fl]++
 		}
 
+		// The deterministic failure set and its size.
+		failSink := &recordingSink{failMod: failEvery}
+		expectFailed := 0
+		for _, u := range stream {
+			if failSink.fails(u.flow, u.seq) {
+				expectFailed++
+			}
+		}
+
 		// (a) sharded, with fuzz-chosen batch splits.
 		_, sharded, shardedSink := buildSharded(t, shards, counterReplica)
+		shardedSink.failMod = failEvery
 		batch := GetBatch()
 		k := 0
 		limit := func() int {
@@ -210,6 +229,7 @@ func FuzzBatchEquivalence(f *testing.F) {
 		// (b) the single-pipeline reference: one counter, per-packet push.
 		refCapsule := core.NewCapsule("ref")
 		refSink := newRecordingSink()
+		refSink.failMod = failEvery
 		entry := NewCounter()
 		if err := refCapsule.Insert("cnt", entry); err != nil {
 			t.Fatal(err)
@@ -221,8 +241,9 @@ func FuzzBatchEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		for _, u := range stream {
-			if err := entry.Push(mkFlowPacket(t, u.flow, u.seq)); err != nil {
-				t.Fatal(err)
+			err := entry.Push(mkFlowPacket(t, u.flow, u.seq))
+			if wantErr := refSink.fails(u.flow, u.seq); (err != nil) != wantErr {
+				t.Fatalf("flow %d seq %d: push err %v, want failure %v", u.flow, u.seq, err, wantErr)
 			}
 		}
 
@@ -257,8 +278,19 @@ func FuzzBatchEquivalence(f *testing.F) {
 			t.Fatalf("lane sums in=%v out=%v, merged in=%d out=%d",
 				laneIn, laneOut, merged.In, merged.Out)
 		}
-		if merged.Out != uint64(total) || merged.Dropped != 0 {
-			t.Fatalf("merged egress %d (dropped %d), want %d", merged.Out, merged.Dropped, total)
+		if merged.Out != uint64(total-expectFailed) || merged.Dropped != 0 {
+			t.Fatalf("merged egress %d (dropped %d), want %d", merged.Out, merged.Dropped, total-expectFailed)
+		}
+		// Per-packet-exact error books: the merged sharded errors and the
+		// per-packet reference's entry counter agree with the deterministic
+		// failure set, regardless of how batches were split across lanes.
+		if merged.Errors != uint64(expectFailed) {
+			t.Fatalf("merged errors %d, want %d", merged.Errors, expectFailed)
+		}
+		refStats := entry.ElemStats()
+		if refStats.Errors != uint64(expectFailed) || refStats.Out != uint64(total-expectFailed) {
+			t.Fatalf("reference errors %d out %d, want %d and %d",
+				refStats.Errors, refStats.Out, expectFailed, total-expectFailed)
 		}
 		shardedSink.mu.Lock()
 		refSink.mu.Lock()

@@ -42,11 +42,22 @@ func flowSeq(p *Packet) (flow, seq uint32) {
 
 // recordingSink is a concurrency-safe terminal component recording the
 // per-flow delivery sequence, the property the sharded CF must preserve.
+// With failMod >= 2 it additionally FAILS (after recording and releasing)
+// every packet whose flow+seq is a multiple of failMod — a deterministic
+// per-packet predicate, so batched and per-packet drives fail identical
+// packets and upstream error accounting can be compared exactly. Batch
+// failures are reported with per-packet cardinality via BatchError, the
+// contract upstream books depend on.
 type recordingSink struct {
 	*core.Base
-	mu    sync.Mutex
-	flows map[uint32][]uint32
-	count int
+	mu      sync.Mutex
+	flows   map[uint32][]uint32
+	count   int
+	failMod uint32
+}
+
+func (s *recordingSink) fails(flow, seq uint32) bool {
+	return s.failMod >= 2 && (flow+seq)%s.failMod == 0
 }
 
 func newRecordingSink() *recordingSink {
@@ -62,19 +73,29 @@ func (s *recordingSink) Push(p *Packet) error {
 	s.count++
 	s.mu.Unlock()
 	p.Release()
+	if s.fails(flow, seq) {
+		return errFlaky
+	}
 	return nil
 }
 
 func (s *recordingSink) PushBatch(batch []*Packet) error {
+	failed := 0
 	s.mu.Lock()
 	for _, p := range batch {
 		flow, seq := flowSeq(p)
 		s.flows[flow] = append(s.flows[flow], seq)
 		s.count++
+		if s.fails(flow, seq) {
+			failed++
+		}
 	}
 	s.mu.Unlock()
 	for _, p := range batch {
 		p.Release()
+	}
+	if failed > 0 {
+		return &BatchError{Failed: failed, Err: errFlaky}
 	}
 	return nil
 }
