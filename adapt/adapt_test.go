@@ -834,3 +834,42 @@ func TestClosedLoopP99HotSwap(t *testing.T) {
 		t.Fatalf("history = %+v, want exactly one firing", got)
 	}
 }
+
+// TestBatchFillBelow pins the windowed batch-fill condition: it fires on
+// a tick whose frames-per-syscall delta underfills the configured batch,
+// stays quiet on a well-amortised tick, and — like every condition —
+// reads absent data and idle windows as "not holding".
+func TestBatchFillBelow(t *testing.T) {
+	dev := func(frames, calls uint64) core.StatNode {
+		return core.StatNode{Children: []core.StatNode{{
+			Name: "src",
+			Stats: []core.Stat{
+				core.C("udp_rx_frames", "frames", frames),
+				core.C("udp_rx_syscalls", "syscalls", calls),
+			},
+		}}}
+	}
+	// 100 syscalls moving 3200 frames out of a batch-32 ceiling: full.
+	full := View{Now: dev(3200, 100), Prev: dev(0, 0), Elapsed: time.Second}
+	if BatchFillBelow("src", 32, 0.5, 10)(full) {
+		t.Fatal("a fully amortised window must not hold")
+	}
+	// 100 syscalls moving 100 frames: fill 1/32, far under ratio 0.5.
+	trickle := View{Now: dev(100, 100), Prev: dev(0, 0), Elapsed: time.Second}
+	if !BatchFillBelow("src", 32, 0.5, 10)(trickle) {
+		t.Fatal("a trickle window must hold")
+	}
+	// Under the minSyscalls floor the same fill reads as idle, not thin.
+	if BatchFillBelow("src", 32, 0.5, 1000)(trickle) {
+		t.Fatal("a window under the syscall floor must not hold")
+	}
+	// No growth at all: zero-delta window never holds.
+	idle := View{Now: dev(100, 100), Prev: dev(100, 100), Elapsed: time.Second}
+	if BatchFillBelow("src", 32, 0.5, 10)(idle) {
+		t.Fatal("an idle window must not hold")
+	}
+	// Missing component path never holds.
+	if BatchFillBelow("nope", 32, 0.5, 10)(trickle) {
+		t.Fatal("a missing path must not hold")
+	}
+}

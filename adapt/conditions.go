@@ -96,6 +96,32 @@ func HitRateBelow(path string, ratio, minLookups float64) Condition {
 	}
 }
 
+// BatchFillBelow holds when a UDP device's batch fill — RX frames moved
+// per receive syscall over the LAST TICK ONLY, computed from the
+// udp_rx_frames / udp_rx_syscalls counter deltas and divided by the
+// device's configured batch ceiling — drops under ratio. A low fill
+// means the device is paying a near-full syscall price per handful of
+// frames; the paired action shrinks the pump batch (or widens Park) so
+// the syscall budget tracks the offered load. It needs at least
+// minSyscalls receive calls in the window to count, so an idle device
+// never reads as underfilled. The lifetime-weighted udp_batch_fill gauge
+// the stats tree shows answers "how has this device amortised so far";
+// this condition reads the current tick, so it both fires on and
+// recovers from load shifts.
+func BatchFillBelow(path string, batch, ratio, minSyscalls float64) Condition {
+	return func(v View) bool {
+		frames, ok := v.Delta(path, "udp_rx_frames")
+		if !ok {
+			return false
+		}
+		calls, ok := v.Delta(path, "udp_rx_syscalls")
+		if !ok || calls < minSyscalls || batch <= 0 {
+			return false
+		}
+		return frames/calls/batch < ratio
+	}
+}
+
 // All holds when every condition holds.
 func All(conds ...Condition) Condition {
 	return func(v View) bool {

@@ -13,6 +13,8 @@ import (
 
 	"netkit/adapt"
 	"netkit/core"
+	"netkit/internal/buffers"
+	"netkit/internal/osabs"
 	"netkit/router"
 )
 
@@ -101,6 +103,35 @@ func (b *Blueprint) Connect(from, receptacle, to string) *Blueprint {
 		}
 		_, err := c.Bind(from, receptacle, to, recp.Iface())
 		return err
+	})
+}
+
+// DeviceSource declares a router.NICSource pumping an existing stratum-1
+// device (channel-backed NIC, UDP socket, any osabs.Device) into the
+// pipeline. pool may be nil: frames are then wrapped zero-copy, and
+// arena-backed devices carry their own pooled refcounted storage
+// regardless. pump tunes batching and the busy-poll idle policy; the
+// zero value takes the defaults.
+func (b *Blueprint) DeviceSource(name string, dev osabs.Device, pool *buffers.Pool, pump router.PumpConfig) *Blueprint {
+	return b.step(fmt.Sprintf("device-source %s", name), func(c *core.Capsule) error {
+		src, err := router.NewNICSourcePump(dev, pool, pump)
+		if err != nil {
+			return err
+		}
+		return c.Insert(name, src)
+	})
+}
+
+// DeviceSink declares a router.NICSink transmitting the pipeline's
+// packets out through an existing stratum-1 device, one batched device
+// call per packet batch.
+func (b *Blueprint) DeviceSink(name string, dev osabs.Device) *Blueprint {
+	return b.step(fmt.Sprintf("device-sink %s", name), func(c *core.Capsule) error {
+		snk, err := router.NewNICSink(dev)
+		if err != nil {
+			return err
+		}
+		return c.Insert(name, snk)
 	})
 }
 

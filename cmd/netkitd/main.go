@@ -8,6 +8,18 @@
 //	netkitd -config router.nk -listen 127.0.0.1:7341 \
 //	        -traffic-into cnt -pps 1000 -duration 10s
 //
+// With -io udp the daemon skips the .nk configuration and runs the real
+// packet plane instead: one or more SO_REUSEPORT UDP receive queues
+// (recvmmsg-batched on Linux) pump frames through a sharded Router CF —
+// counter -> checksum-validator lanes, fused at bind time — and out
+// through a sendmmsg-batched UDP sink aimed at -udp-peer. Without a
+// peer the plane terminates in a dropper, which still counts: a
+// receive-side echo target for another netkitd. All device counters
+// (frames per syscall, batch fill, kernel socket drops) appear under the
+// source/sink components in `nkctl stats`.
+//
+//	netkitd -io udp -udp-listen 127.0.0.1:9101 -udp-peer 127.0.0.1:9102
+//
 // With -adapt the daemon arms the reflective adaptation loop: every FIFO
 // queue in the configuration gains a rule that hot-swaps it for a RED
 // queue (state migrated, no packet lost) when its occupancy stays above
@@ -26,9 +38,11 @@ import (
 
 	"netkit"
 	"netkit/adapt"
+	"netkit/cf"
 	"netkit/core"
 	"netkit/internal/control"
 	"netkit/internal/nkconfig"
+	"netkit/internal/osabs"
 	"netkit/internal/trace"
 	"netkit/resources"
 	"netkit/router"
@@ -43,7 +57,14 @@ func main() {
 
 func run() error {
 	var (
-		configPath  = flag.String("config", "", "path to .nk configuration (required)")
+		configPath  = flag.String("config", "", "path to .nk configuration (required unless -io udp)")
+		ioMode      = flag.String("io", "config", `packet I/O mode: "config" loads -config, "udp" runs the real UDP forwarding plane`)
+		udpListen   = flag.String("udp-listen", "127.0.0.1:0", "UDP plane receive address")
+		udpPeer     = flag.String("udp-peer", "", "UDP plane forwarding destination (empty = count and drop)")
+		udpQueues   = flag.Int("udp-queues", 1, "SO_REUSEPORT receive queues (Linux; 1 elsewhere)")
+		udpBatch    = flag.Int("udp-batch", osabs.DefaultUDPBatch, "frames per batched syscall")
+		udpSpin     = flag.Int("udp-busypoll", 0, "busy-poll spin budget: empty polls burned before a pump parks")
+		udpShards   = flag.Int("udp-shards", 0, "data-plane lanes (default = receive queues)")
 		listen      = flag.String("listen", "127.0.0.1:7341", "control protocol address")
 		trafficInto = flag.String("traffic-into", "", "component to push synthetic traffic into")
 		pps         = flag.Int("pps", 1000, "synthetic traffic rate (packets/sec)")
@@ -54,21 +75,37 @@ func run() error {
 		adaptLoop   = flag.Bool("adapt", false, "run the reflective adaptation loop (FIFO->RED swap on sustained queue occupancy)")
 	)
 	flag.Parse()
-	if *configPath == "" {
-		return fmt.Errorf("-config is required")
-	}
-	src, err := os.ReadFile(*configPath)
-	if err != nil {
-		return err
-	}
 
 	capsule := core.NewCapsule("netkitd")
 	fw, err := router.NewFramework(capsule, *strict)
 	if err != nil {
 		return err
 	}
-	if _, err := nkconfig.Load(string(src), fw); err != nil {
-		return err
+	switch *ioMode {
+	case "udp":
+		closeDevices, err := buildUDPPlane(fw, udpPlaneConfig{
+			listen: *udpListen, peer: *udpPeer,
+			queues: *udpQueues, batch: *udpBatch, spin: *udpSpin, shards: *udpShards,
+		})
+		if err != nil {
+			return err
+		}
+		// Runs after the StopAll defer below (LIFO): pumps are joined
+		// first, then the sockets close.
+		defer closeDevices()
+	case "config":
+		if *configPath == "" {
+			return fmt.Errorf("-config is required")
+		}
+		src, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		if _, err := nkconfig.Load(string(src), fw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-io %q: want \"config\" or \"udp\"", *ioMode)
 	}
 	meta := netkit.Meta(capsule)
 	if err := meta.Architecture().Validate(); err != nil {
@@ -79,8 +116,12 @@ func run() error {
 		return err
 	}
 	defer func() { _ = capsule.StopAll(ctx) }()
+	origin := *configPath
+	if *ioMode == "udp" {
+		origin = "the -io udp plane"
+	}
 	fmt.Printf("netkitd: %d components started from %s\n",
-		len(capsule.ComponentNames()), *configPath)
+		len(capsule.ComponentNames()), origin)
 
 	// Optional reflective loop: one rule per FIFO queue in the loaded
 	// configuration, swapping it for a RED queue (state migrated) when
@@ -209,4 +250,124 @@ func run() error {
 	<-trafficDone
 	fmt.Println("netkitd: shutting down")
 	return nil
+}
+
+// udpPlaneConfig parameterises the -io udp forwarding plane.
+type udpPlaneConfig struct {
+	listen, peer                string
+	queues, batch, spin, shards int
+}
+
+// buildUDPPlane assembles the real packet plane inside fw's capsule:
+// arena-backed SO_REUSEPORT receive queues -> per-queue NICSource pumps
+// -> RSS-sharded counter->validator lanes (fused at bind time) -> a
+// batched UDP sink (or a dropper when no peer is configured). It returns
+// a closer for the devices, to run after the capsule stops.
+func buildUDPPlane(fw *cf.Framework, cfg udpPlaneConfig) (func(), error) {
+	if cfg.queues <= 0 {
+		cfg.queues = 1
+	}
+	if cfg.batch <= 0 {
+		cfg.batch = osabs.DefaultUDPBatch
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = cfg.queues
+	}
+	arena, err := osabs.NewFrameArena(osabs.DefaultUDPFrameSize, cfg.batch, cfg.queues*8)
+	if err != nil {
+		return nil, err
+	}
+	group, err := osabs.NewUDPDeviceGroup(osabs.UDPConfig{
+		Name: "udp0", Listen: cfg.listen, Batch: cfg.batch, Arena: arena,
+	}, cfg.queues)
+	if err != nil {
+		return nil, err
+	}
+	var devices []*osabs.UDPDevice
+	devices = append(devices, group...)
+	closeAll := func() {
+		for _, d := range devices {
+			_ = d.Close()
+		}
+	}
+	fail := func(err error) (func(), error) {
+		closeAll()
+		return nil, err
+	}
+
+	capsule := fw.Capsule()
+	replica := func(shard int, sfw *cf.Framework) (string, error) {
+		cnt := router.ShardName(shard, "cnt")
+		val := router.ShardName(shard, "val")
+		if err := sfw.Admit(cnt, router.NewCounter()); err != nil {
+			return "", err
+		}
+		if err := sfw.Admit(val, router.NewChecksumValidator()); err != nil {
+			return "", err
+		}
+		if _, err := sfw.Capsule().Bind(cnt, "out", val, router.IPacketPushID); err != nil {
+			return "", err
+		}
+		if _, err := sfw.Capsule().Bind(val, "out",
+			router.ShardName(shard, "egress"), router.IPacketPushID); err != nil {
+			return "", err
+		}
+		return cnt, nil
+	}
+	plane, err := router.NewShardedCF(capsule,
+		router.ShardConfig{Shards: cfg.shards, LatencyHistogram: true}, replica)
+	if err != nil {
+		return fail(err)
+	}
+	if err := capsule.Insert("plane", plane); err != nil {
+		return fail(err)
+	}
+
+	for i, dev := range group {
+		src, err := router.NewNICSourcePump(dev, nil,
+			router.PumpConfig{Batch: cfg.batch, Spin: cfg.spin})
+		if err != nil {
+			return fail(err)
+		}
+		name := fmt.Sprintf("udp-src-q%d", i)
+		if err := fw.Admit(name, src); err != nil {
+			return fail(err)
+		}
+		if _, err := capsule.Bind(name, "out", "plane", router.IPacketPushID); err != nil {
+			return fail(err)
+		}
+	}
+
+	if cfg.peer != "" {
+		tx, err := osabs.NewUDPDevice(osabs.UDPConfig{
+			Name: "udp-tx", Listen: "127.0.0.1:0", Peer: cfg.peer, Batch: cfg.batch,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		devices = append(devices, tx)
+		snk, err := router.NewNICSink(tx)
+		if err != nil {
+			return fail(err)
+		}
+		if err := fw.Admit("udp-sink", snk); err != nil {
+			return fail(err)
+		}
+	} else {
+		if err := fw.Admit("udp-sink", router.NewDropper()); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := capsule.Bind("plane", "out", "udp-sink", router.IPacketPushID); err != nil {
+		return fail(err)
+	}
+
+	fmt.Printf("netkitd: udp plane on %s (%d queue(s), batch %d, %d lane(s)",
+		group[0].LocalAddr(), cfg.queues, cfg.batch, cfg.shards)
+	if cfg.peer != "" {
+		fmt.Printf(", forwarding to %s)\n", cfg.peer)
+	} else {
+		fmt.Printf(", terminating in a dropper)\n")
+	}
+	return closeAll, nil
 }

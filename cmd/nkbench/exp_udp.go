@@ -1,0 +1,154 @@
+// exp_udp.go — E17: the real-socket syscall-amortisation curve. Every
+// other experiment runs in-process; E17 pushes frames through actual
+// kernel UDP sockets over loopback and measures what batching buys at
+// the syscall boundary (DESIGN.md §9).
+//
+// Method: windowed send-then-drain rounds. Each round transmits a window
+// of frames (sized to fit a stock socket buffer, so the round is
+// loss-free by construction), lets them settle, then times the receive
+// drain and the transmit burst separately — so the receive number is the
+// per-frame cost of moving queued datagrams across the syscall boundary,
+// not a round-trip entangled with the peer. The swept rows are the
+// batched recvmmsg/sendmmsg strategy at -batch sizes; the batch=1 row of
+// record is the per-datagram portable read path (ForcePortable — one
+// ReadFromUDP per frame, the exact pattern every non-mmsg platform
+// pays), which is the baseline the ≥3x amortisation claim is gated
+// against in bench_test.go. The pure-mmsg batch-1 row stays in the table
+// too: the distance between it and the portable row is the Go netpoller
+// tax, and the distance to batch-32 is raw syscall amortisation.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"netkit/internal/buffers"
+	"netkit/internal/osabs"
+)
+
+const (
+	// e17Window is the frames per send-then-drain round: well within the
+	// 2MB socket buffers both backends request, so every round is
+	// loss-free by construction.
+	e17Window = 1024
+	// e17Rounds x e17Window = 32768 measured frames per row.
+	e17Rounds = 32
+)
+
+// e17Row measures one device configuration and returns per-frame receive
+// and transmit costs in nanoseconds plus the receive frames-per-syscall.
+func e17Row(batch int, portable bool) (rxNs, txNs, fps float64, err error) {
+	arena, err := osabs.NewFrameArena(osabs.DefaultUDPFrameSize, batch, 8)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rx, err := osabs.NewUDPDevice(osabs.UDPConfig{
+		Name: "e17-rx", Listen: "127.0.0.1:0", Batch: batch, Arena: arena,
+		ForcePortable: portable,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { _ = rx.Close() }()
+	tx, err := osabs.NewUDPDevice(osabs.UDPConfig{
+		Name: "e17-tx", Listen: "127.0.0.1:0", Peer: rx.LocalAddr(), Batch: batch,
+		ForcePortable: portable,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { _ = tx.Close() }()
+
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	out := make([][]byte, batch)
+	for i := range out {
+		out[i] = payload
+	}
+	scratch := make([][]byte, 0, batch)
+	var rxTotal, txTotal int64
+	for r := 0; r < e17Rounds; r++ {
+		start := time.Now()
+		for sent := 0; sent < e17Window; sent += batch {
+			n, err := tx.SendBatch(out)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if n != batch {
+				return 0, 0, 0, fmt.Errorf("tx accepted %d of %d frames", n, batch)
+			}
+		}
+		txTotal += time.Since(start).Nanoseconds()
+		// Let the window settle into the receive queue so drain timing
+		// measures the syscall boundary, not loopback delivery latency.
+		time.Sleep(200 * time.Microsecond)
+		// The drain clock starts at the first PRODUCTIVE poll: the
+		// settle wait and any residual empty polls before data is ready
+		// are scheduler artifacts, not syscall-boundary cost, and at a
+		// small window they would swamp the quantity under test.
+		got := 0
+		var startSet bool
+		for got < e17Window {
+			var slab *buffers.Buffer
+			var err error
+			tCall := time.Now()
+			scratch, slab, err = rx.RecvBatchInto(scratch[:0], batch)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if len(scratch) == 0 {
+				runtime.Gosched()
+				continue
+			}
+			if !startSet {
+				start, startSet = tCall, true
+			}
+			if slab != nil {
+				for range scratch {
+					_ = slab.Release()
+				}
+			}
+			got += len(scratch)
+		}
+		rxTotal += time.Since(start).Nanoseconds()
+	}
+	total := float64(e17Window * e17Rounds)
+	st := rx.Stats()
+	if st.RxSyscalls > 0 {
+		fps = float64(st.RxFrames) / float64(st.RxSyscalls)
+	}
+	return float64(rxTotal) / total, float64(txTotal) / total, fps, nil
+}
+
+func e17UDPBatch() {
+	header("E17", "real-socket syscall amortisation: recvmmsg/sendmmsg batch curve over loopback (DESIGN.md §9)")
+	printf("windowed send-then-drain, %d frames/row; rx is queued-datagram drain cost\n",
+		e17Window*e17Rounds)
+
+	// The per-datagram baseline: one blocking-style read per frame, the
+	// pattern every platform without the mmsg tables pays.
+	baseRx, baseTx, _, err := e17Row(1, true)
+	must(err)
+	printf("%-18s %8.0f rx ns/f %8.0f tx ns/f %10.0f kpps rx  (x1.00 baseline)\n",
+		"portable batch=1", baseRx, baseTx, 1e6/baseRx)
+	labels := map[string]string{"batch": "1", "backend": "portable"}
+	record("udp_rx_drain", baseRx, "ns/op", labels)
+	record("udp_tx_send", baseTx, "ns/op", labels)
+
+	if !osabs.MmsgSupported() {
+		printf("mmsg backend not compiled in; batch sweep == portable rows\n")
+	}
+	for _, k := range batchSizes {
+		rxNs, txNs, fps, err := e17Row(k, false)
+		must(err)
+		printf("mmsg  batch=%-6d %8.0f rx ns/f %8.0f tx ns/f %10.0f kpps rx  %6.1f frames/syscall  (x%.2f)\n",
+			k, rxNs, txNs, 1e6/rxNs, fps, baseRx/rxNs)
+		labels := map[string]string{"batch": fmt.Sprint(k), "backend": "mmsg"}
+		record("udp_rx_drain", rxNs, "ns/op", labels)
+		record("udp_tx_send", txNs, "ns/op", labels)
+		record("udp_rx_frames_per_syscall", fps, "frames/syscall", labels)
+	}
+}

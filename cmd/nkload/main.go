@@ -71,6 +71,9 @@ func run() error {
 		for _, sc := range drivers.Suite() {
 			fmt.Printf("%-16s driver=%s\n", sc.Name, sc.Driver.Name())
 		}
+		for _, sc := range drivers.Extras() {
+			fmt.Printf("%-16s driver=%s  (opt-in: excluded from 'all')\n", sc.Name, sc.Driver.Name())
+		}
 		return nil
 	}
 

@@ -56,6 +56,18 @@ func (b *Buffer) SetLen(n int) {
 // Release.
 func (b *Buffer) Retain() { b.refs.Add(1) }
 
+// RetainN adds n references in one atomic step: the batch form used when
+// a slab is carved into n frames that will each be released separately.
+// RetainN(0) is a no-op; n must not be negative.
+func (b *Buffer) RetainN(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("buffers: RetainN(%d)", n))
+	}
+	if n > 0 {
+		b.refs.Add(int32(n))
+	}
+}
+
 // Refs returns the current reference count (diagnostic).
 func (b *Buffer) Refs() int32 { return b.refs.Load() }
 

@@ -1,0 +1,20 @@
+// bridge.go couples netsim links to the osabs stratum-1 primitives: a
+// ChannelBridge turns a node's delivered frame batches into
+// osabs.KernelChannel.PutBatch calls, so simulated traffic enters a
+// capsule through the same kernel-channel mouth a real dataplane uses —
+// one lock/op round per delivered run instead of one per frame.
+package netsim
+
+import "netkit/internal/osabs"
+
+// ChannelBridge returns a BatchHandler that forwards every delivered
+// batch into ch via PutBatch. Frames that overflow the channel are
+// dropped silently (PutBatch already accounts them in the channel's
+// drop counter), matching the lossy-ingress semantics of a full NIC
+// ring; a closed channel likewise swallows the batch, since a stopped
+// capsule cannot apply backpressure to a simulated wire.
+func ChannelBridge(ch *osabs.KernelChannel) BatchHandler {
+	return func(_ string, payloads [][]byte) {
+		_, _ = ch.PutBatch(payloads)
+	}
+}

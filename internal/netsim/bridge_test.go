@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netkit/internal/osabs"
+)
+
+// TestChannelBridgeDeliversBatches drives frames over a zero-latency
+// link into a KernelChannel via the bridge and dequeues them with
+// GetBatchInto: the full netsim wire -> stratum-1 kernel-channel
+// crossing, batched on both sides.
+func TestChannelBridgeDeliversBatches(t *testing.T) {
+	w := mkNet(t, "wire", "host")
+	defer w.Stop()
+	if err := w.Connect("wire", "host", LinkConfig{Queue: 512}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := w.Node("wire")
+	dst, _ := w.Node("host")
+	kch, err := osabs.NewKernelChannel(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kch.Close()
+	dst.RegisterBatch(9, ChannelBridge(kch))
+
+	const frames = 100
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("f-%03d", i))
+	}
+	if err := src.SendBatch("host", 9, payloads); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < frames && time.Now().Before(deadline) {
+		before := len(got)
+		got = kch.GetBatchInto(got, frames)
+		if len(got) == before {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if len(got) != frames {
+		t.Fatalf("bridged %d of %d frames", len(got), frames)
+	}
+	for i, f := range got {
+		if want := fmt.Sprintf("f-%03d", i); string(f) != want {
+			t.Fatalf("frame %d: got %q want %q", i, f, want)
+		}
+	}
+	if passed, dropped := kch.Stats(); passed != frames || dropped != 0 {
+		t.Fatalf("channel stats passed=%d dropped=%d, want %d/0", passed, dropped, frames)
+	}
+}
+
+// TestChannelBridgeOverflowCountsDrops verifies that bridged frames a
+// full channel refuses land in the channel's own drop counter rather
+// than vanishing or blocking the pump.
+func TestChannelBridgeOverflowCountsDrops(t *testing.T) {
+	w := mkNet(t, "wire", "host")
+	defer w.Stop()
+	if err := w.Connect("wire", "host", LinkConfig{Queue: 256}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := w.Node("wire")
+	dst, _ := w.Node("host")
+	kch, err := osabs.NewKernelChannel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kch.Close()
+	dst.RegisterBatch(9, ChannelBridge(kch))
+
+	const frames = 32
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	if err := src.SendBatch("host", 9, payloads); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody dequeues: the channel fills to depth 8 and the bridge must
+	// account the remainder as drops.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p, d := kch.Stats(); p+d == frames {
+			if p != 8 {
+				t.Fatalf("passed %d frames into a depth-8 channel", p)
+			}
+			if d != frames-8 {
+				t.Fatalf("dropped %d, want %d", d, frames-8)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p, d := kch.Stats()
+	t.Fatalf("stats never settled: passed=%d dropped=%d", p, d)
+}

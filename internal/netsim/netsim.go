@@ -38,6 +38,12 @@ var (
 // Handler consumes frames delivered to a node for one protocol tag.
 type Handler func(from string, payload []byte)
 
+// BatchHandler consumes whole frame batches delivered to a node for one
+// protocol tag: the receive side of the batched fast path. The payloads
+// slice belongs to the pump and must not be retained after the call (the
+// payload bytes themselves are the sender's, exactly as with Handler).
+type BatchHandler func(from string, payloads [][]byte)
+
 // LinkConfig parameterises one duplex link.
 type LinkConfig struct {
 	Latency time.Duration // one-way delivery delay
@@ -79,9 +85,10 @@ type Node struct {
 	name string
 	net  *Network
 
-	mu       sync.RWMutex
-	peers    map[string]*direction // outgoing, keyed by neighbour
-	handlers map[byte]Handler
+	mu            sync.RWMutex
+	peers         map[string]*direction // outgoing, keyed by neighbour
+	handlers      map[byte]Handler
+	batchHandlers map[byte]BatchHandler
 }
 
 // Name returns the node name.
@@ -93,6 +100,20 @@ func (n *Node) Register(proto byte, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[proto] = h
+}
+
+// RegisterBatch installs a batch handler for a protocol tag. When both a
+// batch and a per-frame handler are registered for the same tag, the
+// batch handler wins: the pump hands it whatever run of same-tag frames
+// it drained in one wakeup, so a busy link amortises the hand-off while
+// an idle one still delivers single frames promptly.
+func (n *Node) RegisterBatch(proto byte, h BatchHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.batchHandlers == nil {
+		n.batchHandlers = make(map[byte]BatchHandler)
+	}
+	n.batchHandlers[proto] = h
 }
 
 // RegisterQueues installs a multi-queue receive path for a protocol tag:
@@ -197,14 +218,56 @@ func (n *Node) SendBatch(neighbor string, proto byte, payloads [][]byte) error {
 	return nil
 }
 
-// deliver invokes the destination handler.
+// deliver invokes the destination handler. A batch handler registered
+// for the tag receives a one-frame batch, so latency links (which pace
+// frames individually) still feed batch-only receivers.
 func (n *Node) deliver(f frame) {
 	n.mu.RLock()
+	bh := n.batchHandlers[f.proto]
 	h := n.handlers[f.proto]
 	n.mu.RUnlock()
+	if bh != nil {
+		bh(f.from, [][]byte{f.payload})
+		return
+	}
 	if h != nil {
 		h(f.from, f.payload)
 	}
+}
+
+// deliverRun delivers a drained run of frames, handing each maximal
+// consecutive same-sender same-proto span to the batch handler when one
+// is registered and falling back to per-frame delivery otherwise.
+// Spans never reorder across each other, so delivery order matches what
+// len(frames) individual deliver calls would produce. Handlers run
+// outside the node lock, exactly as deliver runs them. scratch is
+// pump-owned payload storage, returned for reuse.
+func (n *Node) deliverRun(frames []frame, scratch [][]byte) [][]byte {
+	for i := 0; i < len(frames); {
+		f := frames[i]
+		j := i + 1
+		for j < len(frames) && frames[j].proto == f.proto && frames[j].from == f.from {
+			j++
+		}
+		n.mu.RLock()
+		bh := n.batchHandlers[f.proto]
+		h := n.handlers[f.proto]
+		n.mu.RUnlock()
+		switch {
+		case bh != nil:
+			scratch = scratch[:0]
+			for _, fr := range frames[i:j] {
+				scratch = append(scratch, fr.payload)
+			}
+			bh(f.from, scratch)
+		case h != nil:
+			for _, fr := range frames[i:j] {
+				h(fr.from, fr.payload)
+			}
+		}
+		i = j
+	}
+	return scratch
 }
 
 // Network is a collection of nodes and links with running delivery pumps.
@@ -321,14 +384,43 @@ func (w *Network) Connect(a, b string, cfg LinkConfig) error {
 	return nil
 }
 
+// pumpBatch bounds how many queued frames a zero-latency pump drains
+// per wakeup before handing them downstream.
+const pumpBatch = 64
+
 // pump delivers frames for one direction until the network stops.
+// Latency links pace every frame individually (the sleep IS the link
+// model); zero-latency links drain whatever has queued behind the first
+// frame and deliver it as one run, the netsim analogue of a NIC raising
+// one interrupt for a ring's worth of frames.
 func (w *Network) pump(d *direction) {
 	defer w.wg.Done()
-	for f := range d.ch {
-		if d.cfg.Latency > 0 {
+	if d.cfg.Latency > 0 {
+		for f := range d.ch {
 			time.Sleep(d.cfg.Latency)
+			d.to.deliver(f)
 		}
-		d.to.deliver(f)
+		return
+	}
+	staged := make([]frame, 0, pumpBatch)
+	scratch := make([][]byte, 0, pumpBatch)
+	for f := range d.ch {
+		staged = append(staged[:0], f)
+		for more := true; more && len(staged) < pumpBatch; {
+			select {
+			case f2, ok := <-d.ch:
+				if !ok {
+					// Closed mid-drain: deliver what we hold; the outer
+					// range will observe the close and exit.
+					more = false
+					break
+				}
+				staged = append(staged, f2)
+			default:
+				more = false
+			}
+		}
+		scratch = d.to.deliverRun(staged, scratch)
 	}
 }
 

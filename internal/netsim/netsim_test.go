@@ -487,3 +487,187 @@ func TestStopRacesSend(t *testing.T) {
 		t.Fatalf("send after stop: %v", err)
 	}
 }
+
+// batchCollector gathers delivered batches, preserving batch boundaries.
+type batchCollector struct {
+	mu        sync.Mutex
+	batches   [][]string
+	total     int
+	ch        chan struct{}
+	firstWait time.Duration
+	waited    bool
+}
+
+func newBatchCollector() *batchCollector {
+	return &batchCollector{ch: make(chan struct{}, 4096)}
+}
+
+func (c *batchCollector) handler(from string, payloads [][]byte) {
+	c.mu.Lock()
+	if c.firstWait > 0 && !c.waited {
+		// Park inside the first delivery so the sender's remaining frames
+		// queue behind it, making subsequent drains multi-frame.
+		c.waited = true
+		c.mu.Unlock()
+		time.Sleep(c.firstWait)
+		c.mu.Lock()
+	}
+	b := make([]string, 0, len(payloads))
+	for _, p := range payloads {
+		b = append(b, from+":"+string(p))
+	}
+	c.batches = append(c.batches, b)
+	n := len(payloads)
+	c.total += n
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.ch <- struct{}{}
+	}
+}
+
+func (c *batchCollector) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-deadline:
+			c.mu.Lock()
+			got := c.total
+			c.mu.Unlock()
+			t.Fatalf("delivered %d of %d", got, n)
+		}
+	}
+}
+
+func TestRegisterBatchDeliversRuns(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{Queue: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	nb, _ := w.Node("b")
+	bc := newBatchCollector()
+	bc.firstWait = 20 * time.Millisecond
+	nb.RegisterBatch(7, bc.handler)
+
+	const frames = 256
+	payloads := make([][]byte, frames)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	if err := na.SendBatch("b", 7, payloads); err != nil {
+		t.Fatal(err)
+	}
+	bc.wait(t, frames)
+
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	// Order across batch boundaries must match send order.
+	idx := 0
+	for _, b := range bc.batches {
+		for _, f := range b {
+			want := "a:" + string([]byte{byte(idx)})
+			if f != want {
+				t.Fatalf("frame %d: got %q want %q", idx, f, want)
+			}
+			idx++
+		}
+	}
+	if idx != frames {
+		t.Fatalf("delivered %d of %d", idx, frames)
+	}
+	// With the first delivery parked, the remaining 255 frames queued up
+	// and must have arrived in far fewer handler calls than frames.
+	if len(bc.batches) >= frames/2 {
+		t.Fatalf("%d batches for %d frames: zero-latency pump is not draining runs", len(bc.batches), frames)
+	}
+}
+
+func TestBatchHandlerOnLatencyLink(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	nb, _ := w.Node("b")
+	bc := newBatchCollector()
+	nb.RegisterBatch(7, bc.handler)
+	for i := 0; i < 3; i++ {
+		if err := na.Send("b", 7, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc.wait(t, 3)
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if len(bc.batches) != 3 {
+		t.Fatalf("latency link delivered %d batches for 3 frames, want per-frame pacing", len(bc.batches))
+	}
+	for i, b := range bc.batches {
+		if len(b) != 1 || b[0] != "a:"+string([]byte{byte(i)}) {
+			t.Fatalf("batch %d: %v", i, b)
+		}
+	}
+}
+
+func TestDeliverRunSplitsMixedProtoSpans(t *testing.T) {
+	w := mkNet(t, "a", "b")
+	defer w.Stop()
+	if err := w.Connect("a", "b", LinkConfig{Queue: 64}); err != nil {
+		t.Fatal(err)
+	}
+	na, _ := w.Node("a")
+	nb, _ := w.Node("b")
+
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{}, 64)
+	bc := newBatchCollector()
+	bc.firstWait = 20 * time.Millisecond
+	nb.RegisterBatch(1, func(from string, payloads [][]byte) {
+		bc.handler(from, payloads)
+		mu.Lock()
+		for _, p := range payloads {
+			order = append(order, "b1:"+string(p))
+		}
+		mu.Unlock()
+		for range payloads {
+			done <- struct{}{}
+		}
+	})
+	nb.Register(2, func(from string, payload []byte) {
+		mu.Lock()
+		order = append(order, "h2:"+string(payload))
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	seq := []struct {
+		proto byte
+		pay   string
+	}{{1, "a"}, {1, "b"}, {2, "c"}, {2, "d"}, {1, "e"}}
+	for _, s := range seq {
+		if err := na.Send("b", s.proto, []byte(s.pay)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < len(seq); i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("delivered %d of %d", i, len(seq))
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"b1:a", "b1:b", "h2:c", "h2:d", "b1:e"}
+	for i, g := range order {
+		if g != want[i] {
+			t.Fatalf("order[%d]=%q want %q (full: %v)", i, g, want[i], order)
+		}
+	}
+}

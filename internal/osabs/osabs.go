@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"netkit/core"
+	"netkit/internal/buffers"
 )
 
 // Sentinel errors.
@@ -48,6 +49,11 @@ type NIC struct {
 	rxBytes  atomic.Uint64
 	txBytes  atomic.Uint64
 
+	// opMu fences Inject against Close: injectors hold the read side for
+	// the duration of one send on rx, Close takes the write side before
+	// closing the channel, so a concurrent Inject can never panic on a
+	// closed channel (the same discipline netsim uses for Stop-vs-Send).
+	opMu      sync.RWMutex
 	closeOnce sync.Once
 }
 
@@ -72,6 +78,8 @@ func (n *NIC) Name() string { return n.name }
 // Inject delivers a frame to the RX ring (the simulated wire side). A full
 // ring drops the frame and returns ErrOverflow.
 func (n *NIC) Inject(frame []byte) error {
+	n.opMu.RLock()
+	defer n.opMu.RUnlock()
 	if n.closed.Load() {
 		return fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
 	}
@@ -86,10 +94,15 @@ func (n *NIC) Inject(frame []byte) error {
 	}
 }
 
-// Recv takes the next received frame without blocking; ErrEmpty when idle.
+// Recv takes the next received frame without blocking; ErrEmpty when
+// idle. After Close, frames already queued still drain in order; once the
+// ring is dry it reports ErrClosed (never a nil frame with a nil error).
 func (n *NIC) Recv() ([]byte, error) {
 	select {
-	case f := <-n.rx:
+	case f, ok := <-n.rx:
+		if !ok {
+			return nil, fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+		}
 		return f, nil
 	default:
 		if n.closed.Load() {
@@ -139,13 +152,59 @@ func (n *NIC) DrainTx() ([]byte, error) {
 	}
 }
 
-// Close shuts the device; pending RX frames are discarded.
-func (n *NIC) Close() {
+// Close shuts the device. Frames already queued on the RX ring remain
+// drainable; subsequent injects and post-drain receives report ErrClosed.
+func (n *NIC) Close() error {
 	n.closeOnce.Do(func() {
 		n.closed.Store(true)
+		n.opMu.Lock()
 		close(n.rx)
+		n.opMu.Unlock()
 	})
+	return nil
 }
+
+// RecvBatchInto implements Device over the RX ring: a non-blocking drain
+// of up to max frames. The slab result is always nil — channel frames are
+// independently owned. After Close an empty drain reports ErrClosed.
+func (n *NIC) RecvBatchInto(dst [][]byte, max int) ([][]byte, *buffers.Buffer, error) {
+	appended := 0
+	for appended < max {
+		select {
+		case f, ok := <-n.rx:
+			if !ok {
+				if appended == 0 {
+					return dst, nil, fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+				}
+				return dst, nil, nil
+			}
+			dst = append(dst, f)
+			appended++
+		default:
+			return dst, nil, nil
+		}
+	}
+	return dst, nil, nil
+}
+
+// SendBatch implements Device over the TX ring: frames queue in order,
+// each observing Send's overflow semantics, with the accepted count
+// returned (the remainder were dropped and counted).
+func (n *NIC) SendBatch(frames [][]byte) (int, error) {
+	if n.closed.Load() {
+		return 0, fmt.Errorf("osabs: nic %q: %w", n.name, ErrClosed)
+	}
+	sent := 0
+	for _, f := range frames {
+		if n.Send(f) == nil {
+			sent++
+		}
+	}
+	return sent, nil
+}
+
+// StatList implements Device with the counter snapshot in uniform form.
+func (n *NIC) StatList() []core.Stat { return n.Stats().List() }
 
 // NICStats is a counter snapshot.
 type NICStats struct {
@@ -223,10 +282,11 @@ func (m *MultiQueueNIC) InjectRSS(frame []byte, hash uint32) error {
 }
 
 // Close shuts every queue.
-func (m *MultiQueueNIC) Close() {
+func (m *MultiQueueNIC) Close() error {
 	for _, q := range m.queues {
-		q.Close()
+		_ = q.Close()
 	}
+	return nil
 }
 
 // Stats aggregates the per-queue counters.
@@ -253,6 +313,9 @@ type KernelChannel struct {
 	once   sync.Once
 	drops  atomic.Uint64
 	passed atomic.Uint64
+
+	// opMu fences Put/PutBatch against Close (see NIC.opMu).
+	opMu sync.RWMutex
 }
 
 // NewKernelChannel creates a channel with the given depth.
@@ -266,6 +329,8 @@ func NewKernelChannel(depth int) (*KernelChannel, error) {
 // Put enqueues a frame; a full queue drops it (counted) — the kernel never
 // blocks on user space.
 func (k *KernelChannel) Put(frame []byte) error {
+	k.opMu.RLock()
+	defer k.opMu.RUnlock()
 	if k.closed.Load() {
 		return ErrClosed
 	}
@@ -277,6 +342,37 @@ func (k *KernelChannel) Put(frame []byte) error {
 		k.drops.Add(1)
 		return ErrOverflow
 	}
+}
+
+// PutBatch enqueues frames in order, stopping at the first overflow-free
+// prefix the queue can hold; the remainder is dropped, exactly as
+// len(frames) Puts would drop it. Counters are settled once per batch
+// (one atomic op per outcome class, not one per frame) — the symmetric
+// amortisation to GetBatchInto. It returns the accepted count.
+func (k *KernelChannel) PutBatch(frames [][]byte) (int, error) {
+	k.opMu.RLock()
+	defer k.opMu.RUnlock()
+	if k.closed.Load() {
+		return 0, ErrClosed
+	}
+	accepted := 0
+	for _, f := range frames {
+		select {
+		case k.q <- f:
+			accepted++
+		default:
+		}
+	}
+	if accepted > 0 {
+		k.passed.Add(uint64(accepted))
+	}
+	if d := len(frames) - accepted; d > 0 {
+		k.drops.Add(uint64(d))
+	}
+	if accepted < len(frames) {
+		return accepted, ErrOverflow
+	}
+	return accepted, nil
 }
 
 // GetBatch dequeues up to max frames without blocking.
@@ -307,7 +403,9 @@ func (k *KernelChannel) GetBatchInto(dst [][]byte, max int) [][]byte {
 func (k *KernelChannel) Close() {
 	k.once.Do(func() {
 		k.closed.Store(true)
+		k.opMu.Lock()
 		close(k.q)
+		k.opMu.Unlock()
 	})
 }
 

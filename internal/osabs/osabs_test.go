@@ -251,3 +251,183 @@ func TestMultiQueueNICOverflowIsPerQueue(t *testing.T) {
 		t.Fatalf("aggregate stats %+v", st)
 	}
 }
+
+// TestNICOverflowAccountingExact floods both rings past capacity and
+// asserts the conservation law the stats tree depends on: every offered
+// frame is either counted delivered or counted dropped, with byte
+// counters tracking only the delivered ones.
+func TestNICOverflowAccountingExact(t *testing.T) {
+	n, err := NewNIC("eth0", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offered = 50
+	frame := []byte{1, 2, 3, 4, 5}
+	var injectOK, sendOK int
+	for i := 0; i < offered; i++ {
+		if n.Inject(frame) == nil {
+			injectOK++
+		}
+		if n.Send(frame) == nil {
+			sendOK++
+		}
+	}
+	st := n.Stats()
+	if st.RxFrames != uint64(injectOK) || st.RxFrames+st.RxDrops != offered {
+		t.Fatalf("rx conservation: frames %d drops %d offered %d (accepted %d)",
+			st.RxFrames, st.RxDrops, offered, injectOK)
+	}
+	if st.TxFrames != uint64(sendOK) || st.TxFrames+st.TxDrops != offered {
+		t.Fatalf("tx conservation: frames %d drops %d offered %d (accepted %d)",
+			st.TxFrames, st.TxDrops, offered, sendOK)
+	}
+	if st.RxBytes != uint64(len(frame))*st.RxFrames || st.TxBytes != uint64(len(frame))*st.TxFrames {
+		t.Fatalf("byte counters count dropped frames: %+v", st)
+	}
+	// Rings were sized 8: exactly 8 of each must have been accepted.
+	if injectOK != 8 || sendOK != 8 {
+		t.Fatalf("accepted %d/%d, want 8/8", injectOK, sendOK)
+	}
+	// Draining and re-offering accounts the second wave on top.
+	for i := 0; i < 8; i++ {
+		if _, err := n.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.DrainTx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Inject(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	st = n.Stats()
+	if st.RxFrames != 9 || st.TxFrames != 9 || st.RxDrops != offered-8 || st.TxDrops != offered-8 {
+		t.Fatalf("post-drain accounting: %+v", st)
+	}
+}
+
+// TestNICSendBatchAccounting: the Device batch path must account exactly
+// like the per-frame path — accepted+dropped == offered, prefix-agnostic.
+func TestNICSendBatchAccounting(t *testing.T) {
+	n, err := NewNIC("eth0", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 10)
+	for i := range frames {
+		frames[i] = []byte{byte(i)}
+	}
+	sent, err := n.SendBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 4 {
+		t.Fatalf("sent %d of 10 into a 4-deep ring", sent)
+	}
+	st := n.Stats()
+	if st.TxFrames != 4 || st.TxDrops != 6 {
+		t.Fatalf("batch accounting: %+v", st)
+	}
+}
+
+// TestNICRecvAfterClose: Close must not turn Recv into a stream of
+// (nil, nil); queued frames drain, then ErrClosed.
+func TestNICRecvAfterClose(t *testing.T) {
+	n, err := NewNIC("eth0", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Inject([]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.Recv()
+	if err != nil || len(f) != 1 || f[0] != 42 {
+		t.Fatalf("queued frame after close: %v %v", f, err)
+	}
+	if _, err := n.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained closed NIC: want ErrClosed, got %v", err)
+	}
+	if err := n.Inject([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("inject after close: %v", err)
+	}
+}
+
+// TestNICRecvBatchInto: the Device receive path drains non-blocking and
+// reports closure only when dry.
+func TestNICRecvBatchInto(t *testing.T) {
+	n, err := NewNIC("eth0", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := n.Inject([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, slab, err := n.RecvBatchInto(nil, 3)
+	if err != nil || slab != nil || len(dst) != 3 {
+		t.Fatalf("first drain: %d frames slab=%v err=%v", len(dst), slab, err)
+	}
+	dst, _, err = n.RecvBatchInto(dst, 8)
+	if err != nil || len(dst) != 5 {
+		t.Fatalf("second drain: %d frames err=%v", len(dst), err)
+	}
+	for i, f := range dst {
+		if f[0] != byte(i) {
+			t.Fatalf("order: frame %d = %d", i, f[0])
+		}
+	}
+	if dst, _, err := n.RecvBatchInto(nil, 8); err != nil || len(dst) != 0 {
+		t.Fatalf("idle drain: %d frames err=%v", len(dst), err)
+	}
+	_ = n.Close()
+	if _, _, err := n.RecvBatchInto(nil, 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed drain: %v", err)
+	}
+}
+
+// TestKernelChannelPutBatch: batch symmetry with GetBatchInto — exact
+// accepted prefix-free accounting, counters settled per batch.
+func TestKernelChannelPutBatch(t *testing.T) {
+	k, err := NewKernelChannel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 7)
+	for i := range frames {
+		frames[i] = []byte{byte(i)}
+	}
+	accepted, err := k.PutBatch(frames)
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("overflowing PutBatch: %v", err)
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d of 7 into depth 4", accepted)
+	}
+	passed, dropped := k.Stats()
+	if passed != 4 || dropped != 3 {
+		t.Fatalf("counters: passed %d dropped %d", passed, dropped)
+	}
+	got := k.GetBatch(16)
+	if len(got) != 4 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, f := range got {
+		if f[0] != byte(i) {
+			t.Fatalf("order: %d = %d", i, f[0])
+		}
+	}
+	if n, err := k.PutBatch(frames[:2]); n != 2 || err != nil {
+		t.Fatalf("fitting PutBatch: n=%d err=%v", n, err)
+	}
+	k.Close()
+	if _, err := k.PutBatch(frames[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed PutBatch: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package osabs
+
+import (
+	"net"
+	"syscall"
+)
+
+// soReusePort is SOL_SOCKET/SO_REUSEPORT, absent from the stdlib syscall
+// package (the repo vendors no golang.org/x/sys).
+const soReusePort = 0xf
+
+// reusePortControl arms a ListenConfig to join an SO_REUSEPORT group.
+func reusePortControl(lc *net.ListenConfig) error {
+	lc.Control = func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package osabs
+
+import (
+	"errors"
+	"net"
+)
+
+// ErrReusePortUnsupported gates SO_REUSEPORT socket groups to platforms
+// that implement them; single-device UDP backends work everywhere.
+var ErrReusePortUnsupported = errors.New("osabs: SO_REUSEPORT groups unsupported on this platform")
+
+func reusePortControl(*net.ListenConfig) error { return ErrReusePortUnsupported }

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package osabs
+
+// Linux syscall numbers for the batched datagram calls, which the stdlib
+// syscall package does not wrap (and the repo deliberately vendors no
+// golang.org/x/sys): see arch/x86/entry/syscalls/syscall_64.tbl.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

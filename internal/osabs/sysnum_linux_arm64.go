@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package osabs
+
+// Linux syscall numbers for the batched datagram calls (generic unistd
+// table, shared by arm64/riscv64): recvmmsg 243, sendmmsg 269.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

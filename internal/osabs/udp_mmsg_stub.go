@@ -1,0 +1,10 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package osabs
+
+// The batched recvmmsg/sendmmsg backend is Linux-only (and wired for the
+// syscall tables this repo carries numbers for); every other platform
+// takes the portable per-datagram backend.
+const mmsgSupported = false
+
+func newMmsgSocket(UDPConfig) (udpSocket, error, bool) { return nil, nil, false }

@@ -2,9 +2,12 @@ package router
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netkit/core"
@@ -12,36 +15,80 @@ import (
 	"netkit/internal/osabs"
 )
 
-// NICSource is a standard component wrapping a stratum-1 NIC's receive
+// PumpConfig tunes a NICSource's receive pump.
+type PumpConfig struct {
+	// Batch bounds the frames drained per poll/delivery round
+	// (default nicSourceBatch).
+	Batch int
+	// Spin is the busy-poll budget: how many consecutive empty polls the
+	// pump burns (yielding the OS thread, not sleeping) before parking.
+	// 0 parks immediately on the first empty poll. Setting Spin > 0 also
+	// forces the generic polling pump onto channel-backed devices, which
+	// would otherwise use a blocking channel receive.
+	Spin int
+	// Park is how long an exhausted pump sleeps before polling again
+	// (default 50µs). Wakeup latency after an idle period is bounded by
+	// this plus scheduler noise.
+	Park time.Duration
+	// StampBorn makes the pump stamp each minted packet's Born timestamp
+	// (router.Nanotime), so downstream latency histograms — a sharded
+	// plane's per-lane recorders, an nkload sink — measure from device
+	// ingress. Off by default: the stamp is a clock read per frame.
+	StampBorn bool
+}
+
+// NICSource is a standard component wrapping a stratum-1 device's receive
 // side (§5: "'standard' components that interface to network cards"). Its
 // pump turns frames into packets — optionally copied into pooled buffers —
-// and pushes them downstream.
+// and pushes them downstream. Any osabs.Device works: the channel-backed
+// simulated NIC takes a blocking channel pump, everything else (UDP
+// sockets) takes a polling pump with a spin-then-park idle policy.
 type NICSource struct {
 	*core.Base
 	elementCounters
-	nic  *osabs.NIC
+	dev  osabs.Device
 	pool *buffers.Pool // nil = wrap frames without copying
+	cfg  PumpConfig
 	out  *core.Receptacle[IPacketPush]
+
+	spins atomic.Uint64 // empty polls burned inside the spin budget
+	parks atomic.Uint64 // times the pump gave up spinning and slept
 
 	mu   sync.Mutex
 	quit chan struct{}
 	done chan struct{}
 }
 
-// NewNICSource wraps an existing NIC. pool may be nil.
-func NewNICSource(nic *osabs.NIC, pool *buffers.Pool) (*NICSource, error) {
-	if nic == nil {
-		return nil, fmt.Errorf("router: nil NIC")
+// NewNICSource wraps an existing device with default pump tuning. pool may
+// be nil; it is ignored for arena-backed receive batches, which already
+// carry pooled refcounted storage.
+func NewNICSource(dev osabs.Device, pool *buffers.Pool) (*NICSource, error) {
+	return NewNICSourcePump(dev, pool, PumpConfig{})
+}
+
+// NewNICSourcePump wraps an existing device with explicit pump tuning.
+func NewNICSourcePump(dev osabs.Device, pool *buffers.Pool, cfg PumpConfig) (*NICSource, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("router: nil device")
 	}
-	s := &NICSource{Base: core.NewBase(TypeNICSource), nic: nic, pool: pool}
+	if cfg.Batch <= 0 {
+		cfg.Batch = nicSourceBatch
+	}
+	if cfg.Park <= 0 {
+		cfg.Park = 50 * time.Microsecond
+	}
+	if cfg.Spin < 0 {
+		cfg.Spin = 0
+	}
+	s := &NICSource{Base: core.NewBase(TypeNICSource), dev: dev, pool: pool, cfg: cfg}
 	s.out = core.NewReceptacle[IPacketPush](IPacketPushID)
 	s.AddReceptacle("out", s.out)
-	s.SetAnnotation("netkit.device", nic.Name())
+	s.SetAnnotation("netkit.device", dev.Name())
 	return s, nil
 }
 
-// NIC returns the wrapped device.
-func (s *NICSource) NIC() *osabs.NIC { return s.nic }
+// Device returns the wrapped device.
+func (s *NICSource) Device() osabs.Device { return s.dev }
 
 // Start implements core.Starter.
 func (s *NICSource) Start(context.Context) error {
@@ -52,7 +99,14 @@ func (s *NICSource) Start(context.Context) error {
 	}
 	s.quit = make(chan struct{})
 	s.done = make(chan struct{})
-	go s.pump(s.quit, s.done)
+	// The channel-backed NIC gets the blocking channel pump (zero idle
+	// cost); anything else — and any device under an explicit busy-poll
+	// budget — gets the generic polling pump.
+	if rc, ok := s.dev.(interface{ RecvChan() <-chan []byte }); ok && s.cfg.Spin == 0 {
+		go s.chanPump(rc.RecvChan(), s.quit, s.done)
+	} else {
+		go s.pollPump(s.quit, s.done)
+	}
 	return nil
 }
 
@@ -72,9 +126,8 @@ func (s *NICSource) Stop(context.Context) error {
 // nicSourceBatch bounds the opportunistic RX drain per delivery round.
 const nicSourceBatch = 64
 
-func (s *NICSource) pump(quit, done chan struct{}) {
+func (s *NICSource) chanPump(rx <-chan []byte, quit, done chan struct{}) {
 	defer close(done)
-	rx := s.nic.RecvChan()
 	batch := GetBatch()
 	// Deferred closure, not a bound argument: batch is reassigned by
 	// append, and the grown slice is the one to recycle.
@@ -92,7 +145,7 @@ func (s *NICSource) pump(quit, done chan struct{}) {
 			// busy device amortises the pipeline crossing while an idle
 			// one keeps per-frame latency.
 			batch = s.wrap(batch, frame)
-			for len(batch) < nicSourceBatch {
+			for len(batch) < s.cfg.Batch {
 				select {
 				case f, ok := <-rx:
 					if !ok {
@@ -108,6 +161,100 @@ func (s *NICSource) pump(quit, done chan struct{}) {
 			batch = s.flush(batch)
 		}
 	}
+}
+
+// pollPump is the generic device receive loop: batched non-blocking
+// RecvBatchInto polls with a spin-then-park idle policy. A busy device
+// moves whole batches per poll (one syscall on the mmsg backend); an idle
+// one burns its spin budget keeping the core hot — the DPDK-style
+// busy-poll trade — then parks in cfg.Park sleeps.
+func (s *NICSource) pollPump(quit, done chan struct{}) {
+	defer close(done)
+	frames := buffers.Batches.Get()
+	pkts := GetBatch()
+	// Deferred closures, not bound arguments: both slices are reassigned
+	// when a batch outgrows the pooled capacity.
+	defer func() {
+		buffers.Batches.Put(frames)
+		PutBatch(pkts)
+	}()
+	spun := 0
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		var slab *buffers.Buffer
+		var err error
+		frames, slab, err = s.dev.RecvBatchInto(frames[:0], s.cfg.Batch)
+		if len(frames) == 0 {
+			if err != nil {
+				return // closed and drained
+			}
+			if spun < s.cfg.Spin {
+				spun++
+				s.spins.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			s.parks.Add(1)
+			select {
+			case <-quit:
+				return
+			case <-time.After(s.cfg.Park):
+			}
+			spun = 0
+			continue
+		}
+		spun = 0
+		s.in.Add(uint64(len(frames)))
+		pkts = pkts[:0]
+		for _, f := range frames {
+			if p := s.mint(f, slab); p != nil {
+				pkts = append(pkts, p)
+			}
+		}
+		_ = s.forwardBatch(s.out, pkts)
+		// Clear both scratches so an idle source pins neither the
+		// handed-off packets nor their frame bytes between polls.
+		for i := range pkts {
+			pkts[i] = nil
+		}
+		for i := range frames {
+			frames[i] = nil
+		}
+		if err != nil && errors.Is(err, osabs.ErrClosed) {
+			return // closed mid-drain: the batch above was the tail
+		}
+	}
+}
+
+// mint turns one polled frame into a Packet, or nil for a drop. Arena
+// frames (slab != nil) already hold one slab reference each, so the
+// packet adopts it zero-copy and its Release decrements the slab;
+// otherwise the pool path copies (dropping on pool exhaustion, like
+// wrap) and the nil-pool path wraps without copying.
+func (s *NICSource) mint(f []byte, slab *buffers.Buffer) *Packet {
+	var p *Packet
+	switch {
+	case slab != nil:
+		p = &Packet{Data: f, Buf: slab}
+	case s.pool != nil:
+		pp, err := NewPooledPacket(s.pool, f)
+		if err != nil {
+			s.dropped.Add(1)
+			return nil
+		}
+		p = pp
+	default:
+		p = NewPacket(f)
+	}
+	p.InPort = s.dev.Name()
+	if s.cfg.StampBorn {
+		p.Born = Nanotime()
+	}
+	return p
 }
 
 // flush forwards the staged batch and clears it so an idle source pins no
@@ -134,78 +281,94 @@ func (s *NICSource) wrap(batch []*Packet, frame []byte) []*Packet {
 	} else {
 		p = NewPacket(frame)
 	}
-	p.InPort = s.nic.Name()
+	p.InPort = s.dev.Name()
+	if s.cfg.StampBorn {
+		p.Born = Nanotime()
+	}
 	return append(batch, p)
 }
 
 // Stats implements core.IStats, folding in the wrapped device's stratum-1
-// counters.
+// counters plus the pump's busy-poll telemetry.
 func (s *NICSource) Stats() []core.Stat {
-	return append(s.statList(), s.nic.Stats().List()...)
+	out := append(s.statList(),
+		core.C("pump_spins", "polls", s.spins.Load()),
+		core.C("pump_parks", "sleeps", s.parks.Load()),
+	)
+	return append(out, s.dev.StatList()...)
 }
 
 // ---------------------------------------------------------------------------
 // NICSink
 
-// NICSink wraps a NIC's transmit side: packets pushed into it leave the
-// router. TX-ring overflow counts as a drop.
+// NICSink wraps a device's transmit side: packets pushed into it leave
+// the router. TX refusal (ring overflow, socket buffer pressure) counts
+// as a drop.
 type NICSink struct {
 	*core.Base
 	elementCounters
-	nic *osabs.NIC
+	dev osabs.Device
 }
 
-// NewNICSink wraps an existing NIC.
-func NewNICSink(nic *osabs.NIC) (*NICSink, error) {
-	if nic == nil {
-		return nil, fmt.Errorf("router: nil NIC")
+// NewNICSink wraps an existing device.
+func NewNICSink(dev osabs.Device) (*NICSink, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("router: nil device")
 	}
-	s := &NICSink{Base: core.NewBase(TypeNICSink), nic: nic}
+	s := &NICSink{Base: core.NewBase(TypeNICSink), dev: dev}
 	s.Provide(IPacketPushID, s)
-	s.SetAnnotation("netkit.device", nic.Name())
+	s.SetAnnotation("netkit.device", dev.Name())
 	return s, nil
 }
 
-// NIC returns the wrapped device.
-func (s *NICSink) NIC() *osabs.NIC { return s.nic }
+// Device returns the wrapped device.
+func (s *NICSink) Device() osabs.Device { return s.dev }
 
 // Push implements IPacketPush.
 func (s *NICSink) Push(p *Packet) error {
 	s.in.Add(1)
-	err := s.nic.Send(p.Data)
+	one := [][]byte{p.Data}
+	sent, _ := s.dev.SendBatch(one)
 	p.Release()
-	if err != nil {
+	if sent == 1 {
+		s.out.Add(1)
+	} else {
 		s.dropped.Add(1)
-		return nil
 	}
-	s.out.Add(1)
 	return nil
 }
 
-// PushBatch implements IPacketPushBatch: frames are handed to the TX ring
-// in order, with counters settled once per batch. TX-ring overflow drops
-// the overflowing packet (not the rest of the batch), matching the
-// per-packet path.
+// PushBatch implements IPacketPushBatch: the whole batch's frames are
+// gathered into one pooled [][]byte and handed to the device in a single
+// SendBatch — one syscall on the mmsg backend — with counters settled
+// once per batch. A refused tail (full ring, socket buffer pressure)
+// counts as drops; packets are released only after the device call
+// returns, since a sending syscall reads the frame bytes in place.
 func (s *NICSink) PushBatch(batch []*Packet) error {
 	s.in.Add(uint64(len(batch)))
-	var sent, dropped uint64
+	frames := buffers.Batches.Get()[:0]
 	for _, p := range batch {
-		if s.nic.Send(p.Data) != nil {
-			dropped++
-		} else {
-			sent++
-		}
+		frames = append(frames, p.Data)
+	}
+	sent, _ := s.dev.SendBatch(frames)
+	for i := range frames {
+		frames[i] = nil
+	}
+	buffers.Batches.Put(frames)
+	for _, p := range batch {
 		p.Release()
 	}
-	s.out.Add(sent)
-	s.dropped.Add(dropped)
+	s.out.Add(uint64(sent))
+	if d := len(batch) - sent; d > 0 {
+		s.dropped.Add(uint64(d))
+	}
 	return nil
 }
 
 // Stats implements core.IStats, folding in the wrapped device's stratum-1
 // counters.
 func (s *NICSink) Stats() []core.Stat {
-	return append(s.statList(), s.nic.Stats().List()...)
+	return append(s.statList(), s.dev.StatList()...)
 }
 
 // ---------------------------------------------------------------------------
