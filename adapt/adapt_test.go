@@ -873,3 +873,43 @@ func TestBatchFillBelow(t *testing.T) {
 		t.Fatal("a missing path must not hold")
 	}
 }
+
+// TestFramesPerRoundtripBelow pins the IPC-lane analogue of the batch-fill
+// condition: it fires on a tick whose frames-per-roundtrip delta underfills
+// the sender's batch, stays quiet when the lane amortises well, and reads
+// absent or idle lanes as "not holding".
+func TestFramesPerRoundtripBelow(t *testing.T) {
+	lane := func(frames, trips uint64) core.StatNode {
+		return core.StatNode{Children: []core.StatNode{{
+			Name: "remote",
+			Stats: []core.Stat{
+				core.C("ipc_acked_frames", "packets", frames),
+				core.C("ipc_roundtrips", "acks", trips),
+			},
+		}}}
+	}
+	// 100 round-trips carrying 3200 frames against a batch-32 sender: full.
+	full := View{Now: lane(3200, 100), Prev: lane(0, 0), Elapsed: time.Second}
+	if FramesPerRoundtripBelow("remote", 32, 0.5, 10)(full) {
+		t.Fatal("a fully amortised lane must not hold")
+	}
+	// 100 round-trips carrying 100 frames: the lane pays a near-full
+	// crossing per packet — exactly what the condition exists to catch.
+	trickle := View{Now: lane(100, 100), Prev: lane(0, 0), Elapsed: time.Second}
+	if !FramesPerRoundtripBelow("remote", 32, 0.5, 10)(trickle) {
+		t.Fatal("a per-packet lane must hold")
+	}
+	// Under the round-trip floor the same fill reads as idle, not thin.
+	if FramesPerRoundtripBelow("remote", 32, 0.5, 1000)(trickle) {
+		t.Fatal("a lane under the round-trip floor must not hold")
+	}
+	// No growth at all: zero-delta window never holds.
+	idle := View{Now: lane(100, 100), Prev: lane(100, 100), Elapsed: time.Second}
+	if FramesPerRoundtripBelow("remote", 32, 0.5, 10)(idle) {
+		t.Fatal("an idle lane must not hold")
+	}
+	// Missing lane path never holds.
+	if FramesPerRoundtripBelow("nope", 32, 0.5, 10)(trickle) {
+		t.Fatal("a missing path must not hold")
+	}
+}

@@ -122,6 +122,32 @@ func BatchFillBelow(path string, batch, ratio, minSyscalls float64) Condition {
 	}
 }
 
+// FramesPerRoundtripBelow holds when an IPC lane's amortisation — acked
+// frames moved per wire round-trip over the LAST TICK ONLY, computed from
+// the ipc_acked_frames / ipc_roundtrips counter deltas and divided by the
+// sender's nominal batch size — drops under ratio. It is the isolation-
+// boundary analogue of BatchFillBelow: a low reading means the parent is
+// paying a near-full crossing price per handful of packets, so the paired
+// action grows the sender's batch (or re-fuses the binding in-proc). It
+// needs at least minRoundtrips acks in the window to count, so an idle
+// lane never reads as underfilled. The lifetime-weighted
+// ipc_frames_per_roundtrip gauge the stats tree shows answers "how has
+// this lane amortised so far"; this condition reads the current tick, so
+// it both fires on and recovers from load shifts.
+func FramesPerRoundtripBelow(path string, batch, ratio, minRoundtrips float64) Condition {
+	return func(v View) bool {
+		frames, ok := v.Delta(path, "ipc_acked_frames")
+		if !ok {
+			return false
+		}
+		trips, ok := v.Delta(path, "ipc_roundtrips")
+		if !ok || trips < minRoundtrips || batch <= 0 {
+			return false
+		}
+		return frames/trips/batch < ratio
+	}
+}
+
 // All holds when every condition holds.
 func All(conds ...Condition) Condition {
 	return func(v View) bool {

@@ -10,10 +10,12 @@ package netkit
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"netkit/adapt"
 	"netkit/core"
 	"netkit/internal/buffers"
+	"netkit/internal/ipc"
 	"netkit/internal/osabs"
 	"netkit/router"
 )
@@ -69,6 +71,32 @@ func (b *Blueprint) Insert(name string, comp core.Component) *Blueprint {
 func (b *Blueprint) FastPath(name string) *Blueprint {
 	return b.step(fmt.Sprintf("fastpath %s", name), func(c *core.Capsule) error {
 		return c.Insert(name, router.NewFastPath(c))
+	})
+}
+
+// Isolate declares a component instance of typeName hosted out-of-process
+// style behind an ipc transport (§5's isolation mechanism): the capsule
+// holds an ipc.RemoteComponent stand-in whose pushes cross the boundary
+// as pipelined binary batch frames and whose receptacles deliver what the
+// isolated side emits, so it binds, pipes and reports stats like any
+// in-proc component. The stand-in owns its transport — stopping the
+// capsule tears the isolation boundary down with it. The instance is
+// constructed in the isolated capsule through the same loader registry
+// this blueprint's capsule uses, so every registered factory can be
+// isolated by type name.
+func (b *Blueprint) Isolate(name, typeName string, cfg map[string]string) *Blueprint {
+	return b.step(fmt.Sprintf("isolate %s (%s)", name, typeName), func(c *core.Capsule) error {
+		rc, err := ipc.Isolate(name, typeName, cfg, c.ComponentRegistry())
+		if err != nil {
+			return err
+		}
+		if err := c.Insert(name, rc); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = rc.Stop(ctx)
+			return err
+		}
+		return nil
 	})
 }
 

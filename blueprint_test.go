@@ -13,6 +13,7 @@ import (
 	"netkit/adapt"
 	"netkit/cf"
 	"netkit/core"
+	"netkit/internal/ipc"
 	"netkit/packet"
 	"netkit/router"
 )
@@ -60,6 +61,64 @@ func TestBlueprintConnectInfersInterface(t *testing.T) {
 	edges := sys.Capsule().Snapshot().Edges
 	if len(edges) != 1 || edges[0].Iface != router.IPacketPushID {
 		t.Fatalf("edges = %+v, want one %q binding", edges, router.IPacketPushID)
+	}
+}
+
+// TestBlueprintIsolate: Isolate hosts a component behind an ipc boundary;
+// the stand-in binds and pushes batches like an in-proc component, its
+// emissions flow back into the local pipeline, the IPC lane shows its
+// transport counters in the stats tree, and closing the system tears the
+// transport down with it.
+func TestBlueprintIsolate(t *testing.T) {
+	ctx := context.Background()
+	sys, err := netkit.NewBlueprint("iso-bp").
+		Isolate("iso", router.TypeCounter, nil).
+		Add("sink", router.TypeCounter, nil).
+		Connect("iso", "out", "sink").
+		Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capsule := sys.Capsule()
+	comp, ok := capsule.Component("iso")
+	if !ok {
+		t.Fatal("isolated component missing")
+	}
+	rc, ok := comp.(*ipc.RemoteComponent)
+	if !ok {
+		t.Fatalf("component is %T, want *ipc.RemoteComponent", comp)
+	}
+	raw, err := packet.BuildUDP4(netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("192.168.1.1"), 1000, 53, 64, []byte("isolated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*router.Packet, 8)
+	for i := range batch {
+		batch[i] = router.NewPacket(raw)
+	}
+	if err := rc.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.Emitted(); got != 8 {
+		t.Fatalf("emitted = %d, want 8", got)
+	}
+	tree := core.CapsuleStats(capsule)
+	node, ok := tree.Find("iso")
+	if !ok {
+		t.Fatal("IPC lane missing from stats tree")
+	}
+	if s, _ := node.Stat("ipc_tx_frames"); s.Value != 8 {
+		t.Fatalf("ipc_tx_frames = %v, want 8", s.Value)
+	}
+	if err := sys.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.PushBatch([]*router.Packet{router.NewPacket(raw)}); !errors.Is(err, ipc.ErrClosed) {
+		t.Fatalf("transport survived Close: %v", err)
 	}
 }
 

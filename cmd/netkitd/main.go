@@ -41,6 +41,7 @@ import (
 	"netkit/cf"
 	"netkit/core"
 	"netkit/internal/control"
+	"netkit/internal/ipc"
 	"netkit/internal/nkconfig"
 	"netkit/internal/osabs"
 	"netkit/internal/trace"
@@ -73,6 +74,7 @@ func run() error {
 		duration    = flag.Duration("duration", 0, "run time (0 = until interrupted)")
 		strict      = flag.Bool("strict-trust", false, "enforce out-of-process isolation for untrusted components")
 		adaptLoop   = flag.Bool("adapt", false, "run the reflective adaptation loop (FIFO->RED swap on sustained queue occupancy)")
+		ipcHost     = flag.String("ipc-host", "", "serve isolated component hosting on this TCP address (parents connect with ipc.IsolateAt)")
 	)
 	flag.Parse()
 
@@ -110,6 +112,19 @@ func run() error {
 	meta := netkit.Meta(capsule)
 	if err := meta.Architecture().Validate(); err != nil {
 		return err
+	}
+	if *ipcHost != "" {
+		// Host isolated constituents for remote parents: each accepted
+		// connection gets a private capsule served over the batched ipc
+		// protocol, instantiating through the process-wide registry (every
+		// standard router component type registers there).
+		ipcLn, err := net.Listen("tcp", *ipcHost)
+		if err != nil {
+			return fmt.Errorf("ipc-host listen: %w", err)
+		}
+		defer func() { _ = ipcLn.Close() }()
+		go func() { _ = ipc.ListenAndServe(ipcLn, nil) }()
+		fmt.Printf("netkitd: hosting isolated components on %s\n", ipcLn.Addr())
 	}
 	ctx := context.Background()
 	if err := capsule.StartAll(ctx); err != nil {

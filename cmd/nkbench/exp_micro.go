@@ -1,7 +1,8 @@
 // Microbenchmark experiments: per-call overheads and footprints.
 // E1 call overhead, E2 memory footprint, E5 classification cost,
 // E6 out-of-process bindings, E10 buffer management and schedulers,
-// E15 compiled classification and the megaflow verdict cache.
+// E15 compiled classification and the megaflow verdict cache,
+// E18 batched pipelined out-of-process bindings.
 package main
 
 import (
@@ -308,4 +309,66 @@ func e15Compiled() {
 	probeNs := measure(1_000_000, func() { _, _, _ = fc.ProbeView(h, &view, 1) })
 	printf("%-28s %10.1f ns/op\n", "megaflow probe (hit)", probeNs)
 	record("cache_probe", probeNs, "ns/op", nil)
+}
+
+// ---------------------------------------------------------------------------
+
+// e18RemoteCounter builds the standard E18 fixture: a Counter isolated
+// behind an ipc.HostPair, reached through its RemoteComponent stand-in.
+func e18RemoteCounter(cfg ipc.Config) (*ipc.RemoteComponent, func()) {
+	reg := core.NewComponentRegistry()
+	reg.MustRegister(router.TypeCounter, func(map[string]string) (core.Component, error) {
+		return router.NewCounter(), nil
+	})
+	client, _, cleanup := ipc.HostPairCfg(reg, cfg)
+	rc, err := client.Instantiate("cnt", router.TypeCounter, nil)
+	must(err)
+	return rc, cleanup
+}
+
+// e18PushBatch measures one pipelined PushBatch configuration: iters
+// batches stream into the credit window, one Flush settles the tail, and
+// the elapsed time is divided by the packets moved.
+func e18PushBatch(cfg ipc.Config, batch, iters int) float64 {
+	rc, cleanup := e18RemoteCounter(cfg)
+	defer cleanup()
+	raw := append([]byte(nil), mustPacket(18).Data...)
+	pkts := make([]*router.Packet, batch)
+	for i := range pkts {
+		pkts[i] = router.NewPacket(raw)
+	}
+	must(rc.PushBatch(pkts)) // warm: name interning, pool priming
+	must(rc.Flush())
+	ns := measure(iters, func() { must(rc.PushBatch(pkts)) })
+	must(rc.Flush())
+	return ns / float64(batch)
+}
+
+func e18BatchedIPC() {
+	header("E18", "batched pipelined out-of-proc bindings amortise the isolation crossing")
+
+	inProc := router.NewCounter()
+	pkt := mustPacket(18)
+	inNs := measure(1_000_000, func() { _ = inProc.Push(pkt) })
+	printf("%-28s %10.1f ns/pkt  (x%.1f)\n", "in-process push", inNs, 1.0)
+	record("inproc_push", inNs, "ns/op", nil)
+
+	// The despecialised reference: one gob round-trip per packet, the
+	// E6 shape every cross-version fallback degrades to.
+	gobRC, gobCleanup := e18RemoteCounter(ipc.Config{ForceGob: true})
+	raw := append([]byte(nil), pkt.Data...)
+	gobNs := measure(5_000, func() { must(gobRC.Push(router.NewPacket(raw))) })
+	gobCleanup()
+	printf("%-28s %10.1f ns/pkt  (x%.0f)\n", "per-packet gob round-trip", gobNs, gobNs/inNs)
+	record("outproc_gob", gobNs, "ns/op", nil)
+
+	for _, k := range batchSizes {
+		iters := 200_000 / k
+		if iters < 500 {
+			iters = 500
+		}
+		ns := e18PushBatch(ipc.Config{}, k, iters)
+		printf("pipelined batch=%-4d          %10.1f ns/pkt  (x%.1f)\n", k, ns, ns/inNs)
+		record("outproc_pushbatch", ns, "ns/op", map[string]string{"batch": fmt.Sprint(k)})
+	}
 }

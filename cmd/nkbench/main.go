@@ -1,4 +1,4 @@
-// Command nkbench runs the NETKIT experiment suite E1–E13 and E15–E17 (see
+// Command nkbench runs the NETKIT experiment suite E1–E13 and E15–E18 (see
 // DESIGN.md §3 for the claim-to-experiment mapping) and prints one table
 // per experiment. EXPERIMENTS.md records a reference run.
 //
@@ -7,7 +7,7 @@
 //	nkbench                 # run everything
 //	nkbench -run E1,E4      # selected experiments
 //	nkbench -json           # machine-readable results on stdout
-//	nkbench -batch 1,8,32   # batch sizes the E11 and E17 sweeps drive
+//	nkbench -batch 1,8,32   # batch sizes the E11, E17 and E18 sweeps drive
 //	nkbench -shards 1,2,4   # shard counts the E12 sweep drives
 //	nkbench -adapt          # only E13, the closed-loop adaptation run
 //
@@ -19,7 +19,7 @@
 // baselines.
 //
 // The experiment implementations live beside this file: exp_micro.go
-// (E1/E2/E5/E6/E10/E15), exp_forwarding.go (E3/E11/E12/E16),
+// (E1/E2/E5/E6/E10/E15/E18), exp_forwarding.go (E3/E11/E12/E16),
 // exp_control.go (E4/E7/E8/E9/E13), exp_udp.go (E17); report.go is the
 // shared reporting layer.
 package main
@@ -38,7 +38,7 @@ var (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13,E15..E17) or 'all'")
+	runList := flag.String("run", "all", "comma-separated experiment list (E1..E13,E15..E18) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "emit the uniform result document instead of tables")
 	batchList := flag.String("batch", "1,8,32,128", "comma-separated batch sizes driven by E11")
 	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts driven by E12")
@@ -66,13 +66,14 @@ func main() {
 		"E7": e7Placement, "E8": e8Signaling, "E9": e9Spawn, "E10": e10Resources,
 		"E11": e11Batched, "E12": e12Sharded, "E13": e13Adaptation,
 		"E15": e15Compiled, "E16": e16Fused, "E17": e17UDPBatch,
+		"E18": e18BatchedIPC,
 	}
 	var names []string
 	switch {
 	case *adaptOnly:
 		names = []string{"E13"}
 	case *runList == "all":
-		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17"}
+		names = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18"}
 	default:
 		names = strings.Split(*runList, ",")
 	}
